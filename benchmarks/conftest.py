@@ -1,0 +1,47 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+``artifacts`` fixture gives each bench a place to write the rendered
+ASCII figure / table rows (under ``benchmarks/results/``), so a run
+leaves the full set of regenerated artifacts on disk, and
+``benchmark.extra_info`` carries the headline numbers into
+pytest-benchmark's report.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ArtifactSink:
+    """Writes one experiment's rendered output to benchmarks/results/."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        self._chunks = []
+
+    def add(self, text: str) -> None:
+        self._chunks.append(text)
+
+    def flush(self) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        body = "\n\n".join(self._chunks) + "\n"
+        with open(self.path, "w") as f:
+            f.write(body)
+        return body
+
+
+@pytest.fixture
+def artifacts(request):
+    sink = ArtifactSink(request.node.name.replace("test_", ""))
+    yield sink
+    if sink._chunks:
+        sink.flush()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

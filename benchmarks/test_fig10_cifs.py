@@ -1,0 +1,87 @@
+"""Figure 10: CIFS FindFirst/FindNext/read profiles on the client.
+
+Paper: over a grep workload against a Windows CIFS server, the Windows
+client's FindFirst and FindNext operations show peaks "farther to the
+right than any other operation" (buckets 26-30), absent from the Linux
+client's profiles, and alone accounting for ~12% of elapsed time.
+Requests in bucket 18 and above involve the server; buckets to the left
+are local to the client.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ProfileSelector, render_profile
+from repro.net import build_cifs_mount
+from repro.workloads import run_grep
+
+SCALE = 0.03
+STALL_BUCKET = 27  # >= ~80 ms: contains a delayed-ACK stall
+SERVER_BUCKET = 18  # paper: >168us means server interaction
+
+
+def run_client(flavor: str):
+    mount = build_cifs_mount(scale=SCALE, flavor=flavor,
+                             delayed_ack=True)
+    run_grep(mount.client, mount.root)
+    return mount
+
+
+def test_fig10_cifs(benchmark, artifacts):
+    def experiment():
+        return run_client("windows"), run_client("linux")
+
+    windows, linux = run_once(benchmark, experiment)
+    wset = windows.client.fs_profiles()
+    lset = linux.client.fs_profiles()
+
+    artifacts.add("Figure 10 reproduction: CIFS client profiles under "
+                  "grep (Windows client vs Linux client)")
+    for op in ("FIND_FIRST", "FIND_NEXT", "read"):
+        if wset.get(op):
+            artifacts.add(f"--- {op} (Windows client) ---\n"
+                          + render_profile(wset[op]))
+    if lset.get("FIND_FIRST"):
+        artifacts.add("--- FIND_FIRST (Linux client) ---\n"
+                      + render_profile(lset["FIND_FIRST"]))
+
+    # Elapsed-time share of the stalled FIND operations.
+    stall_cycles = sum(
+        wset[op].spec.mid(b) * c
+        for op in ("FIND_FIRST", "FIND_NEXT") if wset.get(op)
+        for b, c in wset[op].counts().items() if b >= STALL_BUCKET)
+    elapsed_cycles = windows.client.kernel.now
+    share = stall_cycles / elapsed_cycles
+
+    selector = ProfileSelector()
+    flagged = selector.interesting(lset, wset, limit=6)
+
+    artifacts.add(
+        f"Windows client elapsed: "
+        f"{windows.client.elapsed_seconds():.2f}s; stalled FIND "
+        f"transactions account for {share:.0%} of it (paper: 12%)\n"
+        f"Linux client elapsed: {linux.client.elapsed_seconds():.2f}s\n"
+        f"selector flags (Linux vs Windows): {flagged}")
+
+    benchmark.extra_info["stall_share"] = round(share, 3)
+    benchmark.extra_info["windows_elapsed_s"] = round(
+        windows.client.elapsed_seconds(), 3)
+    benchmark.extra_info["linux_elapsed_s"] = round(
+        linux.client.elapsed_seconds(), 3)
+
+    # Shape assertions.
+    wff = wset["FIND_FIRST"]
+    assert any(b >= STALL_BUCKET for b in wff.counts())
+    assert all(b < STALL_BUCKET for b in lset["FIND_FIRST"].counts())
+    # FIND transactions always involve the server (>= bucket 18); the
+    # buffered FIND_NEXT continuations are local (< bucket 18).
+    assert min(wff.counts()) >= SERVER_BUCKET
+    wfn = wset.get("FIND_NEXT")
+    if wfn is not None:
+        assert any(b < SERVER_BUCKET for b in wfn.counts())
+    # The pathology is a visible share of elapsed time, and the Windows
+    # client is slower end to end.
+    assert 0.03 < share < 0.5
+    assert windows.client.elapsed_seconds() > \
+        linux.client.elapsed_seconds()
+    # The automated selector points at the FIND operations.
+    assert "FIND_FIRST" in flagged

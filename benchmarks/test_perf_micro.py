@@ -1,0 +1,86 @@
+"""Microbenchmarks of the library's hot paths (multi-round timing).
+
+Unlike the experiment benches (one-shot regenerations), these measure
+the reproduction's own performance: the per-sample profiling cost (the
+Python analogue of the paper's 200-cycle hook budget), histogram
+comparison, and simulator event throughput.  pytest-benchmark runs them
+with its normal calibration, so regressions show up in the timing
+table.
+"""
+
+from repro.analysis.compare import earth_movers_distance
+from repro.core.buckets import BucketSpec, LatencyBuckets
+from repro.core.profiler import Profiler
+from repro.sim.engine import Engine
+from repro.sim.process import CpuBurst, YieldCpu
+from repro.sim.scheduler import Kernel
+
+
+def test_perf_bucket_add(benchmark):
+    """One histogram update: the FSPROF_POST hot path."""
+    hist = LatencyBuckets()
+
+    def add():
+        hist.add(123_456.0)
+
+    benchmark(add)
+    assert hist.verify_checksum()
+
+
+def test_perf_bucket_lookup(benchmark):
+    """The pure log2 bucketing arithmetic."""
+    spec = BucketSpec()
+    benchmark(spec.bucket, 987_654.321)
+
+
+def test_perf_profiler_request(benchmark):
+    """A full begin/end pair against the wall-clock TSC."""
+    profiler = Profiler(name="perf")
+
+    def request():
+        token = profiler.begin("op")
+        profiler.end(token)
+
+    benchmark(request)
+
+
+def test_perf_emd(benchmark):
+    """EMD over two realistic 30-bucket profiles."""
+    a = LatencyBuckets.from_counts({b: (b * 37) % 101 + 1
+                                    for b in range(5, 35)})
+    b_hist = LatencyBuckets.from_counts({b: (b * 53) % 97 + 1
+                                         for b in range(5, 35)})
+    result = benchmark(earth_movers_distance, a, b_hist)
+    assert result >= 0
+
+
+def test_perf_engine_events(benchmark):
+    """Engine throughput: schedule + dispatch of 1000 events."""
+
+    def run_1000():
+        engine = Engine()
+        for i in range(1000):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        return engine.events_processed
+
+    assert benchmark(run_1000) == 1000
+
+
+def test_perf_scheduler_switches(benchmark):
+    """Kernel throughput: 2 processes x 200 yield cycles."""
+
+    def run_switches():
+        kernel = Kernel(num_cpus=1, context_switch_cost=0.0,
+                        tsc_skew_seconds=0.0)
+
+        def body(proc):
+            for _ in range(200):
+                yield CpuBurst(10)
+                yield YieldCpu()
+
+        procs = [kernel.spawn(body, f"p{i}") for i in range(2)]
+        kernel.run_until_done(procs)
+        return kernel.engine.events_processed
+
+    assert benchmark(run_switches) > 0

@@ -1,0 +1,63 @@
+"""Section 5.3: automated profile-comparison accuracy.
+
+Paper: three graduate students labelled 250+ profile pairs; against
+that ground truth the chi-square method produced 5% false
+classifications, total operation counts 4%, total latency 3%, and the
+Earth Mover's Distance the best rate of 2%.
+
+The human study is replaced by a generator of labelled pairs whose
+"important" changes are the structural ones the paper's examples show
+(new contention peak, migrated I/O mode, mass shift) and whose
+"unimportant" pairs carry realistic run-to-run noise.  250 evaluation
+pairs, thresholds calibrated on a disjoint 120-pair set.
+"""
+
+from conftest import run_once
+
+from repro.analysis import PairGenerator, evaluate_methods
+
+METHODS = ("emd", "total_latency", "total_ops", "chi_squared",
+           "jeffrey", "kullback_leibler", "intersection", "minkowski")
+PAPER_RATES = {"chi_squared": 0.05, "total_ops": 0.04,
+               "total_latency": 0.03, "emd": 0.02}
+
+
+def test_tbl_accuracy(benchmark, artifacts):
+    def experiment():
+        generator = PairGenerator(seed=2006, ops=8000)
+        calibration = generator.pairs(120)
+        evaluation = generator.pairs(250)
+        return evaluate_methods(evaluation, calibration,
+                                methods=METHODS)
+
+    results = run_once(benchmark, experiment)
+
+    rows = ["Section 5.3 reproduction: false-classification rates on "
+            "250 labelled profile pairs", "",
+            "method            rate     fp  fn   paper",
+            "-" * 46]
+    ranked = sorted(results.items(), key=lambda kv: kv[1].false_rate)
+    for name, acc in ranked:
+        paper = PAPER_RATES.get(name)
+        paper_s = f"{paper:.0%}" if paper is not None else "  -"
+        rows.append(f"{name:16s} {acc.false_rate:6.1%}  {acc.false_positives:4d} "
+                    f"{acc.false_negatives:3d}   {paper_s}")
+    rows.append("")
+    rows.append("paper's headline: among its four reported methods "
+                "(chi-squared, op counts, total latency, EMD), EMD is "
+                "the most accurate at 2%; reproduced — EMD beats all "
+                "three here, at a comparable rate.")
+    artifacts.add("\n".join(rows))
+
+    for name, acc in results.items():
+        benchmark.extra_info[name] = round(acc.false_rate, 4)
+
+    emd = results["emd"].false_rate
+    # Headline claims: EMD best among the paper's reported methods and
+    # in the paper's ~2% band.
+    for name in ("chi_squared", "total_ops", "total_latency"):
+        assert emd <= results[name].false_rate
+    assert emd <= 0.04
+    # All of the paper's reported methods remain usable tools.
+    for name in PAPER_RATES:
+        assert results[name].false_rate < 0.25

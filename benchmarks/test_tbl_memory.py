@@ -1,0 +1,76 @@
+"""Section 5.1: memory footprint of the profiler.
+
+Paper: the aggregation functions touch 231 bytes of cache; per-FS
+instrumentation code adds <9 KB; "a profile occupies a fixed memory
+area ... usually less than 1 KB" per operation.
+
+Measures the Python-side equivalent: the serialized and in-memory size
+of the profiles a full grep run accumulates, per operation, plus the
+total for a complete profile set.  Python objects are fatter than C
+arrays, so the bound asserted is the structural one: profile size is
+fixed by the bucket count (~64 counters), independent of the number of
+requests profiled.
+"""
+
+import sys
+
+from conftest import run_once
+
+from repro.system import System
+from repro.workloads import build_source_tree, run_grep
+
+
+def deep_size(hist) -> int:
+    """Approximate in-memory bytes of one histogram's counters."""
+    counts = hist.counts()
+    return (sys.getsizeof(counts)
+            + sum(sys.getsizeof(k) + sys.getsizeof(v)
+                  for k, v in counts.items()))
+
+
+def test_tbl_memory(benchmark, artifacts):
+    def experiment():
+        small = System.build(with_timer=False, seed=1)
+        root, _ = build_source_tree(small, scale=0.01)
+        run_grep(small, root)
+        big = System.build(with_timer=False, seed=1)
+        root, _ = build_source_tree(big, scale=0.05)
+        run_grep(big, root)
+        return small, big
+
+    small, big = run_once(benchmark, experiment)
+
+    rows = ["Section 5.1 reproduction: profile memory footprint", ""]
+    rows.append("operation      requests   buckets   bytes   text-bytes")
+    rows.append("-" * 58)
+    for prof in big.fs_profiles().by_total_latency():
+        hist = prof.histogram
+        text = len("\n".join(f"{b} {c}"
+                             for b, c in hist.counts().items()))
+        rows.append(f"{prof.operation:14s} {hist.total_ops:8d}   "
+                    f"{len(hist):7d}   {deep_size(hist):5d}   {text:6d}")
+
+    total_small = sum(deep_size(p.histogram)
+                      for p in small.fs_profiles())
+    total_big = sum(deep_size(p.histogram) for p in big.fs_profiles())
+    ratio_requests = (big.fs_profiles().total_ops()
+                      / small.fs_profiles().total_ops())
+    rows.append("")
+    rows.append(f"5x workload = {ratio_requests:.1f}x requests, but "
+                f"profile memory {total_small} -> {total_big} bytes "
+                f"({total_big / total_small:.2f}x): size is fixed by "
+                "bucket count, not request count (paper: <1 KB/op)")
+    artifacts.add("\n".join(rows))
+
+    benchmark.extra_info["bytes_per_op_max"] = max(
+        deep_size(p.histogram) for p in big.fs_profiles())
+
+    # Structural assertions.
+    for prof in big.fs_profiles():
+        assert len(prof.histogram) <= 64      # bounded bucket count
+        # Text serialization (the /proc format) is well under 1 KB/op.
+        text = len("\n".join(
+            f"{b} {c}" for b, c in prof.counts().items()))
+        assert text < 1024
+    # Memory is ~flat in workload size (allow 2x slack for dict noise).
+    assert total_big < 2 * total_small

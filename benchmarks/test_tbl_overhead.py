@@ -1,0 +1,85 @@
+"""Section 5.2: profiler CPU-time overhead under Postmark.
+
+Paper (1.7 GHz P4, Postmark 20k files / 200k transactions): system time
+16.8% of elapsed on unmodified Ext2; full instrumentation adds 4.0%
+system time, decomposed by building partial variants — empty hook
+bodies +1.5%, hooks that read the TSC +2.0% (so 0.5% for the reads),
+sorting/storing the rest (+2.0%); wait and user times unaffected.  The
+in-profile overhead (between the two TSC reads) is ~40 cycles, flooring
+profiles at bucket 5.
+
+Reproduced at 1/10 scale with the same variant ladder; both the syscall
+and FS layers carry hooks, as in the paper's instrumented Ext2.
+"""
+
+from conftest import run_once
+
+from repro.system import System
+from repro.workloads import PostmarkConfig, run_postmark
+
+CONFIG = PostmarkConfig(files=800, transactions=8000)
+VARIANTS = ("off", "empty", "tsc_only", "full")
+
+
+def run_variant(variant: str):
+    system = System.build(fs_type="ext2", with_timer=False,
+                          instrumentation=variant, seed=2006)
+    report = run_postmark(system, CONFIG)
+    return system, report
+
+
+def test_tbl_overhead(benchmark, artifacts):
+    def experiment():
+        return {v: run_variant(v) for v in VARIANTS}
+
+    results = run_once(benchmark, experiment)
+    base = results["off"][1]
+
+    rows = ["Section 5.2 reproduction: Postmark "
+            f"({CONFIG.files} files, {CONFIG.transactions} transactions)",
+            "", "variant    elapsed(s)  system(s)  +system vs off",
+            "-" * 50]
+    overhead = {}
+    for variant in VARIANTS:
+        report = results[variant][1]
+        delta = (report.system - base.system) / base.system
+        overhead[variant] = delta
+        rows.append(f"{variant:10s} {report.elapsed:9.3f}  "
+                    f"{report.system:8.3f}   {delta:+.1%}")
+    rows.append("")
+    rows.append(f"paper: empty +1.5%, tsc +2.0%, full +4.0% system time")
+    calls = overhead["empty"]
+    tsc = overhead["tsc_only"] - overhead["empty"]
+    store = overhead["full"] - overhead["tsc_only"]
+    rows.append(f"ours : calls {calls:+.1%}, tsc reads {tsc:+.1%}, "
+                f"sort/store {store:+.1%}, total {overhead['full']:+.1%}")
+
+    # Wait/user time unaffected by instrumentation (within noise).
+    wait_delta = abs(results["full"][1].wait - base.wait) \
+        / max(base.wait, 1e-9)
+    rows.append(f"wait-time change under full instrumentation: "
+                f"{wait_delta:.1%} (paper: unaffected)")
+
+    # The recorded floor: smallest bucket in any FS profile.
+    full_system = results["full"][0]
+    floors = [prof.histogram.span()[0]
+              for prof in full_system.fs_profiles() if prof.total_ops]
+    rows.append(f"smallest recorded bucket: {min(floors)} "
+                f"(paper's 40-cycle hook floor put theirs at bucket 5; "
+                f"our cheapest op body is ~40 cycles with jitter, so "
+                f"bucket 4 +/- 1)")
+    artifacts.add("\n".join(rows))
+
+    benchmark.extra_info["overhead_full"] = round(overhead["full"], 4)
+    benchmark.extra_info["overhead_empty"] = round(overhead["empty"], 4)
+    benchmark.extra_info["overhead_tsc"] = round(
+        overhead["tsc_only"], 4)
+
+    # Shape assertions: the ladder is ordered, the total modest, and
+    # the split roughly matches (calls < store, tsc smallest).
+    assert 0 < overhead["empty"] < overhead["tsc_only"] \
+        < overhead["full"]
+    assert overhead["full"] < 0.12           # a few percent, not tens
+    assert store > tsc                        # storing dominates reads
+    assert wait_delta < 0.05
+    assert min(floors) >= 3

@@ -1,0 +1,55 @@
+"""Profile analysis: peaks, comparison metrics, selection, theory.
+
+* :mod:`~repro.analysis.peaks` — peak segmentation on log histograms.
+* :mod:`~repro.analysis.compare` — chi-squared, Minkowski, intersection,
+  KL/Jeffrey, EMD, and scalar total-ops/total-latency differences.
+* :mod:`~repro.analysis.select` — the 3-phase automated interesting-
+  profile selector.
+* :mod:`~repro.analysis.priorknowledge` — characteristic-time peak
+  attribution.
+* :mod:`~repro.analysis.preemption` — Equation 3 and its validation.
+* :mod:`~repro.analysis.groundtruth` — synthetic labelled pairs for the
+  Section 5.3 accuracy study.
+* :mod:`~repro.analysis.report` — ASCII/Gnuplot rendering, checksums.
+"""
+
+from .anomaly import ChangePoint, change_points, distance_series
+from .cluster import (ClusterFinding, ClusterReport, NodeProfiles,
+                      aggregate, outlier_nodes)
+from .compare import (METRICS, chi_squared, compare, earth_movers_distance,
+                      intersection_distance, jeffrey_divergence,
+                      kullback_leibler, minkowski, total_latency_difference,
+                      total_ops_difference)
+from .investigate import Finding, Investigation
+from .groundtruth import (MethodAccuracy, PairGenerator, PeakSpec,
+                          ProfilePairSample, evaluate_methods)
+from .peaks import Peak, find_peaks, peak_signature, peaks_differ
+from .preemption import (PreemptionPrediction, expected_preempted_requests,
+                         forced_preemption_probability, predict_preemption,
+                         quantum_bucket)
+from .priorknowledge import (PAPER_TIMES, CharacteristicTime,
+                             CharacteristicTimes)
+from .report import (ConsistencyError, check_consistency, gnuplot_data,
+                     render_profile, render_profile_set, render_sampled)
+from .select import (ProfilePairReport, ProfileSelector, SelectionConfig,
+                     top_contributors)
+
+__all__ = [
+    "ChangePoint", "change_points", "distance_series",
+    "ClusterFinding", "ClusterReport", "NodeProfiles", "aggregate",
+    "outlier_nodes",
+    "METRICS", "chi_squared", "compare", "earth_movers_distance",
+    "intersection_distance", "jeffrey_divergence", "kullback_leibler",
+    "minkowski", "total_latency_difference", "total_ops_difference",
+    "Finding", "Investigation",
+    "MethodAccuracy", "PairGenerator", "PeakSpec", "ProfilePairSample",
+    "evaluate_methods",
+    "Peak", "find_peaks", "peak_signature", "peaks_differ",
+    "PreemptionPrediction", "expected_preempted_requests",
+    "forced_preemption_probability", "predict_preemption", "quantum_bucket",
+    "PAPER_TIMES", "CharacteristicTime", "CharacteristicTimes",
+    "ConsistencyError", "check_consistency", "gnuplot_data",
+    "render_profile", "render_profile_set", "render_sampled",
+    "ProfilePairReport", "ProfileSelector", "SelectionConfig",
+    "top_contributors",
+]

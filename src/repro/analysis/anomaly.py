@@ -1,0 +1,102 @@
+"""Change-point detection over sampled (3-D) profiles.
+
+Section 2 credits Chen et al. with "observ[ing] changes in the
+distribution of latency over time ... to detect possible problems in
+network services"; OSprof's sampled profiles make the same analysis a
+one-liner over its own data: each time segment is a complete profile,
+so consecutive segments can be compared with any histogram metric
+(default EMD) and spikes in the distance series mark behaviour changes
+— a daemon waking up, a cache filling, a server degrading.
+
+:func:`change_points` returns the segments whose distribution differs
+from the previous segment by more than a threshold (absolute, or
+self-calibrated from the series' own median level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.profile import Profile
+from ..core.sampling import SampledProfileSeries
+from .compare import compare
+
+__all__ = ["ChangePoint", "distance_series", "change_points"]
+
+
+@dataclass
+class ChangePoint:
+    """A segment whose latency distribution broke from its predecessor."""
+
+    segment: int
+    operation: str
+    score: float
+    threshold: float
+
+    def describe(self) -> str:
+        return (f"segment {self.segment}: {self.operation} "
+                f"score={self.score:.4f} (threshold {self.threshold:.4f})")
+
+
+def distance_series(series: SampledProfileSeries, operation: str,
+                    metric: str = "emd",
+                    min_ops: int = 1) -> List[Optional[float]]:
+    """Distance between each segment and its predecessor.
+
+    Entry ``i`` compares segment ``i`` with segment ``i-1`` (entry 0 is
+    always None).  Segments where either side has fewer than *min_ops*
+    samples yield None — too sparse to compare meaningfully.
+    """
+    out: List[Optional[float]] = [None]
+    for i in range(1, len(series)):
+        prev = series[i - 1].get(operation)
+        cur = series[i].get(operation)
+        if prev is None or cur is None \
+                or prev.total_ops < min_ops or cur.total_ops < min_ops:
+            out.append(None)
+            continue
+        out.append(compare(prev, cur, metric))
+    return out
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def change_points(series: SampledProfileSeries, operation: str,
+                  metric: str = "emd",
+                  threshold: Optional[float] = None,
+                  sensitivity: float = 3.0,
+                  min_ops: int = 10) -> List[ChangePoint]:
+    """Segments where the latency distribution jumped.
+
+    With ``threshold=None`` the cutoff self-calibrates to
+    ``sensitivity x median`` of the non-None distance series — robust
+    against series that are noisy throughout (median ignores the
+    spikes being hunted).
+    """
+    distances = distance_series(series, operation, metric, min_ops)
+    observed = [d for d in distances if d is not None]
+    if not observed:
+        return []
+    if threshold is None:
+        base = _median(observed)
+        if base == 0.0:
+            base = max(observed) / (2 * sensitivity) or 1e-9
+        threshold = sensitivity * base
+    points = []
+    for segment, distance in enumerate(distances):
+        if distance is not None and distance > threshold:
+            points.append(ChangePoint(segment=segment,
+                                      operation=operation,
+                                      score=distance,
+                                      threshold=threshold))
+    return points

@@ -1,0 +1,138 @@
+"""Multi-node profile aggregation (the paper's stated future work).
+
+"Because of the compactness of our profiles, we believe that OSprof is
+suitable for clusters and distributed systems.  We plan to expand
+OSprof for use on such large systems" (Section 7).
+
+This module implements that extension on top of the existing library:
+
+* :func:`aggregate` — merge complete profiles from N nodes into one
+  cluster-wide view (OSprof profiles merge losslessly: bucket counts
+  add).
+* :func:`outlier_nodes` — find nodes whose profiles deviate from the
+  cluster consensus, per operation, using any comparison metric
+  (default EMD, the paper's best).  This is the cluster analogue of the
+  paper's differential analysis: instead of before/after, it compares
+  each node against everyone else.
+* :class:`ClusterReport` — the ranked findings, with the same
+  filter-then-rate structure as the single-node selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.profile import Profile
+from ..core.profileset import ProfileSet
+from .compare import compare
+
+__all__ = ["NodeProfiles", "ClusterFinding", "ClusterReport",
+           "aggregate", "outlier_nodes"]
+
+
+@dataclass
+class NodeProfiles:
+    """One node's complete profile, tagged with its identity."""
+
+    node: str
+    profiles: ProfileSet
+
+
+@dataclass
+class ClusterFinding:
+    """One (node, operation) pair that deviates from the consensus."""
+
+    node: str
+    operation: str
+    score: float
+    node_ops: int
+    consensus_ops: float
+
+    def describe(self) -> str:
+        return (f"{self.node}/{self.operation}: score={self.score:.4f} "
+                f"(node ops={self.node_ops}, "
+                f"cluster mean={self.consensus_ops:.0f})")
+
+
+@dataclass
+class ClusterReport:
+    """Ranked deviations across the whole cluster."""
+
+    findings: List[ClusterFinding] = field(default_factory=list)
+
+    def worst(self, limit: int = 5) -> List[ClusterFinding]:
+        return self.findings[:limit]
+
+    def nodes_flagged(self) -> List[str]:
+        seen = []
+        for finding in self.findings:
+            if finding.node not in seen:
+                seen.append(finding.node)
+        return seen
+
+
+def aggregate(nodes: Sequence[NodeProfiles],
+              name: str = "cluster") -> ProfileSet:
+    """Merge every node's profiles into one cluster-wide set."""
+    if not nodes:
+        raise ValueError("need at least one node")
+    spec = nodes[0].profiles.spec
+    total = ProfileSet(name=name, spec=spec)
+    for node in nodes:
+        total.merge(node.profiles)
+    return total
+
+
+def _consensus_without(nodes: Sequence[NodeProfiles], excluded: str,
+                       operation: str) -> Optional[Profile]:
+    """The merged profile of *operation* over every node but one."""
+    merged: Optional[Profile] = None
+    for node in nodes:
+        if node.node == excluded:
+            continue
+        prof = node.profiles.get(operation)
+        if prof is None:
+            continue
+        if merged is None:
+            merged = prof.copy()
+        else:
+            merged.merge(prof)
+    return merged
+
+
+def outlier_nodes(nodes: Sequence[NodeProfiles],
+                  metric: str = "emd",
+                  min_ops: int = 10,
+                  threshold: float = 0.0) -> ClusterReport:
+    """Rank (node, operation) pairs by deviation from the consensus.
+
+    For each operation on each node, the node's profile is compared
+    (leave-one-out) against the merged profile of all *other* nodes.
+    Normalized metrics make the comparison size-insensitive, so a slow
+    node stands out even in a large cluster.
+    """
+    if len(nodes) < 2:
+        raise ValueError("outlier analysis needs at least two nodes")
+    names = [n.node for n in nodes]
+    if len(set(names)) != len(names):
+        raise ValueError("node names must be unique")
+    findings: List[ClusterFinding] = []
+    operations = sorted({op for node in nodes
+                         for op in node.profiles.operations()})
+    for operation in operations:
+        for node in nodes:
+            prof = node.profiles.get(operation)
+            if prof is None or prof.total_ops < min_ops:
+                continue
+            consensus = _consensus_without(nodes, node.node, operation)
+            if consensus is None or consensus.total_ops < min_ops:
+                continue
+            score = compare(prof, consensus, metric)
+            if score >= threshold:
+                mean_ops = consensus.total_ops / (len(nodes) - 1)
+                findings.append(ClusterFinding(
+                    node=node.node, operation=operation, score=score,
+                    node_ops=prof.total_ops, consensus_ops=mean_ops))
+    findings.sort(key=lambda f: f.score, reverse=True)
+    return ClusterReport(findings=findings)

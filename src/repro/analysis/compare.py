@@ -1,0 +1,199 @@
+"""Histogram comparison metrics (Section 3.2, "Comparing two profiles").
+
+Bin-by-bin metrics — chi-squared, Minkowski-form distance, histogram
+intersection, Kullback–Leibler and Jeffrey divergence — plus the
+cross-bin Earth Mover's Distance (EMD) the paper recommends, and the two
+trivial scalar comparisons (normalized difference of total operations
+and of total latency) that it also evaluated.
+
+All metrics operate on a pair of histograms aligned to a common bucket
+range; counts are normalized to mass 1 where the metric requires it
+(EMD: "the histograms are normalized so that we have exactly enough
+earth to fill the holes").
+
+Every metric returns a *difference score*: 0 for identical profiles,
+growing with dissimilarity, so the automated selector can rank with a
+single convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.buckets import LatencyBuckets
+from ..core.profile import Profile
+
+__all__ = [
+    "aligned_counts",
+    "count_difference",
+    "chi_squared",
+    "minkowski",
+    "intersection_distance",
+    "kullback_leibler",
+    "jeffrey_divergence",
+    "earth_movers_distance",
+    "total_ops_difference",
+    "total_latency_difference",
+    "METRICS",
+    "compare",
+]
+
+_EPS = 1e-12
+
+
+def _hist(source) -> LatencyBuckets:
+    return source.histogram if isinstance(source, Profile) else source
+
+
+def aligned_counts(a, b) -> Tuple[List[float], List[float]]:
+    """Dense count vectors for two histograms over their joint bucket range."""
+    ha, hb = _hist(a), _hist(b)
+    buckets = set(ha.counts()) | set(hb.counts())
+    if not buckets:
+        return [], []
+    lo, hi = min(buckets), max(buckets)
+    va = [float(ha.count(i)) for i in range(lo, hi + 1)]
+    vb = [float(hb.count(i)) for i in range(lo, hi + 1)]
+    return va, vb
+
+
+def _normalize(v: Sequence[float]) -> List[float]:
+    total = sum(v)
+    if total <= 0:
+        return [0.0] * len(v)
+    return [x / total for x in v]
+
+
+def chi_squared(a, b) -> float:
+    """Symmetric chi-squared statistic on normalized histograms."""
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    score = 0.0
+    for x, y in zip(pa, pb):
+        denom = x + y
+        if denom > _EPS:
+            score += (x - y) ** 2 / denom
+    return score
+
+
+def minkowski(a, b, order: int = 2) -> float:
+    """Minkowski-form distance L_order between normalized histograms."""
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    return sum(abs(x - y) ** order for x, y in zip(pa, pb)) ** (1.0 / order)
+
+
+def intersection_distance(a, b) -> float:
+    """1 - histogram intersection (Swain & Ballard), on normalized mass."""
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    return 1.0 - sum(min(x, y) for x, y in zip(pa, pb))
+
+
+def kullback_leibler(a, b) -> float:
+    """KL divergence D(a || b) with epsilon smoothing of empty bins."""
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    score = 0.0
+    for x, y in zip(pa, pb):
+        if x > _EPS:
+            score += x * math.log((x + _EPS) / (y + _EPS))
+    return max(score, 0.0)
+
+
+def jeffrey_divergence(a, b) -> float:
+    """Jeffrey divergence: the symmetrized, numerically stable KL variant."""
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    score = 0.0
+    for x, y in zip(pa, pb):
+        m = (x + y) / 2.0
+        if m <= _EPS:
+            continue
+        if x > _EPS:
+            score += x * math.log(x / m)
+        if y > _EPS:
+            score += y * math.log(y / m)
+    return max(score, 0.0)
+
+
+def earth_movers_distance(a, b) -> float:
+    """Exact 1-D Earth Mover's Distance between normalized histograms.
+
+    For one-dimensional histograms with unit ground distance between
+    adjacent bins, the transportation problem has the closed form
+    ``sum(|CDF_a - CDF_b|)`` — the amount of earth crossing each bin
+    boundary.  Units: mass × bins moved, matching "moving one unit by
+    one bin".
+    """
+    va, vb = aligned_counts(a, b)
+    pa, pb = _normalize(va), _normalize(vb)
+    carried = 0.0
+    work = 0.0
+    for x, y in zip(pa, pb):
+        carried += x - y
+        work += abs(carried)
+    return work
+
+
+def total_ops_difference(a, b) -> float:
+    """Normalized difference of operation counts: |na-nb| / max(na, nb)."""
+    ha, hb = _hist(a), _hist(b)
+    na, nb = ha.total_ops, hb.total_ops
+    denom = max(na, nb)
+    if denom == 0:
+        return 0.0
+    return abs(na - nb) / denom
+
+
+def total_latency_difference(a, b) -> float:
+    """Normalized difference of total latencies."""
+    ha, hb = _hist(a), _hist(b)
+    la, lb = ha.total_latency, hb.total_latency
+    denom = max(la, lb)
+    if denom <= 0:
+        return 0.0
+    return abs(la - lb) / denom
+
+
+def count_difference(a, b) -> Dict[int, int]:
+    """Per-bucket signed count difference (b minus a).
+
+    The raw material of differential analysis: positive entries are
+    requests that appeared under the changed conditions, negative ones
+    disappeared.  Buckets equal in both histograms are omitted.
+    """
+    ha, hb = _hist(a), _hist(b)
+    deltas: Dict[int, int] = {}
+    for bucket in set(ha.counts()) | set(hb.counts()):
+        delta = hb.count(bucket) - ha.count(bucket)
+        if delta:
+            deltas[bucket] = delta
+    return deltas
+
+
+#: Registry used by the automated selector and the §5.3 accuracy bench.
+METRICS: Dict[str, Callable] = {
+    "chi_squared": chi_squared,
+    "minkowski": minkowski,
+    "intersection": intersection_distance,
+    "kullback_leibler": kullback_leibler,
+    "jeffrey": jeffrey_divergence,
+    "emd": earth_movers_distance,
+    "total_ops": total_ops_difference,
+    "total_latency": total_latency_difference,
+}
+
+
+def compare(a, b, method: str = "emd") -> float:
+    """Compare two histograms/profiles with a named metric."""
+    try:
+        fn = METRICS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown comparison method {method!r}; "
+            f"choose from {sorted(METRICS)}") from None
+    return fn(a, b)

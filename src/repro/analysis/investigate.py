@@ -1,0 +1,136 @@
+"""The repetitive-refinement investigation loop (Section 3.5).
+
+"Workload selection is a repetitive-refinement visualization process,
+but we found that a small number of profiles tended to be enough to
+reveal highly useful information."
+
+:class:`Investigation` packages that loop: run the same workload under
+two conditions (two system configurations, two process counts, a code
+change), let the automated selector pick the operations worth looking
+at, and produce a human-ready report — the rendered profiles, their
+differential view, and characteristic-time hypotheses for every moved
+or new peak.  It is the programmatic form of what
+``examples/find_lock_contention.py`` walks through by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.profileset import ProfileSet
+from .peaks import find_peaks
+from .priorknowledge import CharacteristicTimes
+from .report import render_profile, render_profile_diff
+from .select import ProfilePairReport, ProfileSelector, SelectionConfig
+
+__all__ = ["Finding", "Investigation"]
+
+
+@dataclass
+class Finding:
+    """Everything gathered about one flagged operation."""
+
+    report: ProfilePairReport
+    rendered_before: str
+    rendered_after: str
+    diff: str
+    hypotheses: List[str] = field(default_factory=list)
+
+    @property
+    def operation(self) -> str:
+        return self.report.operation
+
+    def summary(self) -> str:
+        lines = [self.report.describe()]
+        if self.hypotheses:
+            lines.append("  candidate causes: "
+                         + "; ".join(self.hypotheses))
+        return "\n".join(lines)
+
+
+class Investigation:
+    """Compare two captured conditions and explain what changed."""
+
+    def __init__(self, before: ProfileSet, after: ProfileSet,
+                 config: Optional[SelectionConfig] = None,
+                 characteristic_times: Optional[CharacteristicTimes]
+                 = None):
+        self.before = before
+        self.after = after
+        self.selector = ProfileSelector(config)
+        self.times = (characteristic_times
+                      if characteristic_times is not None
+                      else CharacteristicTimes())
+
+    @classmethod
+    def run(cls, make_system: Callable[[], object],
+            workload: Callable[[object], None],
+            change: Callable[[object], None],
+            profiles: Callable[[object], ProfileSet]
+            = lambda s: s.fs_profiles(),
+            **kwargs) -> "Investigation":
+        """Build both conditions from factories and compare.
+
+        ``make_system()`` builds a fresh system; ``change(system)`` is
+        applied only to the second one before ``workload(system)``
+        runs.  The two systems are otherwise identical, so any profile
+        difference is attributable to the change — the controlled
+        experiment of differential analysis.
+        """
+        baseline = make_system()
+        workload(baseline)
+        modified = make_system()
+        change(modified)
+        workload(modified)
+        return cls(profiles(baseline), profiles(modified), **kwargs)
+
+    def findings(self, limit: Optional[int] = None) -> List[Finding]:
+        """The flagged operations, fully annotated, ranked by score."""
+        reports = self.selector.select(self.before, self.after)
+        if limit is not None:
+            reports = reports[:limit]
+        out = []
+        for report in reports:
+            op = report.operation
+            prof_before = self.before.get(op)
+            prof_after = self.after.get(op)
+            hypotheses = []
+            peaks_before = {p.apex for p in (report.peaks_a or [])}
+            for peak in report.peaks_b:
+                if peak.apex in peaks_before:
+                    continue
+                names = [t.name for t in
+                         self.times.candidates(peak.apex, tolerance=1)]
+                if names:
+                    hypotheses.append(
+                        f"new peak @bucket {peak.apex}: "
+                        + "/".join(names))
+                else:
+                    hypotheses.append(
+                        f"new peak @bucket {peak.apex}: no "
+                        "characteristic time matches (differential "
+                        "analysis needed)")
+            from ..core.profile import Profile
+            empty = Profile(op)
+            out.append(Finding(
+                report=report,
+                rendered_before=render_profile(prof_before or empty),
+                rendered_after=render_profile(prof_after or empty),
+                diff=render_profile_diff(prof_before or empty,
+                                         prof_after or empty),
+                hypotheses=hypotheses))
+        return out
+
+    def report(self, limit: Optional[int] = None) -> str:
+        """One printable report of the whole investigation."""
+        findings = self.findings(limit)
+        if not findings:
+            return "No interesting differences between the conditions."
+        blocks = [f"{len(findings)} operation(s) changed:"]
+        for finding in findings:
+            blocks.append("=" * 60)
+            blocks.append(finding.summary())
+            blocks.append("")
+            blocks.append(finding.diff)
+        return "\n".join(blocks)

@@ -1,0 +1,153 @@
+"""Peak detection on logarithmic latency histograms.
+
+The automated analysis tool's second phase "examines the changes between
+bins to identify individual peaks, and reports differences in the number
+of peaks and their locations" (Section 3.2).  On OSprof histograms the
+y-axis spans many decades, so peak segmentation is done on
+``log10(count + 1)`` — the same transform under which the paper's plots
+are read by eye.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.buckets import LatencyBuckets
+from ..core.profile import Profile
+
+__all__ = ["Peak", "find_peaks", "peak_signature", "peaks_differ"]
+
+
+@dataclass
+class Peak:
+    """One contiguous mode of a latency histogram.
+
+    ``low``/``high`` are the inclusive bucket bounds, ``apex`` the bucket
+    with the highest count, ``ops`` the total operations in the peak and
+    ``mean_latency`` the count-weighted mean of bucket midpoints.
+    """
+
+    low: int
+    high: int
+    apex: int
+    ops: int
+    mean_latency: float
+
+    def width(self) -> int:
+        return self.high - self.low + 1
+
+    def contains(self, bucket: int) -> bool:
+        return self.low <= bucket <= self.high
+
+
+def _log_counts(hist: LatencyBuckets,
+                lo: int, hi: int) -> List[float]:
+    return [math.log10(hist.count(b) + 1.0) for b in range(lo, hi + 1)]
+
+
+def find_peaks(source, min_separation: float = 0.5,
+               min_ops: int = 1) -> List[Peak]:
+    """Segment a histogram (or Profile) into peaks.
+
+    A new peak starts after a *valley*: a bucket whose log-count is at
+    least ``min_separation`` decades below the running local maximum,
+    provided the curve then rises by the same margin.  Empty buckets
+    always separate peaks.  Peaks with fewer than ``min_ops`` operations
+    are discarded (they are noise at the scale the paper plots).
+    """
+    hist = source.histogram if isinstance(source, Profile) else source
+    if hist.total_ops == 0:
+        return []
+    lo, hi = hist.span()
+    logs = _log_counts(hist, lo, hi)
+
+    # First cut: split on empty buckets.
+    segments: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for i, b in enumerate(range(lo, hi + 1)):
+        if hist.count(b) > 0:
+            if start is None:
+                start = b
+        else:
+            if start is not None:
+                segments.append((start, b - 1))
+                start = None
+    if start is not None:
+        segments.append((start, hi))
+
+    # Second cut: split segments at interior valleys.
+    peaks: List[Peak] = []
+    for seg_lo, seg_hi in segments:
+        peaks.extend(_split_segment(hist, logs, lo, seg_lo, seg_hi,
+                                    min_separation))
+    return [p for p in peaks if p.ops >= min_ops]
+
+
+def _split_segment(hist: LatencyBuckets, logs: Sequence[float],
+                   base: int, seg_lo: int, seg_hi: int,
+                   min_separation: float) -> List[Peak]:
+    """Split one contiguous non-empty run of buckets at its valleys."""
+    cut_points: List[int] = []
+    running_max = logs[seg_lo - base]
+    valley_bucket = None
+    valley_depth = running_max
+    for b in range(seg_lo + 1, seg_hi + 1):
+        v = logs[b - base]
+        if v < valley_depth:
+            valley_depth = v
+            valley_bucket = b
+        drop = running_max - valley_depth
+        rise = v - valley_depth
+        if (valley_bucket is not None and drop >= min_separation
+                and rise >= min_separation):
+            cut_points.append(valley_bucket)
+            running_max = v
+            valley_depth = v
+            valley_bucket = None
+        elif v > running_max:
+            running_max = v
+            if valley_bucket is None or v >= valley_depth:
+                valley_depth = min(valley_depth, v)
+
+    bounds: List[Tuple[int, int]] = []
+    prev = seg_lo
+    for cut in cut_points:
+        bounds.append((prev, cut))
+        prev = cut + 1
+    bounds.append((prev, seg_hi))
+    return [_make_peak(hist, lo, hi) for lo, hi in bounds if lo <= hi]
+
+
+def _make_peak(hist: LatencyBuckets, lo: int, hi: int) -> Peak:
+    counts = {b: hist.count(b) for b in range(lo, hi + 1)}
+    ops = sum(counts.values())
+    apex = max(counts, key=lambda b: (counts[b], -b))
+    if ops:
+        mean = sum(hist.spec.mid(b) * c for b, c in counts.items()) / ops
+    else:
+        mean = 0.0
+    return Peak(low=lo, high=hi, apex=apex, ops=ops, mean_latency=mean)
+
+
+def peak_signature(source, **kwargs) -> List[int]:
+    """The apex bucket indices of a histogram's peaks, left to right."""
+    return [p.apex for p in find_peaks(source, **kwargs)]
+
+
+def peaks_differ(a, b, location_tolerance: int = 1,
+                 **kwargs) -> bool:
+    """True when two histograms have different peak structure.
+
+    Differences in the *number* of peaks always count; matching peak
+    counts differ when any apex moved by more than
+    ``location_tolerance`` buckets.  This is the phase-2 report of the
+    paper's automated tool.
+    """
+    sig_a = peak_signature(a, **kwargs)
+    sig_b = peak_signature(b, **kwargs)
+    if len(sig_a) != len(sig_b):
+        return True
+    return any(abs(x - y) > location_tolerance
+               for x, y in zip(sig_a, sig_b))

@@ -1,0 +1,122 @@
+"""Prior-knowledge-based peak attribution (Section 3.1).
+
+"Many OS operations have characteristic times ... a context switch takes
+approximately 5-6 us, a full stroke disk head seek takes approximately
+8 ms, a full disk rotation takes approximately 4 ms, the network latency
+between our test machines is about 112 us, and the scheduling quantum is
+about 58 ms.  Therefore, if some of the profiles have peaks close to
+these times, then we can hypothesize right away that they are related to
+the corresponding OS activity."
+
+:class:`CharacteristicTimes` is that lookup table, pre-populated with
+the paper's values (convertible to cycles at any clock rate) and
+extensible with times calibrated on the system under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.buckets import BucketSpec
+from ..core.profiler import NOMINAL_HZ
+from .peaks import Peak, find_peaks
+
+__all__ = ["CharacteristicTime", "CharacteristicTimes", "PAPER_TIMES"]
+
+
+@dataclass(frozen=True)
+class CharacteristicTime:
+    """A named OS activity and its typical duration in seconds."""
+
+    name: str
+    seconds: float
+    description: str = ""
+
+    def cycles(self, hz: float = NOMINAL_HZ) -> float:
+        return self.seconds * hz
+
+    def bucket(self, spec: Optional[BucketSpec] = None,
+               hz: float = NOMINAL_HZ) -> int:
+        spec = spec if spec is not None else BucketSpec()
+        return spec.bucket(self.cycles(hz))
+
+
+#: The paper's measured characteristic times for its test setup.
+PAPER_TIMES: Tuple[CharacteristicTime, ...] = (
+    CharacteristicTime("context_switch", 5.5e-6,
+                       "process context switch (5-6 us)"),
+    CharacteristicTime("track_seek", 0.3e-3,
+                       "track-to-track disk head seek"),
+    CharacteristicTime("full_seek", 8e-3,
+                       "full stroke disk head seek"),
+    CharacteristicTime("disk_rotation", 4e-3,
+                       "full platter rotation at 15 kRPM"),
+    CharacteristicTime("network_rtt", 112e-6,
+                       "LAN latency between test machines"),
+    CharacteristicTime("scheduling_quantum", 58e-3,
+                       "scheduler time slice"),
+    CharacteristicTime("timer_interrupt", 4e-3,
+                       "timer interrupt period (250 Hz-ish)"),
+    CharacteristicTime("delayed_ack", 200e-3,
+                       "TCP delayed acknowledgement timer"),
+)
+
+
+class CharacteristicTimes:
+    """Lookup table mapping latency peaks to hypothesized OS activities."""
+
+    def __init__(self, times: Optional[List[CharacteristicTime]] = None,
+                 hz: float = NOMINAL_HZ,
+                 spec: Optional[BucketSpec] = None):
+        self.hz = hz
+        self.spec = spec if spec is not None else BucketSpec()
+        self._times: Dict[str, CharacteristicTime] = {}
+        for t in (times if times is not None else list(PAPER_TIMES)):
+            self._times[t.name] = t
+
+    def add(self, name: str, seconds: float, description: str = "") -> None:
+        """Register a characteristic time calibrated on this system."""
+        if seconds <= 0:
+            raise ValueError("characteristic times must be positive")
+        self._times[name] = CharacteristicTime(name, seconds, description)
+
+    def get(self, name: str) -> CharacteristicTime:
+        return self._times[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._times)
+
+    def bucket_of(self, name: str) -> int:
+        """The bucket a given activity's characteristic time falls into."""
+        return self._times[name].bucket(self.spec, self.hz)
+
+    def candidates(self, bucket: int,
+                   tolerance: int = 1) -> List[CharacteristicTime]:
+        """Activities whose characteristic bucket is within *tolerance*.
+
+        Returned nearest-first; ties broken by name for determinism.
+        """
+        scored = []
+        for t in self._times.values():
+            tb = t.bucket(self.spec, self.hz)
+            distance = abs(tb - bucket)
+            if distance <= tolerance:
+                scored.append((distance, t.name, t))
+        scored.sort()
+        return [t for _, _, t in scored]
+
+    def attribute(self, source, tolerance: int = 1,
+                  **peak_kwargs) -> Dict[int, List[str]]:
+        """Hypothesize activities for every peak of a profile.
+
+        Returns ``{apex_bucket: [activity names]}``; peaks with no
+        matching characteristic time map to an empty list (meaning the
+        analyst needs differential analysis instead).
+        """
+        result: Dict[int, List[str]] = {}
+        for peak in find_peaks(source, **peak_kwargs):
+            names = [t.name
+                     for t in self.candidates(peak.apex, tolerance)]
+            result[peak.apex] = names
+        return result

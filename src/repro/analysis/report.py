@@ -1,0 +1,207 @@
+"""Profile rendering and consistency checking.
+
+The paper generated all of its figures automatically with scripts that
+also "check the profiles for consistency" against the aggregate-stats
+checksums (Section 4).  This module renders profiles as the same kind of
+log-log bar charts — in ASCII for terminals and tests — plus Gnuplot-
+compatible data dumps and the Figure 9-style sampled-profile density
+maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.buckets import LatencyBuckets, format_seconds
+from ..core.profile import Profile
+from ..core.profileset import ProfileSet
+from ..core.profiler import NOMINAL_HZ
+from ..core.sampling import SampledProfileSeries
+
+__all__ = ["render_profile", "render_profile_set", "render_profile_diff",
+           "render_sampled", "gnuplot_data", "gnuplot_sampled_data",
+           "check_consistency", "ConsistencyError"]
+
+_BAR = "#"
+_HEIGHT = 10  # rows in an ASCII chart (one per decade, capped)
+
+
+class ConsistencyError(Exception):
+    """A profile failed its checksum verification."""
+
+
+def check_consistency(pset: ProfileSet) -> None:
+    """Raise :class:`ConsistencyError` if any profile fails its checksum.
+
+    Mirrors the paper's plot scripts: "results in all of the buckets are
+    summed and then compared with the checksums.  This verification
+    catches potential code instrumentation errors."
+    """
+    bad = pset.verify_checksums()
+    if bad:
+        raise ConsistencyError(
+            f"checksum mismatch in operations: {', '.join(bad)}")
+
+
+def _log10_ceil(n: int) -> int:
+    decades = 0
+    while 10 ** decades <= n:
+        decades += 1
+    return decades
+
+
+def render_profile(prof: Profile, width: Optional[int] = None,
+                   hz: float = NOMINAL_HZ,
+                   first: Optional[int] = None,
+                   last: Optional[int] = None) -> str:
+    """ASCII log-log bar chart of one profile, like the paper's figures.
+
+    Rows are decades of the operation count (log10 y-axis); columns are
+    buckets (log2 x-axis).  A latency-label ruler mirrors the "28ns
+    903ns 28us ..." annotations of the figures.
+    """
+    hist = prof.histogram
+    lines = [f"{prof.operation.upper()}  "
+             f"(ops={hist.total_ops}, mean={hist.mean_latency():.0f} cycles)"]
+    if hist.total_ops == 0:
+        lines.append("  <empty>")
+        return "\n".join(lines)
+    lo, hi = hist.span()
+    lo = lo if first is None else first
+    hi = hi if last is None else last
+    buckets = list(range(lo, hi + 1))
+    max_count = max(hist.count(b) for b in buckets) or 1
+    height = min(_HEIGHT, max(1, _log10_ceil(max_count)))
+
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = 10 ** (row - 1)
+        cells = []
+        for b in buckets:
+            cells.append(_BAR if hist.count(b) >= threshold else " ")
+        rows.append(f"{threshold:>8} |" + " ".join(cells))
+    lines.extend(rows)
+    axis = "         +" + "-" * (2 * len(buckets))
+    lines.append(axis)
+    tick_row = [" "] * (2 * len(buckets))
+    label_row = [" "] * (2 * len(buckets))
+    for i, b in enumerate(buckets):
+        if b % 5 == 0:
+            pos = 2 * i
+            text = str(b)
+            for j, ch in enumerate(text):
+                if pos + j < len(tick_row):
+                    tick_row[pos + j] = ch
+            label = format_seconds(hist.spec.low(b) / hz)
+            for j, ch in enumerate(label):
+                if pos + j < len(label_row):
+                    label_row[pos + j] = ch
+    lines.append("          " + "".join(tick_row))
+    lines.append("          " + "".join(label_row))
+    lines.append("          bucket = floor(log2(latency in cycles))")
+    return "\n".join(lines)
+
+
+def render_profile_set(pset: ProfileSet, top: Optional[int] = None,
+                       hz: float = NOMINAL_HZ) -> str:
+    """Render a complete profile, highest-latency operations first."""
+    check_consistency(pset)
+    ranked = pset.by_total_latency()
+    if top is not None:
+        ranked = ranked[:top]
+    blocks = [render_profile(p, hz=hz) for p in ranked]
+    header = (f"== complete profile {pset.name!r}: {len(pset)} operations, "
+              f"{pset.total_ops()} requests ==")
+    return header + "\n\n" + "\n\n".join(blocks)
+
+
+def render_sampled(series: SampledProfileSeries, operation: str,
+                   interval_seconds: Optional[float] = None) -> str:
+    """Figure 9-style density map of a sampled profile.
+
+    Cells use the paper's three densities: ``.`` for 1-10 operations,
+    ``o`` for 11-100, ``@`` for more than 100.
+    """
+    cells = series.cells(operation)
+    if not cells:
+        return f"{operation.upper()}  <no samples>"
+    buckets = sorted({b for _, b in cells})
+    lo, hi = buckets[0], buckets[-1]
+    lines = [f"{operation.upper()}  (segments={len(series)}, "
+             f"buckets {lo}..{hi})"]
+    for seg in range(len(series)):
+        row = []
+        for b in range(lo, hi + 1):
+            count = cells.get((seg, b), 0)
+            if count == 0:
+                row.append(" ")
+            elif count <= 10:
+                row.append(".")
+            elif count <= 100:
+                row.append("o")
+            else:
+                row.append("@")
+        if interval_seconds is not None:
+            label = f"{seg * interval_seconds:6.1f}s"
+        else:
+            label = f"seg{seg:3d}"
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append("        bucket " + str(lo) + " .. " + str(hi))
+    lines.append("        key: '.' 1-10 ops, 'o' 11-100, '@' >100")
+    return "\n".join(lines)
+
+
+def gnuplot_data(prof: Profile) -> str:
+    """Bucket/count pairs in the whitespace format Gnuplot consumes."""
+    lines = [f"# {prof.operation} layer={prof.layer} "
+             f"total_ops={prof.total_ops}"]
+    for b, c in sorted(prof.counts().items()):
+        lines.append(f"{b} {c}")
+    return "\n".join(lines) + "\n"
+
+
+def gnuplot_sampled_data(series: SampledProfileSeries, operation: str,
+                         interval_seconds: Optional[float] = None) -> str:
+    """3-D (splot) data for a sampled profile: bucket, time, count.
+
+    The format the paper's scripts fed Gnuplot for Figure 9: one line
+    per populated (bucket, segment) cell, blank lines between segments
+    (Gnuplot's grid-data convention).
+    """
+    cells = series.cells(operation)
+    lines = [f"# {operation}: bucket  elapsed  operations"]
+    for segment in range(len(series)):
+        row = sorted((b, c) for (s, b), c in cells.items()
+                     if s == segment)
+        elapsed = (segment * interval_seconds
+                   if interval_seconds is not None else segment)
+        for bucket, count in row:
+            lines.append(f"{bucket} {elapsed} {count}")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_profile_diff(before: Profile, after: Profile,
+                        min_delta: int = 1) -> str:
+    """Differential view of one operation under changed conditions.
+
+    One line per bucket whose population changed by at least
+    ``min_delta``: ``+`` bars for requests that appeared, ``-`` bars for
+    requests that vanished (log10-scaled bar lengths).  The textual form
+    of the paper's differential profile analysis (Section 3.1).
+    """
+    from .compare import count_difference
+
+    deltas = {b: d for b, d in count_difference(before, after).items()
+              if abs(d) >= min_delta}
+    header = (f"{before.operation.upper()}  diff "
+              f"({before.total_ops} -> {after.total_ops} ops)")
+    if not deltas:
+        return header + "\n  <no change>"
+    lines = [header]
+    for bucket in sorted(deltas):
+        delta = deltas[bucket]
+        magnitude = _log10_ceil(abs(delta))
+        bar = ("+" if delta > 0 else "-") * max(1, magnitude)
+        lines.append(f"  bucket {bucket:3d}: {delta:+8d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Automated selection of "interesting" profiles (Section 3.2).
+
+The paper's tool compares two complete sets of profiles (e.g. before and
+after a configuration change, or one vs. two processes) and selects the
+small subset a human should look at.  It operates in three phases:
+
+1. **Filter** — drop pairs whose total latencies are very similar, or
+   whose total latency / operation count is negligible relative to the
+   rest of the set (threshold configurable).
+2. **Peak diff** — identify peaks in each remaining pair and report
+   differences in peak count and location.
+3. **Rate** — score the remaining pairs with one of the comparison
+   metrics and rank.
+
+The same machinery sorts a *single* complete profile by total latency to
+find the operations worth optimizing (preprocessing, Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.profile import Profile
+from ..core.profileset import ProfileSet
+from .compare import compare
+from .peaks import Peak, find_peaks
+
+__all__ = ["SelectionConfig", "ProfilePairReport", "ProfileSelector",
+           "top_contributors"]
+
+
+@dataclass
+class SelectionConfig:
+    """Thresholds for the three selection phases.
+
+    ``latency_similarity`` — phase 1 drops a pair when the relative
+    difference of total latencies is below this value.
+    ``negligible_fraction`` — phase 1 drops operations contributing less
+    than this fraction of the set's total latency *and* total ops.
+    ``min_ops`` — operations with fewer requests than this are noise.
+    ``metric`` — phase 3 rating method (default EMD, the paper's best).
+    ``report_threshold`` — pairs scoring below this are not reported.
+    """
+
+    latency_similarity: float = 0.1
+    negligible_fraction: float = 0.01
+    min_ops: int = 10
+    metric: str = "emd"
+    report_threshold: float = 0.0
+    peak_location_tolerance: int = 1
+
+
+@dataclass
+class ProfilePairReport:
+    """Everything the tool reports about one selected operation pair."""
+
+    operation: str
+    score: float
+    peaks_a: List[Peak] = field(default_factory=list)
+    peaks_b: List[Peak] = field(default_factory=list)
+    total_latency_a: float = 0.0
+    total_latency_b: float = 0.0
+    total_ops_a: int = 0
+    total_ops_b: int = 0
+
+    @property
+    def peak_count_changed(self) -> bool:
+        return len(self.peaks_a) != len(self.peaks_b)
+
+    def moved_peaks(self, tolerance: int = 1) -> List[Tuple[int, int]]:
+        """Apex pairs (a, b) that moved by more than *tolerance* buckets."""
+        moved = []
+        for pa, pb in zip(self.peaks_a, self.peaks_b):
+            if abs(pa.apex - pb.apex) > tolerance:
+                moved.append((pa.apex, pb.apex))
+        return moved
+
+    def describe(self) -> str:
+        """One-line human summary, the tool's console output."""
+        parts = [f"{self.operation}: score={self.score:.4f}"]
+        if self.peak_count_changed:
+            parts.append(
+                f"peaks {len(self.peaks_a)} -> {len(self.peaks_b)}")
+        moved = self.moved_peaks()
+        if moved:
+            locs = ", ".join(f"{a}->{b}" for a, b in moved)
+            parts.append(f"moved: {locs}")
+        parts.append(
+            f"latency {self.total_latency_a:.3g} vs {self.total_latency_b:.3g}")
+        return "  ".join(parts)
+
+
+def top_contributors(pset: ProfileSet, fraction: float = 0.9,
+                     max_profiles: Optional[int] = None) -> List[Profile]:
+    """Profiles that together account for *fraction* of the total latency.
+
+    This is the preprocessing step: "selecting a subset of profiles that
+    contribute the most to the total latency."
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ranked = pset.by_total_latency()
+    grand_total = pset.total_latency()
+    if grand_total <= 0:
+        return ranked[:max_profiles] if max_profiles else ranked
+    selected: List[Profile] = []
+    accumulated = 0.0
+    for prof in ranked:
+        selected.append(prof)
+        accumulated += prof.total_latency
+        if accumulated >= fraction * grand_total:
+            break
+        if max_profiles is not None and len(selected) >= max_profiles:
+            break
+    return selected
+
+
+class ProfileSelector:
+    """The three-phase automated profile-pair selector."""
+
+    def __init__(self, config: Optional[SelectionConfig] = None):
+        self.config = config if config is not None else SelectionConfig()
+
+    # -- phase 1 -------------------------------------------------------------
+
+    def filter_pairs(self, set_a: ProfileSet,
+                     set_b: ProfileSet) -> List[str]:
+        """Operations surviving the similarity/negligibility filter."""
+        cfg = self.config
+        total_latency = max(set_a.total_latency(), set_b.total_latency())
+        total_ops = max(set_a.total_ops(), set_b.total_ops())
+        survivors = []
+        for op in sorted(set(set_a.operations()) | set(set_b.operations())):
+            pa, pb = set_a.get(op), set_b.get(op)
+            lat_a = pa.total_latency if pa else 0.0
+            lat_b = pb.total_latency if pb else 0.0
+            ops_a = pa.total_ops if pa else 0
+            ops_b = pb.total_ops if pb else 0
+            # Negligible on both axes relative to the whole set?
+            lat_share = (max(lat_a, lat_b) / total_latency
+                         if total_latency > 0 else 0.0)
+            ops_share = (max(ops_a, ops_b) / total_ops
+                         if total_ops > 0 else 0.0)
+            if lat_share < cfg.negligible_fraction \
+                    and ops_share < cfg.negligible_fraction:
+                continue
+            if max(ops_a, ops_b) < cfg.min_ops:
+                continue
+            # Very similar total latencies?
+            denom = max(lat_a, lat_b)
+            if denom > 0 and abs(lat_a - lat_b) / denom \
+                    < cfg.latency_similarity:
+                continue
+            survivors.append(op)
+        return survivors
+
+    # -- phases 2 + 3 ----------------------------------------------------------
+
+    def report_pair(self, op: str, pa: Optional[Profile],
+                    pb: Optional[Profile]) -> ProfilePairReport:
+        """Peak analysis and metric rating for one operation pair."""
+        empty = Profile(op)
+        pa = pa if pa is not None else empty
+        pb = pb if pb is not None else empty
+        score = compare(pa, pb, self.config.metric)
+        return ProfilePairReport(
+            operation=op,
+            score=score,
+            peaks_a=find_peaks(pa),
+            peaks_b=find_peaks(pb),
+            total_latency_a=pa.total_latency,
+            total_latency_b=pb.total_latency,
+            total_ops_a=pa.total_ops,
+            total_ops_b=pb.total_ops,
+        )
+
+    def select(self, set_a: ProfileSet,
+               set_b: ProfileSet) -> List[ProfilePairReport]:
+        """Full pipeline: filter, peak-diff, rate, rank (highest first)."""
+        reports = []
+        for op in self.filter_pairs(set_a, set_b):
+            report = self.report_pair(op, set_a.get(op), set_b.get(op))
+            if report.score >= self.config.report_threshold:
+                reports.append(report)
+        reports.sort(key=lambda r: r.score, reverse=True)
+        return reports
+
+    def interesting(self, set_a: ProfileSet, set_b: ProfileSet,
+                    limit: Optional[int] = None) -> List[str]:
+        """Just the operation names, most interesting first."""
+        names = [r.operation for r in self.select(set_a, set_b)]
+        return names[:limit] if limit is not None else names

@@ -1,0 +1,279 @@
+"""The ``osprof`` command line: run, render, compare, analyze.
+
+The paper shipped "several scripts to generate formatted text views and
+Gnuplot scripts" plus the automated comparison tool.  This module rolls
+them into one CLI over the library:
+
+* ``osprof run <workload>`` — run a workload on a simulated machine and
+  write the captured profile set (the /proc text format) to stdout or a
+  file.
+* ``osprof render <dump>`` — ASCII figures from a saved profile set.
+* ``osprof peaks <dump>`` — peak detection + characteristic-time
+  attribution.
+* ``osprof compare <a> <b>`` — the three-phase automated selector over
+  two profile sets, with a choice of metric.
+* ``osprof sampled <workload>`` — run with time-segmented (3-D)
+  profiling and render the Figure 9-style density map.
+* ``osprof gnuplot <dump>`` — Gnuplot-ready data blocks.
+
+Examples::
+
+    osprof run grep --scale 0.02 -o before.prof
+    osprof run grep --scale 0.02 --patched-llseek -o after.prof
+    osprof compare before.prof after.prof --metric emd
+    osprof render after.prof --op readdir
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import METRICS
+from .analysis.peaks import find_peaks
+from .analysis.priorknowledge import CharacteristicTimes
+from .analysis.report import gnuplot_data, render_profile
+from .analysis.select import ProfileSelector, SelectionConfig
+from .core.profileset import ProfileSet
+from .system import System
+
+__all__ = ["main", "build_parser"]
+
+WORKLOADS = ("grep", "randomread", "postmark", "zerobyte", "clone")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="osprof",
+        description="OSprof: latency profiling of a simulated OS")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a workload and dump profiles")
+    run.add_argument("workload", choices=WORKLOADS)
+    run.add_argument("--fs", choices=("ext2", "reiserfs"),
+                     default="ext2")
+    run.add_argument("--cpus", type=int, default=1)
+    run.add_argument("--seed", type=int, default=2006)
+    run.add_argument("--scale", type=float, default=0.02,
+                     help="source tree scale (grep)")
+    run.add_argument("--processes", type=int, default=2)
+    run.add_argument("--iterations", type=int, default=1000)
+    run.add_argument("--patched-llseek", action="store_true")
+    run.add_argument("--kernel-preemption", action="store_true")
+    run.add_argument("--layer", choices=("user", "fs", "driver"),
+                     default="fs", help="which profile layer to dump")
+    run.add_argument("-o", "--output", default="-",
+                     help="output file ('-' = stdout)")
+
+    render = sub.add_parser("render", help="ASCII figures from a dump")
+    render.add_argument("dump")
+    render.add_argument("--op", action="append", default=None,
+                        help="operation(s) to render (default: all)")
+    render.add_argument("--top", type=int, default=None,
+                        help="only the N highest-latency operations")
+
+    peaks = sub.add_parser("peaks", help="peak detection + attribution")
+    peaks.add_argument("dump")
+    peaks.add_argument("--min-ops", type=int, default=5)
+
+    compare = sub.add_parser("compare",
+                             help="automated profile-pair selection")
+    compare.add_argument("dump_a")
+    compare.add_argument("dump_b")
+    compare.add_argument("--metric", choices=sorted(METRICS),
+                         default="emd")
+    compare.add_argument("--limit", type=int, default=None)
+
+    gnuplot = sub.add_parser("gnuplot", help="Gnuplot data blocks")
+    gnuplot.add_argument("dump")
+
+    sampled = sub.add_parser("sampled",
+                             help="3-D sampled profiling of a workload")
+    sampled.add_argument("workload", choices=("grep", "compile"))
+    sampled.add_argument("--fs", choices=("ext2", "reiserfs", "ntfs"),
+                         default="reiserfs")
+    sampled.add_argument("--seed", type=int, default=2006)
+    sampled.add_argument("--scale", type=float, default=0.02)
+    sampled.add_argument("--interval", type=float, default=2.5,
+                         help="segment length in seconds")
+    sampled.add_argument("--duration", type=float, default=12.0,
+                         help="run length in seconds")
+    sampled.add_argument("--op", action="append", default=None,
+                         help="operation(s) to render")
+    sampled.add_argument("--splot", action="store_true",
+                         help="emit gnuplot splot data instead of ASCII")
+    return parser
+
+
+def _load(path: str) -> ProfileSet:
+    with open(path) as f:
+        return ProfileSet.load(f)
+
+
+def _run_workload(args) -> System:
+    system = System.build(fs_type=args.fs, num_cpus=args.cpus,
+                          seed=args.seed,
+                          patched_llseek=args.patched_llseek,
+                          kernel_preemption=args.kernel_preemption,
+                          with_timer=False)
+    if args.workload == "grep":
+        from .workloads import build_source_tree, run_grep
+        root, _ = build_source_tree(system, scale=args.scale,
+                                    seed=args.seed)
+        run_grep(system, root)
+    elif args.workload == "randomread":
+        from .workloads import RandomReadConfig, run_random_read
+        run_random_read(system, RandomReadConfig(
+            processes=args.processes, iterations=args.iterations))
+    elif args.workload == "postmark":
+        from .workloads import PostmarkConfig, run_postmark
+        run_postmark(system, PostmarkConfig(
+            files=max(10, args.iterations // 10),
+            transactions=args.iterations))
+    elif args.workload == "zerobyte":
+        from .workloads import run_zero_byte_reads
+        run_zero_byte_reads(system, processes=args.processes,
+                            iterations=args.iterations)
+    elif args.workload == "clone":
+        from .workloads import CloneStress
+        CloneStress(system).run(processes=args.processes,
+                                iterations=args.iterations)
+    return system
+
+
+def cmd_run(args) -> int:
+    system = _run_workload(args)
+    pset = {"user": system.user_profiles,
+            "fs": system.fs_profiles,
+            "driver": system.driver_profiles}[args.layer]()
+    text = pset.dumps()
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {len(pset)} operation profiles "
+              f"({pset.total_ops()} requests) to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_render(args) -> int:
+    pset = _load(args.dump)
+    profiles = pset.by_total_latency()
+    if args.op:
+        wanted = set(args.op)
+        profiles = [p for p in profiles if p.operation in wanted]
+        missing = wanted - {p.operation for p in profiles}
+        if missing:
+            print(f"unknown operations: {sorted(missing)}",
+                  file=sys.stderr)
+            return 1
+    if args.top is not None:
+        profiles = profiles[:args.top]
+    for prof in profiles:
+        print(render_profile(prof))
+        print()
+    return 0
+
+
+def cmd_peaks(args) -> int:
+    pset = _load(args.dump)
+    table = CharacteristicTimes()
+    for prof in pset.by_total_latency():
+        peaks = find_peaks(prof, min_ops=args.min_ops)
+        if not peaks:
+            continue
+        print(f"{prof.operation}:")
+        for peak in peaks:
+            names = [t.name
+                     for t in table.candidates(peak.apex, tolerance=1)]
+            label = ", ".join(names) if names else "-"
+            print(f"  buckets {peak.low}-{peak.high} apex={peak.apex} "
+                  f"ops={peak.ops}  [{label}]")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    set_a = _load(args.dump_a)
+    set_b = _load(args.dump_b)
+    selector = ProfileSelector(SelectionConfig(metric=args.metric))
+    reports = selector.select(set_a, set_b)
+    if args.limit is not None:
+        reports = reports[:args.limit]
+    if not reports:
+        print("no interesting differences")
+        return 0
+    for report in reports:
+        print(report.describe())
+    return 0
+
+
+def cmd_sampled(args) -> int:
+    from .analysis.report import gnuplot_sampled_data, render_sampled
+    from .fs import make_flush_daemons
+    from .sim.engine import seconds
+    from .workloads import build_source_tree, compile_body, grep_body
+
+    system = System.build(fs_type=args.fs, seed=args.seed,
+                          with_timer=False,
+                          sample_interval=seconds(args.interval),
+                          pagecache_pages=512)
+    root, _ = build_source_tree(system, scale=args.scale,
+                                seed=args.seed)
+    if args.fs == "reiserfs":
+        metadata_daemon, data_daemon = make_flush_daemons(
+            system.kernel, system.vfs)
+        metadata_daemon.start()
+        data_daemon.start()
+
+    if args.workload == "grep":
+        def looped(proc):
+            while True:
+                yield from grep_body(system, proc, root)
+    else:
+        def looped(proc):
+            while True:
+                yield from compile_body(system, proc, root)
+
+    system.kernel.spawn(looped, args.workload)
+    system.run(until=seconds(args.duration))
+    system.shutdown()
+    series = system.sampled.series()
+    operations = args.op if args.op else series.operations()
+    for op in operations:
+        if args.splot:
+            sys.stdout.write(gnuplot_sampled_data(
+                series, op, interval_seconds=args.interval))
+        else:
+            print(render_sampled(series, op,
+                                 interval_seconds=args.interval))
+            print()
+    return 0
+
+
+def cmd_gnuplot(args) -> int:
+    pset = _load(args.dump)
+    for prof in pset.by_total_latency():
+        sys.stdout.write(gnuplot_data(prof))
+        sys.stdout.write("\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "render": cmd_render,
+        "peaks": cmd_peaks,
+        "compare": cmd_compare,
+        "gnuplot": cmd_gnuplot,
+        "sampled": cmd_sampled,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

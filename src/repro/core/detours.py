@@ -1,0 +1,124 @@
+"""Runtime interception of arbitrary callables (the Detours analogue).
+
+The paper's Windows user-level profiler injects a DLL that uses the
+Detours library to rewrite arbitrary Win32 functions "even during
+program execution", so closed-source programs can be profiled without
+recompilation.  The Python analogue intercepts attributes on live
+objects, classes, or modules: :class:`Interceptor` rebinds the target
+callable to a timing trampoline and restores the original on detach.
+
+Example — profile every ``read``/``write`` an existing object performs::
+
+    interceptor = Interceptor()
+    interceptor.attach(conn, ["send", "recv"])
+    ... run the workload ...
+    interceptor.detach_all()
+    print(interceptor.profile_set().dumps())
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .buckets import BucketSpec
+from .profile import Layer
+from .profiler import NOMINAL_HZ, Profiler, tsc_clock
+
+__all__ = ["Interceptor", "InterceptionError"]
+
+
+class InterceptionError(Exception):
+    """Attachment to a target failed (missing or non-callable)."""
+
+
+class Interceptor:
+    """Attach latency-profiling trampolines to live callables."""
+
+    def __init__(self, hz: float = NOMINAL_HZ,
+                 spec: Optional[BucketSpec] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self._profiler = Profiler(name="detours", layer=Layer.USER,
+                                  clock=clock or tsc_clock(hz),
+                                  spec=spec)
+        # (id(target), name) -> (target, name, original)
+        self._attached: Dict[Tuple[int, str], Tuple[Any, str, Any]] = {}
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, target: Any, names: Iterable[str],
+               prefix: str = "") -> List[str]:
+        """Intercept the named callables on *target*.
+
+        *target* may be an object, class, or module.  The recorded
+        operation name is ``prefix + name``.  Returns the names
+        attached; attaching an already-intercepted function is a no-op.
+        """
+        attached = []
+        for name in names:
+            key = (id(target), name)
+            if key in self._attached:
+                continue
+            original = getattr(target, name, None)
+            if original is None or not callable(original):
+                raise InterceptionError(
+                    f"{target!r} has no callable attribute {name!r}")
+            operation = prefix + name
+            trampoline = self._make_trampoline(operation, original)
+            setattr(target, name, trampoline)
+            self._attached[key] = (target, name, original)
+            attached.append(name)
+        return attached
+
+    def _make_trampoline(self, operation: str, original: Callable):
+        profiler = self._profiler
+
+        @functools.wraps(original)
+        def trampoline(*args, **kwargs):
+            token = profiler.begin(operation)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                profiler.end(token)
+
+        trampoline._detours_original = original  # type: ignore[attr-defined]
+        return trampoline
+
+    # -- detachment -----------------------------------------------------------
+
+    def detach(self, target: Any, name: str) -> bool:
+        """Restore one interception; True if it was attached."""
+        key = (id(target), name)
+        entry = self._attached.pop(key, None)
+        if entry is None:
+            return False
+        tgt, attr, original = entry
+        setattr(tgt, attr, original)
+        return True
+
+    def detach_all(self) -> int:
+        """Restore every interception; returns how many were removed."""
+        count = 0
+        for target, name, original in list(self._attached.values()):
+            setattr(target, name, original)
+            count += 1
+        self._attached.clear()
+        return count
+
+    def attached(self) -> List[str]:
+        """Names currently intercepted, for inspection."""
+        return sorted(name for _, name in self._attached)
+
+    # -- results ----------------------------------------------------------------
+
+    def profile_set(self):
+        return self._profiler.profile_set()
+
+    def reset(self) -> None:
+        self._profiler.reset()
+
+    def __enter__(self) -> "Interceptor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach_all()

@@ -1,0 +1,156 @@
+"""SMP bucket-update strategies (Section 3.4, "Profile Locking").
+
+Bucket increments are not atomic; on SMP machines concurrent updates can
+be lost.  The paper adopts two lock-free strategies instead of atomic
+operations (whose ``lock`` prefix would hurt profiler performance):
+
+1. **Lossy shared buckets** for machines with few CPUs: plain unlocked
+   increments; in the worst case (<1% on 2 CPUs) some updates are lost.
+2. **Per-thread profiles** for many CPUs: each thread updates a private
+   set of buckets, merged at collection time; no updates are lost.
+
+Both are implemented here with real OS threads so the trade-off can be
+measured (bench ``tbl-locking``).  The lossy updater deliberately
+performs the read-modify-write in separate bytecode steps, making the
+race window comparable to the C library's non-atomic increment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from .buckets import BucketSpec, LatencyBuckets
+
+__all__ = ["LossySharedBuckets", "PerThreadBuckets", "locked_reference_count"]
+
+
+class LossySharedBuckets:
+    """Strategy 1: a single shared counter array updated without locks.
+
+    ``add`` deliberately splits the increment into an explicit load, an
+    add, and a store, so concurrent threads exhibit the lost-update race
+    the paper describes.  ``expected`` tracks the true number of updates
+    (maintained with an atomic-enough per-thread tally merged at read
+    time) so the loss rate can be computed.
+    """
+
+    def __init__(self, spec: Optional[BucketSpec] = None):
+        self.spec = spec if spec is not None else BucketSpec()
+        self._counts: Dict[int, int] = {}
+        self._attempts = threading.local()
+        self._attempt_tallies: List[List[int]] = []
+        self._tally_lock = threading.Lock()
+
+    def _attempt_cell(self) -> List[int]:
+        cell = getattr(self._attempts, "cell", None)
+        if cell is None:
+            cell = [0]
+            self._attempts.cell = cell
+            with self._tally_lock:
+                self._attempt_tallies.append(cell)
+        return cell
+
+    def add(self, latency: float) -> None:
+        """Racy increment of the bucket for *latency*."""
+        bucket = self.spec.bucket(latency)
+        current = self._counts.get(bucket, 0)  # load
+        updated = current + 1                  # modify
+        self._counts[bucket] = updated         # store (may clobber a peer)
+        self._attempt_cell()[0] += 1
+
+    def attempted(self) -> int:
+        """The true number of ``add`` calls across all threads."""
+        with self._tally_lock:
+            return sum(cell[0] for cell in self._attempt_tallies)
+
+    def recorded(self) -> int:
+        """Updates that survived the race."""
+        return sum(self._counts.values())
+
+    def lost(self) -> int:
+        """Updates clobbered by concurrent writers."""
+        return self.attempted() - self.recorded()
+
+    def loss_rate(self) -> float:
+        attempts = self.attempted()
+        if attempts == 0:
+            return 0.0
+        return self.lost() / attempts
+
+    def histogram(self) -> LatencyBuckets:
+        """The (possibly lossy) accumulated histogram."""
+        return LatencyBuckets.from_counts(self._counts, self.spec)
+
+
+class PerThreadBuckets:
+    """Strategy 2: each thread owns a private histogram; merge on demand.
+
+    "On systems with many CPUs we make each process or thread update its
+    own profile in memory.  This prevents lost updates on systems with
+    any number of CPUs."
+    """
+
+    def __init__(self, spec: Optional[BucketSpec] = None):
+        self.spec = spec if spec is not None else BucketSpec()
+        self._local = threading.local()
+        self._all: List[LatencyBuckets] = []
+        self._registry_lock = threading.Lock()
+
+    def _mine(self) -> LatencyBuckets:
+        hist = getattr(self._local, "hist", None)
+        if hist is None:
+            hist = LatencyBuckets(self.spec)
+            self._local.hist = hist
+            with self._registry_lock:
+                self._all.append(hist)
+        return hist
+
+    def add(self, latency: float) -> None:
+        """Increment the calling thread's private bucket; never racy."""
+        self._mine().add(latency)
+
+    def recorded(self) -> int:
+        with self._registry_lock:
+            return sum(h.total_ops for h in self._all)
+
+    def histogram(self) -> LatencyBuckets:
+        """Merge all per-thread histograms into one."""
+        merged = LatencyBuckets(self.spec)
+        with self._registry_lock:
+            for h in self._all:
+                merged.merge(h)
+        return merged
+
+    def thread_count(self) -> int:
+        with self._registry_lock:
+            return len(self._all)
+
+
+def locked_reference_count(workers: int, updates_per_worker: int,
+                           make_latency: Callable[[int, int], float],
+                           strategy) -> int:
+    """Drive *workers* threads hammering a bucket-update strategy.
+
+    ``make_latency(worker, i)`` produces the latency each update records;
+    using a constant maximizes contention on a single bucket (the paper's
+    worst case: "two threads ... measuring latency of an empty function
+    and updating the same bucket").  Returns the number of recorded
+    updates.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    barrier = threading.Barrier(workers)
+
+    def run(worker: int) -> None:
+        barrier.wait()
+        for i in range(updates_per_worker):
+            strategy.add(make_latency(worker, i))
+
+    threads = [threading.Thread(target=run, args=(w,))
+               for w in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return strategy.recorded()

@@ -1,0 +1,108 @@
+"""Per-operation latency profiles.
+
+A :class:`Profile` binds a :class:`~repro.core.buckets.LatencyBuckets`
+histogram to the name of the OS operation it describes (``read``,
+``llseek``, ``FIND_FIRST``...), the layer it was captured at, and
+optional free-form attributes (kernel version, workload name).  A
+complete profile of a workload is a set of these, one per operation —
+see :mod:`repro.core.profileset`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .buckets import BucketSpec, LatencyBuckets
+
+__all__ = ["Profile", "Layer"]
+
+
+class Layer:
+    """Well-known profiling layers (Figure 2 of the paper)."""
+
+    USER = "user"
+    FILESYSTEM = "filesystem"
+    DRIVER = "driver"
+    NETWORK = "network"
+
+
+class Profile:
+    """A named latency histogram for one OS operation at one layer."""
+
+    __slots__ = ("operation", "layer", "attributes", "histogram")
+
+    def __init__(self, operation: str, layer: str = Layer.FILESYSTEM,
+                 spec: Optional[BucketSpec] = None,
+                 attributes: Optional[Dict[str, str]] = None):
+        if not operation:
+            raise ValueError("operation name must be non-empty")
+        self.operation = operation
+        self.layer = layer
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.histogram = LatencyBuckets(spec)
+
+    # Convenience pass-throughs used pervasively by analysis code.
+
+    @property
+    def spec(self) -> BucketSpec:
+        return self.histogram.spec
+
+    @property
+    def total_ops(self) -> int:
+        return self.histogram.total_ops
+
+    @property
+    def total_latency(self) -> float:
+        return self.histogram.total_latency
+
+    def add(self, latency: float, count: int = 1) -> int:
+        """Record a latency sample; returns the bucket index."""
+        return self.histogram.add(latency, count)
+
+    def count(self, bucket: int) -> int:
+        return self.histogram.count(bucket)
+
+    def counts(self) -> Dict[int, int]:
+        return self.histogram.counts()
+
+    def mean_latency(self) -> float:
+        return self.histogram.mean_latency()
+
+    def merge(self, other: "Profile") -> None:
+        """Fold another profile for the same operation into this one."""
+        if other.operation != self.operation:
+            raise ValueError(
+                f"cannot merge profile of {other.operation!r} into "
+                f"{self.operation!r}")
+        self.histogram.merge(other.histogram)
+
+    def copy(self) -> "Profile":
+        clone = Profile(self.operation, self.layer, self.spec,
+                        self.attributes)
+        clone.histogram.merge(self.histogram)
+        return clone
+
+    def verify_checksum(self) -> bool:
+        return self.histogram.verify_checksum()
+
+    def __repr__(self) -> str:
+        return (f"<Profile {self.operation}@{self.layer} "
+                f"ops={self.total_ops}>")
+
+    @classmethod
+    def from_latencies(cls, operation: str, latencies: Iterable[float],
+                       layer: str = Layer.FILESYSTEM,
+                       spec: Optional[BucketSpec] = None) -> "Profile":
+        prof = cls(operation, layer, spec)
+        for lat in latencies:
+            prof.add(lat)
+        return prof
+
+    @classmethod
+    def from_counts(cls, operation: str, counts: Dict[int, int],
+                    layer: str = Layer.FILESYSTEM,
+                    spec: Optional[BucketSpec] = None) -> "Profile":
+        prof = cls(operation, layer, spec)
+        hist = LatencyBuckets.from_counts(counts, spec)
+        prof.histogram.merge(hist)
+        return prof

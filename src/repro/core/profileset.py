@@ -1,0 +1,185 @@
+"""Complete profiles: one histogram per OS operation, plus text I/O.
+
+"A complete profile may consist of dozens of profiles of individual
+operations" (Section 3.1).  :class:`ProfileSet` is that container; it
+also implements the `/proc`-style text format used by the paper's kernel
+reporting interface, so profiles can be saved, diffed and re-loaded.
+
+Text format (one profile per block)::
+
+    # osprof 1 resolution=1
+    op read layer=filesystem total_ops=123 total_latency=456789
+    5 17
+    6 100
+    ...
+    end
+
+Bucket lines are ``<bucket-index> <count>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from .buckets import BucketSpec
+from .profile import Layer, Profile
+
+__all__ = ["ProfileSet"]
+
+_HEADER_PREFIX = "# osprof 1"
+
+
+class ProfileSet:
+    """A mapping of operation name to :class:`Profile` for one experiment."""
+
+    def __init__(self, name: str = "", spec: Optional[BucketSpec] = None,
+                 attributes: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.spec = spec if spec is not None else BucketSpec()
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self._profiles: Dict[str, Profile] = {}
+
+    # -- container behaviour -------------------------------------------------
+
+    def __contains__(self, operation: str) -> bool:
+        return operation in self._profiles
+
+    def __getitem__(self, operation: str) -> Profile:
+        return self._profiles[operation]
+
+    def __iter__(self) -> Iterator[Profile]:
+        return iter(self._profiles.values())
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def operations(self) -> List[str]:
+        """Operation names, sorted for stable output."""
+        return sorted(self._profiles)
+
+    def get(self, operation: str) -> Optional[Profile]:
+        return self._profiles.get(operation)
+
+    def profile(self, operation: str, layer: str = Layer.FILESYSTEM) -> Profile:
+        """Return the profile for *operation*, creating it if needed."""
+        prof = self._profiles.get(operation)
+        if prof is None:
+            prof = Profile(operation, layer, self.spec)
+            self._profiles[operation] = prof
+        return prof
+
+    def add(self, operation: str, latency: float, count: int = 1,
+            layer: str = Layer.FILESYSTEM) -> int:
+        """Record one latency sample under *operation*."""
+        return self.profile(operation, layer).add(latency, count)
+
+    def insert(self, prof: Profile) -> None:
+        """Insert (or merge into) a profile for ``prof.operation``."""
+        if prof.spec != self.spec:
+            raise ValueError("profile resolution differs from set resolution")
+        existing = self._profiles.get(prof.operation)
+        if existing is None:
+            self._profiles[prof.operation] = prof
+        else:
+            existing.merge(prof)
+
+    def merge(self, other: "ProfileSet") -> None:
+        """Fold every profile of *other* into this set (per-CPU merge)."""
+        for prof in other:
+            self.insert(prof.copy())
+
+    # -- aggregate queries ---------------------------------------------------
+
+    def total_ops(self) -> int:
+        return sum(p.total_ops for p in self)
+
+    def total_latency(self) -> float:
+        return sum(p.total_latency for p in self)
+
+    def by_total_latency(self) -> List[Profile]:
+        """Profiles sorted by descending total latency (Section 3.2 step 1).
+
+        The head of this list is where optimization effort pays off.
+        """
+        return sorted(self, key=lambda p: p.total_latency, reverse=True)
+
+    def verify_checksums(self) -> List[str]:
+        """Names of operations whose histograms fail the checksum test."""
+        return [p.operation for p in self if not p.verify_checksum()]
+
+    def __repr__(self) -> str:
+        return (f"<ProfileSet {self.name!r} ops={len(self)} "
+                f"requests={self.total_ops()}>")
+
+    # -- text serialization ----------------------------------------------------
+
+    def dump(self, out: TextIO) -> None:
+        """Write the set in the /proc-style text format."""
+        out.write(f"{_HEADER_PREFIX} resolution={self.spec.resolution}")
+        if self.name:
+            out.write(f" name={self.name}")
+        out.write("\n")
+        for op in self.operations():
+            prof = self._profiles[op]
+            out.write(
+                f"op {prof.operation} layer={prof.layer} "
+                f"total_ops={prof.total_ops} "
+                f"total_latency={prof.total_latency:.0f}\n")
+            for b, c in sorted(prof.counts().items()):
+                out.write(f"{b} {c}\n")
+            out.write("end\n")
+
+    def dumps(self) -> str:
+        import io
+        buf = io.StringIO()
+        self.dump(buf)
+        return buf.getvalue()
+
+    @classmethod
+    def load(cls, inp: TextIO) -> "ProfileSet":
+        """Parse the text format written by :meth:`dump`."""
+        header = inp.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(f"not an osprof profile dump: {header!r}")
+        fields = dict(
+            kv.split("=", 1) for kv in header[len(_HEADER_PREFIX):].split()
+            if "=" in kv)
+        spec = BucketSpec(int(fields.get("resolution", "1")))
+        pset = cls(name=fields.get("name", ""), spec=spec)
+        current: Optional[Profile] = None
+        for raw in inp:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("op "):
+                parts = line.split()
+                opname = parts[1]
+                opts = dict(kv.split("=", 1) for kv in parts[2:] if "=" in kv)
+                current = Profile(opname, opts.get("layer", Layer.FILESYSTEM),
+                                  spec)
+                pset._profiles[opname] = current
+            elif line == "end":
+                current = None
+            else:
+                if current is None:
+                    raise ValueError(f"bucket line outside op block: {line!r}")
+                bucket_str, count_str = line.split()
+                current.histogram.add_to_bucket(int(bucket_str),
+                                                int(count_str))
+        return pset
+
+    @classmethod
+    def loads(cls, text: str) -> "ProfileSet":
+        import io
+        return cls.load(io.StringIO(text))
+
+    @classmethod
+    def from_operation_latencies(
+            cls, samples: Dict[str, Iterable[float]], name: str = "",
+            spec: Optional[BucketSpec] = None) -> "ProfileSet":
+        """Build a set from ``{operation: [latency, ...]}``."""
+        pset = cls(name=name, spec=spec)
+        for op, latencies in samples.items():
+            for lat in latencies:
+                pset.add(op, lat)
+        return pset

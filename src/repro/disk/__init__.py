@@ -1,0 +1,15 @@
+"""Disk substrate: geometry/timing, segment cache, device, driver.
+
+Models the paper's 15 kRPM SCSI benchmark disk: 0.3 ms track-to-track
+seek, 8 ms full stroke, 4 ms rotation, an internal track-readahead
+cache, an elevator request queue, and the instrumented SCSI driver used
+for driver-level profiling.
+"""
+
+from .cache import SegmentCache
+from .device import DEFAULT_COMMAND_OVERHEAD, Disk, DiskRequest
+from .driver import ScsiDriver
+from .geometry import BLOCK_SIZE, DiskGeometry
+
+__all__ = ["SegmentCache", "DEFAULT_COMMAND_OVERHEAD", "Disk", "DiskRequest",
+           "ScsiDriver", "BLOCK_SIZE", "DiskGeometry"]

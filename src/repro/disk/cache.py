@@ -1,0 +1,68 @@
+"""The drive's internal readahead cache.
+
+Figure 7's third peak — "the fastest I/O requests possible ... satisfied
+from the disk cache due to internal disk readahead" — exists because the
+drive, having positioned the head on a track, keeps reading and caches
+the whole track in its segment buffer.  A later request for a block of
+that track is served at bus speed (tens of microseconds), without any
+mechanical delay.
+
+:class:`SegmentCache` models that buffer: a small LRU of track-sized
+segments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["SegmentCache"]
+
+
+class SegmentCache:
+    """LRU cache of whole tracks, keyed by track number."""
+
+    def __init__(self, segments: int = 8):
+        if segments < 0:
+            raise ValueError("segment count must be non-negative")
+        self.capacity = segments
+        self._tracks: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, track: int) -> bool:
+        """True when *track* is resident (counts hit/miss stats)."""
+        if track in self._tracks:
+            self._tracks.move_to_end(track)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, track: int) -> None:
+        """Insert a track after a media read (the readahead fill)."""
+        if self.capacity == 0:
+            return
+        if track in self._tracks:
+            self._tracks.move_to_end(track)
+            return
+        if len(self._tracks) >= self.capacity:
+            self._tracks.popitem(last=False)
+        self._tracks[track] = True
+
+    def resident(self, track: int) -> bool:
+        """Non-statistical peek (for tests and assertions)."""
+        return track in self._tracks
+
+    def invalidate(self) -> None:
+        """Drop everything (e.g. after a write barrier)."""
+        self._tracks.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __len__(self) -> int:
+        return len(self._tracks)

@@ -1,0 +1,223 @@
+"""The disk device: request queue, head, segment cache, completions.
+
+The device is autonomous: requests are submitted to its queue and served
+one at a time without consuming any simulated CPU — the submitting
+process may continue (asynchronous write) or block on the request's
+completion condition (synchronous read), which is exactly why "file
+system writes and asynchronous I/O requests return immediately after
+scheduling the I/O request [so] their latency contains no information
+about the associated I/O times" (Section 4) — and why the paper added a
+driver-level profiler.
+
+Service time per request:
+
+* **segment-cache hit** (read of a cached track): command + bus overhead
+  only — Figure 7's sharp third peak (~40-75 us), or
+* **media access**: seek (0-8 ms) + rotational delay (0-4 ms) +
+  transfer — the broad fourth peak,
+
+after which the whole track is resident (readahead fill).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.engine import seconds
+from ..sim.process import Condition, ProcBody, WaitCondition
+from ..sim.rng import SimRandom
+from ..sim.scheduler import Kernel
+from .cache import SegmentCache
+from .geometry import DiskGeometry
+
+__all__ = ["DiskRequest", "Disk", "DEFAULT_COMMAND_OVERHEAD"]
+
+#: Controller command processing + bus transfer overhead (~45 us): the
+#: floor for any disk request, and nearly all of a cache hit's latency.
+DEFAULT_COMMAND_OVERHEAD = seconds(45e-6)
+
+
+class DiskRequest:
+    """One block I/O request and its completion bookkeeping."""
+
+    __slots__ = ("block", "is_write", "submitted_at", "started_at",
+                 "completed_at", "condition", "cache_hit", "seek_cycles",
+                 "retries", "failed", "_attempt_failed")
+
+    def __init__(self, block: int, is_write: bool):
+        self.block = block
+        self.is_write = is_write
+        self.submitted_at = 0.0
+        self.started_at = 0.0
+        self.completed_at = 0.0
+        self.condition = Condition(f"io:{'w' if is_write else 'r'}{block}")
+        self.cache_hit = False
+        self.seek_cycles = 0.0
+        #: Media-error recovery bookkeeping (failure injection).
+        self.retries = 0
+        self.failed = False
+        self._attempt_failed = False
+
+    @property
+    def latency(self) -> float:
+        """Queue + service time, valid after completion."""
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"<DiskRequest {kind} block={self.block}>"
+
+
+class Disk:
+    """A single-spindle disk with an optional elevator scheduler."""
+
+    def __init__(self, kernel: Kernel,
+                 geometry: Optional[DiskGeometry] = None,
+                 cache_segments: int = 8,
+                 elevator: bool = True,
+                 command_overhead: float = DEFAULT_COMMAND_OVERHEAD,
+                 rng: Optional[SimRandom] = None,
+                 error_rate: float = 0.0,
+                 max_retries: int = 3):
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.kernel = kernel
+        self.geometry = geometry if geometry is not None else DiskGeometry()
+        self.cache = SegmentCache(cache_segments)
+        self.elevator = elevator
+        self.command_overhead = command_overhead
+        #: Failure injection: probability a media access fails and the
+        #: drive retries internally (ECC error, remapped sector...).
+        #: Retries are transparent to callers except in latency — the
+        #: OSprof-visible symptom of a failing disk.
+        self.error_rate = error_rate
+        self.max_retries = max_retries
+        self.media_errors = 0
+        self.retries_performed = 0
+        self.rng = rng if rng is not None else kernel.rng.fork("disk")
+        self.head_track = 0
+        self.busy = False
+        self.queue: List[DiskRequest] = []
+        self.requests_served = 0
+        self.reads = 0
+        self.writes = 0
+        self.total_seek_cycles = 0.0
+        #: Completion listeners, called with each finished request —
+        #: how the instrumented driver observes asynchronous writes.
+        self.on_complete: List = []
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, block: int, is_write: bool = False) -> DiskRequest:
+        """Queue a request; returns it immediately (fire-and-forget OK)."""
+        request = DiskRequest(block, is_write)
+        request.submitted_at = self.kernel.now
+        self.geometry.track_of(block)  # validates the block number
+        self.queue.append(request)
+        if not self.busy:
+            self._start_next()
+        return request
+
+    def read(self, block: int) -> ProcBody:
+        """Generator: submit a read and block until it completes."""
+        request = self.submit(block, is_write=False)
+        yield WaitCondition(request.condition)
+        return request
+
+    def write(self, block: int) -> ProcBody:
+        """Generator: submit a write and block until it completes."""
+        request = self.submit(block, is_write=True)
+        yield WaitCondition(request.condition)
+        return request
+
+    def wait(self, request: DiskRequest) -> ProcBody:
+        """Generator: block until an already-submitted request completes."""
+        if request.completed_at > 0:
+            return request
+            yield  # pragma: no cover
+        yield WaitCondition(request.condition)
+        return request
+
+    # -- service loop ------------------------------------------------------------
+
+    def _pick_next(self) -> DiskRequest:
+        """Elevator: nearest track first; otherwise FIFO."""
+        if not self.elevator or len(self.queue) == 1:
+            return self.queue.pop(0)
+        best_index = 0
+        best_distance = None
+        for i, req in enumerate(self.queue):
+            distance = abs(self.geometry.track_of(req.block)
+                           - self.head_track)
+            if best_distance is None or distance < best_distance:
+                best_index, best_distance = i, distance
+        return self.queue.pop(best_index)
+
+    def _service_time(self, request: DiskRequest) -> float:
+        track = self.geometry.track_of(request.block)
+        overhead = self.rng.jitter(self.command_overhead, sigma=0.1)
+        if not request.is_write and self.cache.lookup(track):
+            request.cache_hit = True
+            return overhead
+        seek = self.geometry.seek_time(self.head_track, track)
+        request.seek_cycles = seek
+        self.total_seek_cycles += seek
+        rotation = self.geometry.rotational_delay(self.rng)
+        transfer = self.geometry.transfer_time()
+        self.head_track = track
+        if self.error_rate > 0 and self.rng.chance(self.error_rate):
+            # The media access failed: the sector must be re-read on a
+            # later rotation.  No readahead fill for a failed access.
+            request._attempt_failed = True
+            self.media_errors += 1
+        else:
+            request._attempt_failed = False
+            self.cache.fill(track)
+        return overhead + seek + rotation + transfer
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            return
+        self.busy = True
+        request = self._pick_next()
+        request.started_at = self.kernel.now
+        service = self._service_time(request)
+        self.kernel.engine.schedule(
+            service, lambda r=request: self._complete(r))
+
+    def _complete(self, request: DiskRequest) -> None:
+        if request._attempt_failed:
+            request._attempt_failed = False
+            if request.retries < self.max_retries:
+                # Internal retry: service the same request again; the
+                # caller only sees the added latency.
+                request.retries += 1
+                self.retries_performed += 1
+                self.queue.insert(0, request)
+                self.busy = False
+                self._start_next()
+                return
+            request.failed = True
+        request.completed_at = self.kernel.now
+        self.requests_served += 1
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.kernel.fire_condition(request.condition, request,
+                                   wake_all=True)
+        for listener in self.on_complete:
+            listener(request)
+        self.busy = False
+        self._start_next()
+
+    # -- introspection -------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return len(self.queue) + (1 if self.busy else 0)
+
+    def __repr__(self) -> str:
+        return (f"<Disk track={self.head_track} queue={len(self.queue)} "
+                f"served={self.requests_served}>")

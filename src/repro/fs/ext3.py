@@ -1,0 +1,71 @@
+"""An Ext3-like journaled file system (ordered mode).
+
+The paper profiles "Ext2, Ext3, Reiserfs, NTFS, and CIFS"; Ext3 is
+Ext2 plus a journal, and — unlike the Reiserfs 3.6 substrate — its
+journal commit does *not* serialize the read path.  The observable
+differences from Ext2:
+
+* ``fsync`` commits a journal transaction (ordered mode: data blocks
+  are written back first, then the commit record), so fsync latency
+  grows by the commit I/O, and
+* the metadata flush daemon's ``write_super`` performs a real commit,
+  like Reiserfs — but readers never wait behind it.
+
+Profiling fsync-heavy workloads on Ext2 vs Ext3 shows the journal's
+cost as a rightward fsync peak shift with the read profile unchanged —
+the complement of the Reiserfs case study.
+"""
+
+from __future__ import annotations
+
+from ..disk.driver import ScsiDriver
+from ..sim.process import CpuBurst, ProcBody, Process
+from ..sim.scheduler import Kernel
+from ..vfs.file import File
+from ..vfs.inode import InodeTable
+from .ext2 import Ext2
+from .mkfs import BlockAllocator
+
+__all__ = ["Ext3"]
+
+
+class Ext3(Ext2):
+    """Ext2 semantics plus an ordered-mode journal."""
+
+    name = "ext3"
+
+    TRANSACTION_SETUP_COST = 8_000.0  # handle + descriptor blocks
+    DEFAULT_JOURNAL_BLOCKS = 4        # blocks per commit record batch
+
+    def __init__(self, kernel: Kernel, driver: ScsiDriver,
+                 inodes: InodeTable, allocator: BlockAllocator,
+                 journal_blocks: int = DEFAULT_JOURNAL_BLOCKS,
+                 **kwargs):
+        super().__init__(kernel, driver, inodes, allocator, **kwargs)
+        if journal_blocks < 1:
+            raise ValueError("journal must span at least one block")
+        self.journal_area = allocator.allocate(journal_blocks)
+        self.commits = 0
+
+    def _commit(self, proc: Process) -> ProcBody:
+        """Write the journal descriptor + commit record synchronously."""
+        yield CpuBurst(self.kernel.rng.jitter(
+            self.TRANSACTION_SETUP_COST, sigma=0.3))
+        for journal_block in self.journal_area:
+            yield from self.driver.write(journal_block)
+        self.commits += 1
+        return None
+
+    def fsync(self, proc: Process, file: File) -> ProcBody:
+        """Ordered mode: data writeback first, then the commit record."""
+        flushed = yield from super().fsync(proc, file)
+        yield from self._commit(proc)
+        return flushed
+
+    def write_super(self, proc: Process) -> ProcBody:
+        """The periodic metadata commit — without a read-path lock."""
+        dirty = self.inodes.dirty_inodes()
+        yield from self._commit(proc)
+        for inode in dirty:
+            inode.dirty = False
+        return len(dirty)

@@ -1,0 +1,62 @@
+"""Path resolution over a simulated file system.
+
+A deliberately dcache-friendly walker: component lookup is an in-memory
+scan of the directory's entries plus a per-component CPU charge.  Cold
+directory *data* still costs I/O — the first traversal of a directory
+happens through ``readdir``/``readpage`` in the workloads, exactly as a
+real recursive grep touches directories before opening files in them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.process import CpuBurst, ProcBody, Process
+from ..sim.scheduler import Kernel
+from ..vfs.inode import Inode, InodeTable
+
+__all__ = ["PathWalker", "LOOKUP_COMPONENT_COST"]
+
+#: CPU cost per path component (hash, compare, dcache bookkeeping).
+LOOKUP_COMPONENT_COST = 700.0
+
+
+class PathWalker:
+    """Resolves ``/``-separated paths starting at a root inode."""
+
+    def __init__(self, kernel: Kernel, inodes: InodeTable, root: Inode):
+        self.kernel = kernel
+        self.inodes = inodes
+        self.root = root
+
+    @staticmethod
+    def split(path: str) -> List[str]:
+        """Path components, ignoring empty segments and leading slash."""
+        return [c for c in path.split("/") if c]
+
+    def walk(self, proc: Process, path: str) -> ProcBody:
+        """Generator: resolve *path* to an inode; KeyError if missing."""
+        current = self.root
+        for component in self.split(path):
+            yield CpuBurst(self.kernel.rng.jitter(LOOKUP_COMPONENT_COST,
+                                                  sigma=0.3))
+            if not current.is_dir:
+                raise NotADirectoryError(component)
+            entry = current.lookup_entry(component)
+            if entry is None:
+                raise KeyError(f"no such file or directory: {path!r} "
+                               f"(at {component!r})")
+            current = self.inodes.get(entry.ino)
+        return current
+
+    def exists(self, path: str) -> bool:
+        """Non-simulated existence check (for tests and setup code)."""
+        current = self.root
+        for component in self.split(path):
+            if not current.is_dir:
+                return False
+            entry = current.lookup_entry(component)
+            if entry is None:
+                return False
+            current = self.inodes.get(entry.ino)
+        return True

@@ -1,0 +1,23 @@
+"""Network substrate: TCP with delayed ACKs, SMB/CIFS, packet sniffer."""
+
+from .cifs_client import FLAVOR_LINUX, FLAVOR_WINDOWS, CifsClient
+from .cifs_server import CifsServer
+from .mount import CifsMount, build_cifs_mount, build_nfs_mount
+from .nfs import ATTR_CACHE_TTL, NFS_MAX_READ, NfsClient, NfsServer
+from .smb import (ENTRY_WIRE_SIZE, FIND_BATCH, DirEntryInfo,
+                  FindFirstRequest, FindNextRequest, FindReply, ReadReply,
+                  ReadRequest)
+from .sniffer import CapturedPacket, Sniffer, render_timeline
+from .tcp import (DELAYED_ACK_TIMEOUT, MAX_SEGMENT, Packet, TcpConnection,
+                  TcpEndpoint)
+
+__all__ = [
+    "FLAVOR_LINUX", "FLAVOR_WINDOWS", "CifsClient", "CifsServer",
+    "CifsMount", "build_cifs_mount", "build_nfs_mount",
+    "ATTR_CACHE_TTL", "NFS_MAX_READ", "NfsClient", "NfsServer",
+    "ENTRY_WIRE_SIZE", "FIND_BATCH", "DirEntryInfo", "FindFirstRequest",
+    "FindNextRequest", "FindReply", "ReadReply", "ReadRequest",
+    "CapturedPacket", "Sniffer", "render_timeline",
+    "DELAYED_ACK_TIMEOUT", "MAX_SEGMENT", "Packet", "TcpConnection",
+    "TcpEndpoint",
+]

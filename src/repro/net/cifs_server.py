@@ -1,0 +1,154 @@
+"""A Windows-like CIFS server.
+
+Event-driven (the paper profiles the *client*; the server only needs
+realistic service times and the pathological send discipline):
+
+* ``FIND_FIRST``/``FIND_NEXT`` list directories in batches, returning a
+  continuation cookie;
+* replies are split into MSS-sized TCP segments and sent in **bursts**:
+  after each burst the server "does not continue to send data until it
+  has received an ACK for everything until that point" — the
+  unnecessary synchronous behaviour that interlocks with the client's
+  delayed ACK (Figure 11);
+* service times distinguish cold (disk) from warm (server cache)
+  requests, NTFS-style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.engine import seconds
+from ..sim.rng import SimRandom
+from ..sim.scheduler import Kernel
+from ..vfs.inode import InodeTable
+from .smb import (ENTRY_WIRE_SIZE, FIND_BATCH, DirEntryInfo, FindFirstRequest,
+                  FindNextRequest, FindReply, ReadReply, ReadRequest)
+from .tcp import MAX_SEGMENT, TcpEndpoint
+
+__all__ = ["CifsServer"]
+
+#: Server burst size in segments between ACK synchronization points.
+#: Three matches Figure 11's reply + two continuations.
+BURST_SEGMENTS = 3
+
+
+class CifsServer:
+    """Serves a directory tree over a TCP endpoint."""
+
+    COLD_LISTING = seconds(15e-3)   # directory read from disk
+    WARM_LISTING = seconds(1.2e-3)  # directory in server cache
+    COLD_READ = seconds(4e-3)       # file page from disk
+    WARM_READ = seconds(60e-6)      # file page from server cache
+
+    def __init__(self, kernel: Kernel, inodes: InodeTable,
+                 endpoint: TcpEndpoint,
+                 rng: Optional[SimRandom] = None,
+                 burst_segments: int = BURST_SEGMENTS,
+                 find_batch: int = FIND_BATCH):
+        if burst_segments < 1:
+            raise ValueError("burst size must be at least one segment")
+        self.kernel = kernel
+        self.inodes = inodes
+        self.endpoint = endpoint
+        self.rng = rng if rng is not None else kernel.rng.fork("cifs-server")
+        self.burst_segments = burst_segments
+        self.find_batch = find_batch
+        endpoint.on_receive = self._on_packet
+        self._cookies: Dict[int, Tuple[int, int]] = {}  # cookie -> (ino, pos)
+        self._next_cookie = 1
+        self._warm_dirs: Set[int] = set()
+        self._warm_pages: Set[Tuple[int, int]] = set()
+        self.requests_served = 0
+        self.bursts_sent = 0
+
+    # -- request handling ------------------------------------------------------
+
+    def _on_packet(self, packet) -> None:
+        request = packet.payload
+        if request is None:
+            return  # bare continuation/ack
+        if isinstance(request, FindFirstRequest):
+            service = self._listing_service(request.directory_ino)
+            reply = self._find_entries(request.mid, request.directory_ino, 0)
+        elif isinstance(request, FindNextRequest):
+            ino, pos = self._cookies.pop(request.cookie)
+            service = self.WARM_LISTING  # continuation data already read
+            reply = self._find_entries(request.mid, ino, pos)
+        elif isinstance(request, ReadRequest):
+            service = self._read_service(request.ino, request.offset)
+            reply = ReadReply(mid=request.mid, ino=request.ino,
+                              offset=request.offset,
+                              length=request.length)
+        else:
+            raise TypeError(f"server got unknown request {request!r}")
+        self.requests_served += 1
+        delay = self.rng.jitter(service, sigma=0.2)
+        self.kernel.engine.schedule(
+            delay, lambda r=reply: self._send_reply(r))
+
+    def _listing_service(self, ino: int) -> float:
+        if ino in self._warm_dirs:
+            return self.WARM_LISTING
+        self._warm_dirs.add(ino)
+        return self.COLD_LISTING
+
+    def _read_service(self, ino: int, offset: int) -> float:
+        key = (ino, offset // 4096)
+        if key in self._warm_pages:
+            return self.WARM_READ
+        self._warm_pages.add(key)
+        return self.COLD_READ
+
+    def _find_entries(self, mid: int, ino: int, pos: int) -> FindReply:
+        directory = self.inodes.get(ino)
+        batch = directory.entries[pos:pos + self.find_batch]
+        infos: List[DirEntryInfo] = []
+        for entry in batch:
+            child = self.inodes.get(entry.ino)
+            infos.append(DirEntryInfo(name=entry.name, ino=child.ino,
+                                      is_dir=child.is_dir,
+                                      size=child.size))
+        next_pos = pos + len(batch)
+        exhausted = next_pos >= len(directory.entries)
+        cookie = None
+        if not exhausted:
+            cookie = self._next_cookie
+            self._next_cookie += 1
+            self._cookies[cookie] = (ino, next_pos)
+        return FindReply(mid=mid, entries=infos, cookie=cookie,
+                         end_of_search=exhausted)
+
+    # -- reply transmission -------------------------------------------------------
+
+    def _segment_sizes(self, total: int) -> List[int]:
+        sizes = []
+        remaining = total
+        while remaining > 0:
+            sizes.append(min(remaining, MAX_SEGMENT))
+            remaining -= MAX_SEGMENT
+        return sizes or [40]
+
+    def _send_reply(self, reply) -> None:
+        """Send in bursts, stalling for a full ACK between bursts."""
+        sizes = self._segment_sizes(reply.wire_size())
+        kind = "FIND" if isinstance(reply, FindReply) else "READ"
+
+        def describe(i: int) -> str:
+            if i == 0:
+                return f"{kind} reply (SMB)"
+            if i % self.burst_segments == 0:
+                return "transact continuation (SMB)"
+            return f"reply continuation {i} (TCP)"
+
+        def send_burst(start: int) -> None:
+            end = min(start + self.burst_segments, len(sizes))
+            for i in range(start, end):
+                payload = reply if i == len(sizes) - 1 else None
+                self.endpoint.send(sizes[i], describe(i), payload)
+            self.bursts_sent += 1
+            if end < len(sizes):
+                self.endpoint.when_all_acked(
+                    lambda s=end: send_burst(s))
+
+        send_burst(0)

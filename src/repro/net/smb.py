@@ -1,0 +1,100 @@
+"""SMB/CIFS message types.
+
+Just enough of the protocol for the paper's Section 6.4 experiments:
+``FIND_FIRST`` (pattern search returning names + metadata and a
+continuation cookie), ``FIND_NEXT`` (continue from a cookie), and
+``READ`` (fetch file data).  Replies larger than one TCP segment are
+split into *continuation* segments; the Windows server additionally
+sends large replies as multi-burst *transact continuations*, pausing for
+a full ACK between bursts — the delayed-ACK interaction of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["FindFirstRequest", "FindNextRequest", "ReadRequest",
+           "DirEntryInfo", "FindReply", "ReadReply",
+           "ENTRY_WIRE_SIZE", "REQUEST_SIZE", "FIND_BATCH"]
+
+#: Wire size of one directory entry with metadata (name + attributes).
+ENTRY_WIRE_SIZE = 110
+
+#: Size of a request PDU.
+REQUEST_SIZE = 120
+
+#: Directory entries per FIND transaction (server-side batch limit).
+FIND_BATCH = 96
+
+
+@dataclass
+class DirEntryInfo:
+    """One returned entry: name, inode number, directory flag, size."""
+
+    name: str
+    ino: int
+    is_dir: bool
+    size: int
+
+
+@dataclass
+class FindFirstRequest:
+    """Search a directory for names matching a pattern."""
+
+    mid: int             # multiplex id: matches replies to requests
+    directory_ino: int
+    pattern: str = "*"
+
+    def wire_size(self) -> int:
+        return REQUEST_SIZE + len(self.pattern)
+
+
+@dataclass
+class FindNextRequest:
+    """Continue a listing from a server-side cookie."""
+
+    mid: int
+    cookie: int
+
+    def wire_size(self) -> int:
+        return REQUEST_SIZE
+
+
+@dataclass
+class ReadRequest:
+    """Read *length* bytes of a file at *offset*."""
+
+    mid: int
+    ino: int
+    offset: int
+    length: int
+
+    def wire_size(self) -> int:
+        return REQUEST_SIZE
+
+
+@dataclass
+class FindReply:
+    """The assembled result of a FIND transaction."""
+
+    mid: int
+    entries: List[DirEntryInfo] = field(default_factory=list)
+    cookie: Optional[int] = None  # None: listing exhausted
+    end_of_search: bool = True
+
+    def wire_size(self) -> int:
+        return 80 + ENTRY_WIRE_SIZE * len(self.entries)
+
+
+@dataclass
+class ReadReply:
+    """The result of a READ transaction."""
+
+    mid: int
+    ino: int
+    offset: int
+    length: int
+
+    def wire_size(self) -> int:
+        return 60 + self.length

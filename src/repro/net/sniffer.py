@@ -1,0 +1,97 @@
+"""Packet capture and Figure 11-style timelines.
+
+"We ran a packet sniffer on the network to investigate this further."
+:class:`Sniffer` records every delivered segment; :func:`render_timeline`
+prints the two-column client/server exchange with millisecond
+timestamps, the form of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim.engine import CYCLES_PER_SECOND
+from .tcp import Packet
+
+__all__ = ["CapturedPacket", "Sniffer", "render_timeline"]
+
+
+@dataclass
+class CapturedPacket:
+    """One captured segment with both wire timestamps (cycles)."""
+
+    seq: int
+    time: float          # delivery time
+    sent_at: float
+    src: str
+    dst: str
+    size: int
+    describe: str
+    is_data: bool
+
+    def time_ms(self, epoch: float = 0.0) -> float:
+        return (self.time - epoch) / CYCLES_PER_SECOND * 1e3
+
+
+class Sniffer:
+    """Accumulates captured packets; attach via TcpConnection(sniffer=...)."""
+
+    def __init__(self):
+        self.packets: List[CapturedPacket] = []
+
+    def capture(self, packet: Packet) -> None:
+        self.packets.append(CapturedPacket(
+            seq=packet.seq, time=packet.delivered_at,
+            sent_at=packet.sent_at, src=packet.src, dst=packet.dst,
+            size=packet.size, describe=packet.describe,
+            is_data=packet.is_data))
+
+    def clear(self) -> None:
+        self.packets.clear()
+
+    def between(self, start: float, end: float) -> List[CapturedPacket]:
+        return [p for p in self.packets if start <= p.time <= end]
+
+    def stalls(self, threshold_seconds: float = 0.1) -> List[float]:
+        """Inter-packet gaps longer than the threshold (seconds).
+
+        The delayed-ACK pathology shows up as ~0.2 s gaps; a healthy
+        exchange has none.
+        """
+        gaps = []
+        ordered = sorted(self.packets, key=lambda p: p.time)
+        for prev, cur in zip(ordered, ordered[1:]):
+            gap = (cur.time - prev.time) / CYCLES_PER_SECOND
+            if gap >= threshold_seconds:
+                gaps.append(gap)
+        return gaps
+
+
+def render_timeline(sniffer: Sniffer, client: str, server: str,
+                    limit: Optional[int] = None,
+                    epoch: Optional[float] = None) -> str:
+    """ASCII two-column packet timeline (Figure 11).
+
+    Client-originated packets point right, server-originated left;
+    timestamps in ms relative to the first packet (or ``epoch``).
+    """
+    packets = sorted(sniffer.packets, key=lambda p: p.time)
+    if limit is not None:
+        packets = packets[:limit]
+    if not packets:
+        return "(no packets captured)"
+    zero = epoch if epoch is not None else packets[0].sent_at
+    width = 46
+    lines = [f"Time (ms)  {client:<10}{'':<{width - 20}}{server:>10}"]
+    for p in packets:
+        t = (p.time - zero) / CYCLES_PER_SECOND * 1e3
+        label = f"{p.describe} [{p.size}B]"
+        if p.src == client:
+            arrow = label.center(width - 2, "-")
+            line = f"{t:8.1f}   |{arrow}>|"
+        else:
+            arrow = label.center(width - 2, "-")
+            line = f"{t:8.1f}   |<{arrow}|"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""The simulated-kernel substrate.
+
+A deterministic discrete-event model of the OSs the paper instruments:
+an event :class:`Engine` denominated in CPU cycles, generator-coroutine
+:class:`Process`\\ es scheduled round-robin over SMP :class:`Cpu`\\ s with
+a quantum and optional in-kernel preemption, per-CPU skewed TSCs,
+semaphores/spinlocks/RW locks, timer interrupts, periodic daemons, and
+a syscall layer carrying OSprof instrumentation.
+"""
+
+from .clock import POWERUP_SKEW_SECONDS, SOFTWARE_SYNC_SECONDS, TscBank
+from .engine import CYCLES_PER_SECOND, Engine, Event, cycles_to_seconds, seconds
+from .interrupts import (DEFAULT_TIMER_COST, DEFAULT_TIMER_PERIOD,
+                         PeriodicDaemon, TimerInterrupt)
+from .process import (Condition, CpuBurst, Process, ProcessState, Sleep,
+                      Spawn, WaitCondition, YieldCpu)
+from .rng import SimRandom
+from .scheduler import (DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM, Cpu, Kernel)
+from .sync import (DEFAULT_SEM_COST, DEFAULT_SPIN_POLL, RWLock, Semaphore,
+                   SpinLock)
+from .syscalls import DEFAULT_SYSCALL_COST, PROFILER_HOOK_COST, SyscallLayer
+
+__all__ = [
+    "POWERUP_SKEW_SECONDS", "SOFTWARE_SYNC_SECONDS", "TscBank",
+    "CYCLES_PER_SECOND", "Engine", "Event", "cycles_to_seconds", "seconds",
+    "DEFAULT_TIMER_COST", "DEFAULT_TIMER_PERIOD", "PeriodicDaemon",
+    "TimerInterrupt",
+    "Condition", "CpuBurst", "Process", "ProcessState", "Sleep", "Spawn",
+    "WaitCondition", "YieldCpu",
+    "SimRandom",
+    "DEFAULT_CONTEXT_SWITCH", "DEFAULT_QUANTUM", "Cpu", "Kernel",
+    "DEFAULT_SEM_COST", "DEFAULT_SPIN_POLL", "RWLock", "Semaphore",
+    "SpinLock",
+    "DEFAULT_SYSCALL_COST", "PROFILER_HOOK_COST", "SyscallLayer",
+]

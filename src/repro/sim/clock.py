@@ -1,0 +1,73 @@
+"""Per-CPU time-stamp counters with skew (Section 3.4, "Clock Skew").
+
+"CPU clock counters on different CPUs are usually not precisely
+synchronized ... most systems have small counter differences after they
+are powered up (~20 ns).  Also, it is possible to synchronize the
+counters in software by writing to them concurrently.  For example,
+Linux synchronizes CPU clock counters at boot time and achieves timing
+synchronization of ~130 ns."
+
+:class:`TscBank` gives each simulated CPU an offset from true simulated
+time.  A process migrating between CPUs mid-request observes the offset
+difference in its measured latency — the perturbation OSprof's
+logarithmic filtering is insensitive to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .engine import CYCLES_PER_SECOND
+from .rng import SimRandom
+
+__all__ = ["TscBank", "POWERUP_SKEW_SECONDS", "SOFTWARE_SYNC_SECONDS"]
+
+#: Typical counter difference right after power-up (~20 ns).
+POWERUP_SKEW_SECONDS = 20e-9
+
+#: Skew achieved by boot-time software synchronization (~130 ns).
+SOFTWARE_SYNC_SECONDS = 130e-9
+
+
+class TscBank:
+    """One 64-bit cycle counter per CPU, each with a fixed offset."""
+
+    def __init__(self, num_cpus: int, rng: Optional[SimRandom] = None,
+                 max_skew_seconds: float = POWERUP_SKEW_SECONDS):
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if max_skew_seconds < 0:
+            raise ValueError("skew must be non-negative")
+        rng = rng if rng is not None else SimRandom()
+        max_skew_cycles = max_skew_seconds * CYCLES_PER_SECOND
+        # CPU 0 is the reference; others are offset within +/- max skew.
+        self._offsets: List[float] = [0.0]
+        for _ in range(num_cpus - 1):
+            self._offsets.append(rng.uniform(-max_skew_cycles,
+                                             max_skew_cycles))
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self._offsets)
+
+    def read(self, cpu: int, true_time: float) -> float:
+        """The TSC value CPU *cpu* reports at true simulated time."""
+        return true_time + self._offsets[cpu]
+
+    def offset(self, cpu: int) -> float:
+        return self._offsets[cpu]
+
+    def max_pairwise_skew(self) -> float:
+        """Largest counter difference between any two CPUs, in cycles."""
+        return max(self._offsets) - min(self._offsets)
+
+    def synchronize(self, residual_seconds: float = SOFTWARE_SYNC_SECONDS,
+                    rng: Optional[SimRandom] = None) -> None:
+        """Software synchronization: shrink offsets to the residual bound."""
+        if residual_seconds < 0:
+            raise ValueError("residual skew must be non-negative")
+        rng = rng if rng is not None else SimRandom(1)
+        residual_cycles = residual_seconds * CYCLES_PER_SECOND
+        self._offsets = [0.0] + [
+            rng.uniform(-residual_cycles, residual_cycles)
+            for _ in range(len(self._offsets) - 1)]

@@ -1,0 +1,24 @@
+"""VFS substrate: inodes, page cache, files, dispatch, instrumentation."""
+
+from .file import File, O_DIRECT, SEEK_CUR, SEEK_END, SEEK_SET
+from .fosgen import (OPERATION_VECTOR, discover_operations,
+                     instrument_filesystem, uninstrument_filesystem)
+from .inode import (ENTRIES_PER_PAGE, DirEntry, Inode, InodeTable, S_IFDIR,
+                    S_IFREG)
+from .instrument import FsInstrument
+from .llseek import (LLSEEK_BODY_COST, generic_file_llseek,
+                     generic_file_llseek_patched)
+from .pagecache import Page, PageCache
+from .vfs import FileSystem, VFS_DISPATCH_COST, Vfs
+
+__all__ = [
+    "File", "O_DIRECT", "SEEK_CUR", "SEEK_END", "SEEK_SET",
+    "OPERATION_VECTOR", "discover_operations", "instrument_filesystem",
+    "uninstrument_filesystem",
+    "ENTRIES_PER_PAGE", "DirEntry", "Inode", "InodeTable", "S_IFDIR",
+    "S_IFREG",
+    "FsInstrument",
+    "LLSEEK_BODY_COST", "generic_file_llseek", "generic_file_llseek_patched",
+    "Page", "PageCache",
+    "FileSystem", "VFS_DISPATCH_COST", "Vfs",
+]

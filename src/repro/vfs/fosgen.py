@@ -1,0 +1,115 @@
+"""FoSgen: automatic file-system instrumentation.
+
+The paper's FoSgen parses a file system's source, finds the VFS
+operation vectors, and inserts FSPROF_PRE/FSPROF_POST macros at every
+operation's entry and return points — instrumenting "more than a dozen
+Linux 2.4.24, 2.6.11, and FreeBSD 6.0 file systems" without manual
+work, including wrapping generic kernel functions in per-FS wrappers.
+
+This module is the runtime-Python analogue: :func:`instrument_filesystem`
+discovers the operations a :class:`~repro.vfs.vfs.FileSystem` subclass
+implements (its "operation vector" is the set of base-class methods it
+overrides or inherits) and rebinds each to a wrapper that routes the
+call through an :class:`~repro.vfs.instrument.FsInstrument`.  Like
+FoSgen, it needs no cooperation from the file system being wrapped, and
+wrapping a *generic* inherited method creates a per-FS wrapper without
+touching the shared implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..sim.process import ProcBody, Process
+from .instrument import FsInstrument
+from .vfs import FileSystem
+
+__all__ = ["OPERATION_VECTOR", "discover_operations",
+           "instrument_filesystem", "uninstrument_filesystem"]
+
+#: The VFS operation vector FoSgen scans for (struct file_operations,
+#: inode_operations, super_operations in the paper's kernels).
+OPERATION_VECTOR = (
+    "file_read", "file_write", "readdir", "readpage", "llseek",
+    "fsync", "write_super", "create", "unlink",
+)
+
+_WRAPPED_MARKER = "_fosgen_original"
+
+
+def discover_operations(fs: FileSystem,
+                        vector: Iterable[str] = OPERATION_VECTOR
+                        ) -> List[str]:
+    """The operations *fs* actually implements.
+
+    An operation is implemented when the instance (or its class chain
+    below :class:`FileSystem`) provides it — the equivalent of FoSgen
+    finding a non-NULL slot in the operation vector.  Base-class stubs
+    that merely raise ``NotImplementedError`` are skipped.
+    """
+    implemented = []
+    for name in vector:
+        method = getattr(type(fs), name, None)
+        if method is None:
+            continue
+        base = getattr(FileSystem, name, None)
+        if method is base and name != "write_super":
+            # Inherited the abstract stub: slot is empty.  write_super
+            # has a real (no-op) default, which FoSgen would wrap.
+            continue
+        implemented.append(name)
+    return implemented
+
+
+def _make_wrapper(fs: FileSystem, name: str, original,
+                  instrument: FsInstrument):
+    def wrapper(proc: Process, *args, **kwargs) -> ProcBody:
+        body = original(proc, *args, **kwargs)
+        return instrument.invoke(proc, name, body)
+
+    wrapper.__name__ = f"fosgen_{name}"
+    wrapper.__doc__ = (f"FoSgen wrapper around "
+                       f"{type(fs).__name__}.{name}")
+    setattr(wrapper, _WRAPPED_MARKER, original)
+    return wrapper
+
+
+def instrument_filesystem(fs: FileSystem, instrument: FsInstrument,
+                          vector: Iterable[str] = OPERATION_VECTOR
+                          ) -> List[str]:
+    """Wrap every implemented operation of *fs* with FSPROF macros.
+
+    Returns the list of instrumented operation names.  Idempotent:
+    already-wrapped operations are left alone.  Instance-level
+    rebinding means two mounts of the same class can carry different
+    instrumentation, exactly like FoSgen instrumenting one file
+    system's source tree and not another's.
+    """
+    wrapped = []
+    for name in discover_operations(fs, vector):
+        current = getattr(fs, name)
+        if hasattr(current, _WRAPPED_MARKER):
+            continue
+        setattr(fs, name, _make_wrapper(fs, name, current, instrument))
+        wrapped.append(name)
+    return wrapped
+
+
+def uninstrument_filesystem(fs: FileSystem,
+                            vector: Iterable[str] = OPERATION_VECTOR
+                            ) -> List[str]:
+    """Remove FoSgen wrappers, restoring the original bindings."""
+    restored = []
+    for name in vector:
+        current = getattr(fs, name, None)
+        original = getattr(current, _WRAPPED_MARKER, None)
+        if original is not None:
+            # The wrapper was bound on the instance; deleting exposes
+            # the class method again unless the original was itself an
+            # instance attribute.
+            try:
+                delattr(fs, name)
+            except AttributeError:
+                setattr(fs, name, original)
+            restored.append(name)
+    return restored

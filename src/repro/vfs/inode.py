@@ -1,0 +1,131 @@
+"""Inodes and directory entries.
+
+Each inode carries the ``i_sem`` semaphore that Linux 2.6 used to
+serialize operations on the object — the semaphore behind the paper's
+Section 6.1 llseek contention discovery.  Directory inodes hold their
+entries in page-sized chunks so ``readdir`` walks them the way Ext2
+walks directory blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..disk.geometry import BLOCK_SIZE
+from ..sim.scheduler import Kernel
+from ..sim.sync import Semaphore
+
+__all__ = ["Inode", "InodeTable", "DirEntry", "ENTRIES_PER_PAGE",
+           "S_IFREG", "S_IFDIR"]
+
+S_IFREG = "file"
+S_IFDIR = "dir"
+
+#: Ext2 packs variable-size dirents; ~64 per 4 KB block is typical for
+#: kernel-source-like names.
+ENTRIES_PER_PAGE = 64
+
+
+class DirEntry:
+    """One directory entry: a name and the inode it references."""
+
+    __slots__ = ("name", "ino")
+
+    def __init__(self, name: str, ino: int):
+        self.name = name
+        self.ino = ino
+
+    def __repr__(self) -> str:
+        return f"DirEntry({self.name!r}, ino={self.ino})"
+
+
+class Inode:
+    """An in-memory inode: metadata, block map, and the i_sem semaphore."""
+
+    def __init__(self, kernel: Kernel, ino: int, kind: str):
+        if kind not in (S_IFREG, S_IFDIR):
+            raise ValueError(f"unknown inode kind {kind!r}")
+        self.kernel = kernel
+        self.ino = ino
+        self.kind = kind
+        self.size = 0  # bytes for files, entry count for directories
+        self.blocks: List[int] = []  # disk blocks, one per page
+        self.entries: List[DirEntry] = []  # directories only
+        self.i_sem = Semaphore(kernel, name=f"i_sem:{ino}")
+        self.atime = 0.0
+        self.mtime = 0.0
+        self.dirty = False
+        self.nlink = 1
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == S_IFDIR
+
+    def num_pages(self) -> int:
+        """Pages of data (file bytes or directory entries)."""
+        if self.is_dir:
+            return (len(self.entries) + ENTRIES_PER_PAGE - 1) \
+                // ENTRIES_PER_PAGE
+        return (self.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+    def block_for(self, page_index: int) -> int:
+        """The disk block backing one page of this inode."""
+        if not 0 <= page_index < len(self.blocks):
+            raise ValueError(
+                f"inode {self.ino}: page {page_index} beyond mapped "
+                f"blocks ({len(self.blocks)})")
+        return self.blocks[page_index]
+
+    def dir_page_entries(self, page_index: int) -> List[DirEntry]:
+        """The directory entries stored in one page."""
+        if not self.is_dir:
+            raise ValueError("not a directory")
+        start = page_index * ENTRIES_PER_PAGE
+        return self.entries[start:start + ENTRIES_PER_PAGE]
+
+    def add_entry(self, name: str, ino: int) -> None:
+        if not self.is_dir:
+            raise ValueError("not a directory")
+        self.entries.append(DirEntry(name, ino))
+        self.size = len(self.entries)
+
+    def lookup_entry(self, name: str) -> Optional[DirEntry]:
+        if not self.is_dir:
+            raise ValueError("not a directory")
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    def touch_atime(self, now: float) -> None:
+        """Mark access time; dirties metadata for the flush daemon."""
+        self.atime = now
+        self.dirty = True
+
+    def __repr__(self) -> str:
+        return f"<Inode {self.ino} {self.kind} size={self.size}>"
+
+
+class InodeTable:
+    """Allocates inode numbers and tracks live inodes."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._inodes: Dict[int, Inode] = {}
+        self._next_ino = 2  # inode 2 is the root, as in Ext2
+
+    def allocate(self, kind: str) -> Inode:
+        inode = Inode(self.kernel, self._next_ino, kind)
+        self._inodes[inode.ino] = inode
+        self._next_ino += 1
+        return inode
+
+    def get(self, ino: int) -> Inode:
+        return self._inodes[ino]
+
+    def __len__(self) -> int:
+        return len(self._inodes)
+
+    def dirty_inodes(self) -> List[Inode]:
+        """Inodes with pending metadata updates (atime etc.)."""
+        return [inode for inode in self._inodes.values() if inode.dirty]

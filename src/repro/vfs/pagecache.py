@@ -1,0 +1,167 @@
+"""The page cache: resident pages, in-flight fills, dirty tracking.
+
+``readpage`` in Linux "just initiates the I/O and does not wait for its
+completion" (Section 6.2) — the *caller* then sleeps on the page lock.
+The same split lives here: :meth:`install_inflight` records a page whose
+disk read has been dispatched, the disk's completion listener marks it
+resident and fires its condition, and :meth:`wait` is the page-lock
+sleep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..disk.device import Disk, DiskRequest
+from ..sim.process import Condition, ProcBody, WaitCondition
+from ..sim.scheduler import Kernel
+
+__all__ = ["Page", "PageCache"]
+
+PageKey = Tuple[int, int]  # (inode number, page index)
+
+
+class Page:
+    """One cached page and its I/O state."""
+
+    __slots__ = ("key", "resident", "dirty", "condition")
+
+    def __init__(self, key: PageKey):
+        self.key = key
+        self.resident = False
+        self.dirty = False
+        self.condition = Condition(f"page:{key[0]}:{key[1]}")
+
+    def __repr__(self) -> str:
+        state = "resident" if self.resident else "in-flight"
+        if self.dirty:
+            state += " dirty"
+        return f"<Page ino={self.key[0]} idx={self.key[1]} {state}>"
+
+
+class PageCache:
+    """LRU page cache shared by all file systems on one kernel."""
+
+    def __init__(self, kernel: Kernel, capacity_pages: int = 65_536):
+        if capacity_pages < 1:
+            raise ValueError("capacity must be positive")
+        self.kernel = kernel
+        self.capacity = capacity_pages
+        self._pages: "OrderedDict[PageKey, Page]" = OrderedDict()
+        self._inflight_by_request: Dict[int, Page] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._disks_hooked: List[int] = []
+
+    def attach_disk(self, disk: Disk) -> None:
+        """Subscribe to a disk's completions to finish page fills."""
+        if id(disk) in self._disks_hooked:
+            return
+        self._disks_hooked.append(id(disk))
+        disk.on_complete.append(self._io_done)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, ino: int, page_index: int) -> Optional[Page]:
+        """Find a page (resident or in-flight); updates LRU + stats."""
+        key = (ino, page_index)
+        page = self._pages.get(key)
+        if page is not None:
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return page
+        self.misses += 1
+        return None
+
+    def peek(self, ino: int, page_index: int) -> Optional[Page]:
+        """Non-statistical lookup (assertions, writeback scans)."""
+        return self._pages.get((ino, page_index))
+
+    # -- fills ----------------------------------------------------------------
+
+    def install_inflight(self, ino: int, page_index: int,
+                         request: DiskRequest) -> Page:
+        """Register a page whose read has just been dispatched."""
+        key = (ino, page_index)
+        existing = self._pages.get(key)
+        if existing is not None:
+            return existing
+        self._evict_if_full()
+        page = Page(key)
+        self._pages[key] = page
+        self._inflight_by_request[id(request)] = page
+        return page
+
+    def install_resident(self, ino: int, page_index: int,
+                         dirty: bool = False) -> Page:
+        """Insert an already-valid page (e.g. just-written data)."""
+        key = (ino, page_index)
+        page = self._pages.get(key)
+        if page is None:
+            self._evict_if_full()
+            page = Page(key)
+            self._pages[key] = page
+        page.resident = True
+        page.dirty = page.dirty or dirty
+        self._pages.move_to_end(key)
+        return page
+
+    def _evict_if_full(self) -> None:
+        while len(self._pages) >= self.capacity:
+            victim_key = None
+            for key, page in self._pages.items():
+                if page.resident and not page.dirty:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                # Nothing clean to drop; allow temporary overcommit
+                # rather than deadlocking on in-flight/dirty pages.
+                return
+            del self._pages[victim_key]
+            self.evictions += 1
+
+    def _io_done(self, request: DiskRequest) -> None:
+        page = self._inflight_by_request.pop(id(request), None)
+        if page is None:
+            return
+        page.resident = True
+        self.kernel.fire_condition(page.condition, page, wake_all=True)
+
+    # -- waiting -----------------------------------------------------------------
+
+    def wait(self, page: Page) -> ProcBody:
+        """Generator: sleep until the page's fill completes."""
+        if page.resident:
+            return page
+            yield  # pragma: no cover
+        yield WaitCondition(page.condition)
+        return page
+
+    # -- dirty page management ------------------------------------------------------
+
+    def mark_dirty(self, ino: int, page_index: int) -> Page:
+        page = self.install_resident(ino, page_index, dirty=True)
+        return page
+
+    def dirty_pages(self) -> List[Page]:
+        return [p for p in self._pages.values() if p.dirty]
+
+    def clean(self, page: Page) -> None:
+        """Mark a dirty page written back."""
+        page.dirty = False
+
+    # -- stats -------------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def resident_count(self) -> int:
+        return sum(1 for p in self._pages.values() if p.resident)
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,27 @@
+"""Workload generators: grep, random-read, Postmark, micro-benchmarks."""
+
+from .compile import (CompileConfig, CompileResult, compile_body,
+                      run_compile)
+from .grep import GrepResult, grep_body, run_grep, run_parallel_grep
+from .microbench import (CLONE_BODY_COST, CLONE_LOCKED_COST, CloneStress,
+                         run_zero_byte_reads, zero_byte_read_body)
+from .postmark import PostmarkConfig, PostmarkReport, run_postmark
+from .randomread import (RandomReadConfig, random_read_body,
+                         run_random_read)
+from .sourcetree import TreeStats, build_source_tree
+from .trace import Trace, TraceRecord, TraceRecorder, replay_trace
+from .webserver import (WebServerConfig, WebServerResult,
+                        build_document_set, run_webserver)
+
+__all__ = [
+    "CompileConfig", "CompileResult", "compile_body", "run_compile",
+    "GrepResult", "grep_body", "run_grep", "run_parallel_grep",
+    "CLONE_BODY_COST", "CLONE_LOCKED_COST", "CloneStress",
+    "run_zero_byte_reads", "zero_byte_read_body",
+    "PostmarkConfig", "PostmarkReport", "run_postmark",
+    "RandomReadConfig", "random_read_body", "run_random_read",
+    "TreeStats", "build_source_tree",
+    "Trace", "TraceRecord", "TraceRecorder", "replay_trace",
+    "WebServerConfig", "WebServerResult", "build_document_set",
+    "run_webserver",
+]

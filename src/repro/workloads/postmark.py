@@ -1,0 +1,154 @@
+"""A Postmark-like mail-server workload (Section 5.2).
+
+Postmark v1.5 "performs a series of file system operations such as
+create, delete, append, and read."  The paper configured 20,000 files
+and 200,000 transactions so the working set exceeded OS caches; this
+module reproduces the transaction mix at a configurable scale and
+reports the elapsed/user/system/wait split the paper's Section 5
+evaluation tables are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..disk.geometry import BLOCK_SIZE
+from ..sim.process import CpuBurst, ProcBody, Process
+from ..system import System
+from ..vfs.inode import Inode
+
+__all__ = ["PostmarkConfig", "PostmarkReport", "run_postmark"]
+
+
+@dataclass
+class PostmarkConfig:
+    """Scaled-down Postmark defaults (paper: 20,000 / 200,000)."""
+
+    files: int = 500
+    transactions: int = 2000
+    min_size: int = 500
+    max_size: int = 9_770  # Postmark's default upper bound
+    read_chunk: int = BLOCK_SIZE
+    seed: int = 1997  # Postmark's publication year, why not
+
+
+@dataclass
+class PostmarkReport:
+    """The time split Section 5 reports (all in seconds)."""
+
+    elapsed: float
+    user: float
+    system: float
+    wait: float
+    transactions: int
+    creates: int
+    deletes: int
+    reads: int
+    appends: int
+
+    def system_fraction(self) -> float:
+        if self.elapsed == 0:
+            return 0.0
+        return self.system / self.elapsed
+
+
+def _postmark_body(system: System, proc: Process, workdir: Inode,
+                   config: PostmarkConfig,
+                   counters: PostmarkReport) -> ProcBody:
+    rng = system.kernel.rng.fork(f"postmark:{config.seed}:{proc.pid}")
+    fs = system.fs
+
+    # Phase 1: create the initial pool.
+    pool: List[Inode] = []
+    for i in range(config.files):
+        inode = yield from system.syscalls.invoke(
+            proc, "create",
+            fs.create(proc, workdir, f"pm{proc.pid}_{i}"))
+        size = rng.randint(config.min_size, config.max_size)
+        f = system.vfs.open_inode(inode)
+        yield from system.syscalls.invoke(
+            proc, "write", system.vfs.write(proc, f, size))
+        pool.append(inode)
+        counters.creates += 1
+
+    # Phase 2: the transaction mix (half read/append, half create/delete,
+    # like Postmark's default biases).  Each transaction carries a bit
+    # of user-mode bookkeeping, as the real benchmark binary does.
+    serial = config.files
+    for _ in range(config.transactions):
+        counters.transactions += 1
+        yield CpuBurst(rng.jitter(3_000, sigma=0.3))
+        roll = rng.random()
+        if roll < 0.25 and pool:
+            # read a whole file
+            target = rng.choice(pool)
+            f = system.vfs.open_inode(target)
+            while True:
+                n = yield from system.syscalls.invoke(
+                    proc, "read",
+                    system.vfs.read(proc, f, config.read_chunk))
+                if n == 0:
+                    break
+            counters.reads += 1
+        elif roll < 0.5 and pool:
+            # append
+            target = rng.choice(pool)
+            f = system.vfs.open_inode(target)
+            f.pos = target.size
+            size = rng.randint(config.min_size, config.max_size)
+            yield from system.syscalls.invoke(
+                proc, "write", system.vfs.write(proc, f, size))
+            if rng.chance(0.2):
+                # Mail servers fsync a fraction of their appends.
+                yield from system.syscalls.invoke(
+                    proc, "fsync", system.vfs.fsync(proc, f))
+            counters.appends += 1
+        elif roll < 0.75:
+            # create
+            inode = yield from system.syscalls.invoke(
+                proc, "create",
+                fs.create(proc, workdir, f"pm{proc.pid}_{serial}"))
+            serial += 1
+            size = rng.randint(config.min_size, config.max_size)
+            f = system.vfs.open_inode(inode)
+            yield from system.syscalls.invoke(
+                proc, "write", system.vfs.write(proc, f, size))
+            pool.append(inode)
+            counters.creates += 1
+        elif pool:
+            # delete
+            index = rng.randint(0, len(pool) - 1)
+            target = pool.pop(index)
+            name = None
+            entry = None
+            for e in workdir.entries:
+                if e.ino == target.ino:
+                    name = e.name
+                    break
+            if name is not None:
+                yield from system.syscalls.invoke(
+                    proc, "unlink", fs.unlink(proc, workdir, name))
+                counters.deletes += 1
+    return counters
+
+
+def run_postmark(system: System,
+                 config: Optional[PostmarkConfig] = None) -> PostmarkReport:
+    """Run Postmark in one process; returns the measured time split."""
+    config = config if config is not None else PostmarkConfig()
+    workdir = system.tree.mkdir(system.root, "postmark")
+    report = PostmarkReport(elapsed=0.0, user=0.0, system=0.0, wait=0.0,
+                            transactions=0, creates=0, deletes=0,
+                            reads=0, appends=0)
+    started = system.kernel.now
+    proc = system.kernel.spawn(
+        lambda p: _postmark_body(system, p, workdir, config, report),
+        "postmark")
+    system.run([proc])
+    hz = 1.7e9
+    report.elapsed = (system.kernel.now - started) / hz
+    report.user = proc.user_time / hz
+    report.system = proc.sys_time / hz
+    report.wait = proc.wait_time / hz
+    return report

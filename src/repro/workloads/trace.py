@@ -1,0 +1,193 @@
+"""VFS trace capture and replay.
+
+The paper's related work surveys trace tools (Ellard & Seltzer's NFS
+tracers); the profiling counterpart is *workload portability*: capture
+the request stream of a live workload once, then replay it bit-exactly
+against differently-configured systems (patched llseek, different
+quantum, failing disk) and diff the profiles.  Replay needs no workload
+generator — only the trace and an identically-built file tree (same
+``build_source_tree`` seed, or any deterministic tree construction).
+
+A trace records, per request: the operation, the inode, the file
+position before the call, the byte count, and the *think time* (cycles
+between the previous request's completion and this request's start),
+so the replayed process reproduces the original pacing on a machine
+with identical timing, and adapts naturally when the substrate is
+faster or slower.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from ..sim.process import CpuBurst, ProcBody, Process
+from ..system import System
+from ..vfs.file import File
+
+__all__ = ["TraceRecord", "Trace", "TraceRecorder", "replay_trace"]
+
+_REPLAYABLE = ("read", "llseek", "readdir", "write", "fsync")
+
+
+@dataclass
+class TraceRecord:
+    """One request: (operation, inode, position, count, think)."""
+
+    operation: str
+    ino: int
+    pos: int
+    count: int
+    think: float  # cycles of user time before this request
+
+    def to_line(self) -> str:
+        return json.dumps([self.operation, self.ino, self.pos,
+                           self.count, round(self.think, 1)])
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        operation, ino, pos, count, think = json.loads(line)
+        return cls(operation, ino, pos, count, think)
+
+
+class Trace:
+    """An ordered request stream, serializable one JSON record per line."""
+
+    def __init__(self, records: Optional[List[TraceRecord]] = None,
+                 tree_seed: Optional[int] = None,
+                 tree_scale: Optional[float] = None):
+        self.records: List[TraceRecord] = records or []
+        #: How to rebuild the tree the inode numbers refer to.
+        self.tree_seed = tree_seed
+        self.tree_scale = tree_scale
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, out: TextIO) -> None:
+        header = {"format": "osprof-trace-1",
+                  "tree_seed": self.tree_seed,
+                  "tree_scale": self.tree_scale}
+        out.write("# " + json.dumps(header) + "\n")
+        for record in self.records:
+            out.write(record.to_line() + "\n")
+
+    @classmethod
+    def load(cls, inp: TextIO) -> "Trace":
+        header_line = inp.readline().strip()
+        if not header_line.startswith("# "):
+            raise ValueError("missing trace header")
+        header = json.loads(header_line[2:])
+        if header.get("format") != "osprof-trace-1":
+            raise ValueError("not an osprof trace")
+        trace = cls(tree_seed=header.get("tree_seed"),
+                    tree_scale=header.get("tree_scale"))
+        for line in inp:
+            line = line.strip()
+            if line:
+                trace.records.append(TraceRecord.from_line(line))
+        return trace
+
+
+class TraceRecorder:
+    """Wraps a System's syscall layer to capture every request.
+
+    Attach before running the workload; detach (or just stop using the
+    system) afterwards.  Think time is measured from the completion of
+    the previous recorded request to the start of the next, at the
+    syscall boundary — the user-mode time the replayer must burn.
+    """
+
+    def __init__(self, system: System,
+                 tree_seed: Optional[int] = None,
+                 tree_scale: Optional[float] = None):
+        self.system = system
+        self.trace = Trace(tree_seed=tree_seed, tree_scale=tree_scale)
+        self._last_completion: Optional[float] = None
+        self._original_invoke = system.syscalls.invoke
+        system.syscalls.invoke = self._recording_invoke  # type: ignore
+
+    def detach(self) -> Trace:
+        """Stop recording and return the captured trace."""
+        self.system.syscalls.invoke = self._original_invoke  # type: ignore
+        return self.trace
+
+    def _recording_invoke(self, proc: Process, operation: str,
+                          body) -> ProcBody:
+        start = self.system.kernel.now
+        think = 0.0
+        if self._last_completion is not None:
+            think = max(0.0, start - self._last_completion)
+        # The target File is buried in the body generator's closure;
+        # workloads pass it via gi_frame locals when using vfs methods.
+        ino, pos, count = self._peek_args(body, operation)
+        result = yield from self._original_invoke(proc, operation, body)
+        self._last_completion = self.system.kernel.now
+        if operation in _REPLAYABLE and ino is not None:
+            self.trace.records.append(TraceRecord(
+                operation=operation, ino=ino, pos=pos,
+                count=count if count is not None else 0, think=think))
+        return result
+
+    @staticmethod
+    def _peek_args(body, operation: str
+                   ) -> Tuple[Optional[int], int, Optional[int]]:
+        frame = getattr(body, "gi_frame", None)
+        if frame is None:
+            return None, 0, None
+        local = frame.f_locals
+        file = local.get("file")
+        if not isinstance(file, File):
+            return None, 0, None
+        count = local.get("size")
+        if operation == "llseek":
+            count = local.get("offset", 0)
+        return file.inode.ino, file.pos, count
+
+
+def replay_trace(system: System, trace: Trace,
+                 name: str = "replay") -> Process:
+    """Replay a trace against *system* (same tree layout required).
+
+    Each record re-opens the file handle state (per-inode handles are
+    kept across records, as real processes keep fds open), burns the
+    recorded think time, seeks to the recorded position, and issues the
+    operation.  Returns the replayer process after running it.
+    """
+    handles: Dict[int, File] = {}
+
+    def body(proc: Process) -> ProcBody:
+        for record in trace.records:
+            if record.think > 0:
+                yield CpuBurst(record.think)
+            inode = system.inodes.get(record.ino)
+            handle = handles.get(record.ino)
+            if handle is None:
+                handle = system.vfs.open_inode(inode)
+                handles[record.ino] = handle
+            handle.pos = record.pos
+            if record.operation == "read":
+                yield from system.syscalls.invoke(
+                    proc, "read",
+                    system.vfs.read(proc, handle, record.count or 0))
+            elif record.operation == "write":
+                yield from system.syscalls.invoke(
+                    proc, "write",
+                    system.vfs.write(proc, handle, record.count or 1))
+            elif record.operation == "llseek":
+                yield from system.syscalls.invoke(
+                    proc, "llseek",
+                    system.vfs.llseek(proc, handle, record.count, 0))
+            elif record.operation == "readdir":
+                yield from system.syscalls.invoke(
+                    proc, "readdir",
+                    system.vfs.readdir(proc, handle))
+            elif record.operation == "fsync":
+                yield from system.syscalls.invoke(
+                    proc, "fsync", system.vfs.fsync(proc, handle))
+        return len(trace.records)
+
+    proc = system.kernel.spawn(body, name)
+    system.run([proc])
+    return proc

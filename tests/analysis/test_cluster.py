@@ -1,0 +1,107 @@
+"""Tests for cluster profile aggregation and outlier detection."""
+
+import pytest
+
+from repro.analysis.cluster import (NodeProfiles, aggregate,
+                                    outlier_nodes)
+from repro.core.profileset import ProfileSet
+from repro.sim.rng import SimRandom
+
+
+def healthy_node(name, seed, ops=2000):
+    """A node with the cluster's normal read latency distribution."""
+    rng = SimRandom(seed)
+    pset = ProfileSet(name=name)
+    for _ in range(ops):
+        # Bimodal: cache hits ~bucket 7, disk ~bucket 21.
+        if rng.chance(0.8):
+            pset.add("read", rng.jitter(150, sigma=0.4))
+        else:
+            pset.add("read", rng.jitter(3e6, sigma=0.4))
+        pset.add("write", rng.jitter(2500, sigma=0.3))
+    return NodeProfiles(name, pset)
+
+
+def sick_node(name, seed, ops=2000):
+    """A node whose reads mostly miss (failing cache / slow disk)."""
+    rng = SimRandom(seed)
+    pset = ProfileSet(name=name)
+    for _ in range(ops):
+        if rng.chance(0.2):
+            pset.add("read", rng.jitter(150, sigma=0.4))
+        else:
+            pset.add("read", rng.jitter(3e7, sigma=0.4))
+        pset.add("write", rng.jitter(2500, sigma=0.3))
+    return NodeProfiles(name, pset)
+
+
+class TestAggregate:
+    def test_merges_all_nodes(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(3)]
+        total = aggregate(nodes)
+        assert total.total_ops() == sum(
+            n.profiles.total_ops() for n in nodes)
+        assert total.name == "cluster"
+
+    def test_leaves_nodes_untouched(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(2)]
+        before = nodes[0].profiles["read"].total_ops
+        aggregate(nodes)
+        assert nodes[0].profiles["read"].total_ops == before
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+
+class TestOutliers:
+    def test_sick_node_ranked_first(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(4)]
+        nodes.append(sick_node("sick", seed=99))
+        report = outlier_nodes(nodes)
+        assert report.findings
+        top = report.findings[0]
+        assert top.node == "sick"
+        assert top.operation == "read"
+
+    def test_homogeneous_cluster_scores_low(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(4)]
+        report = outlier_nodes(nodes)
+        top_score = report.findings[0].score if report.findings else 0
+        sick = outlier_nodes(
+            nodes + [sick_node("sick", 99)]).findings[0].score
+        assert sick > 3 * top_score
+
+    def test_threshold_filters(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(3)]
+        report = outlier_nodes(nodes, threshold=10.0)
+        assert report.findings == []
+
+    def test_min_ops_skips_sparse_operations(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(3)]
+        nodes[0].profiles.add("rare", 1e9)
+        report = outlier_nodes(nodes, min_ops=10)
+        assert all(f.operation != "rare" for f in report.findings)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            outlier_nodes([healthy_node("solo", 1)])
+
+    def test_unique_names_required(self):
+        nodes = [healthy_node("dup", 1), healthy_node("dup", 2)]
+        with pytest.raises(ValueError):
+            outlier_nodes(nodes)
+
+    def test_report_helpers(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(3)]
+        nodes.append(sick_node("sick", 99))
+        report = outlier_nodes(nodes)
+        assert "sick" in report.nodes_flagged()
+        assert len(report.worst(2)) <= 2
+        assert "sick/read" in report.findings[0].describe()
+
+    def test_alternative_metric(self):
+        nodes = [healthy_node(f"n{i}", seed=i) for i in range(3)]
+        nodes.append(sick_node("sick", 99))
+        report = outlier_nodes(nodes, metric="jeffrey")
+        assert report.findings[0].node == "sick"

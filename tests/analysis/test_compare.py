@@ -1,0 +1,152 @@
+"""Tests for histogram comparison metrics, including EMD properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.compare import (METRICS, aligned_counts, chi_squared,
+                                    compare, earth_movers_distance,
+                                    intersection_distance, jeffrey_divergence,
+                                    kullback_leibler, minkowski,
+                                    total_latency_difference,
+                                    total_ops_difference)
+from repro.core.buckets import LatencyBuckets
+from repro.core.profile import Profile
+
+
+def hist(counts):
+    return LatencyBuckets.from_counts(counts)
+
+
+histograms = st.dictionaries(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=10_000),
+    min_size=1, max_size=15).map(hist)
+
+
+class TestAlignment:
+    def test_joint_range(self):
+        a, b = aligned_counts(hist({3: 1}), hist({6: 2}))
+        assert a == [1.0, 0.0, 0.0, 0.0]
+        assert b == [0.0, 0.0, 0.0, 2.0]
+
+    def test_empty_pair(self):
+        a, b = aligned_counts(LatencyBuckets(), LatencyBuckets())
+        assert a == [] and b == []
+
+
+class TestIdentityProperty:
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_zero_on_identical(self, name):
+        h = hist({5: 100, 9: 40, 20: 7})
+        assert compare(h, h, name) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_positive_on_different(self, name):
+        # Different shape AND different op count, so scalar metrics
+        # (total_ops/total_latency) see the difference too.
+        a = hist({5: 100})
+        b = hist({20: 60})
+        assert compare(a, b, name) > 0
+
+
+class TestEmd:
+    def test_unit_move_costs_one_bin(self):
+        a = hist({5: 10})
+        b = hist({6: 10})
+        assert earth_movers_distance(a, b) == pytest.approx(1.0)
+
+    def test_distance_scales_with_bins_moved(self):
+        a = hist({5: 10})
+        near = hist({7: 10})
+        far = hist({25: 10})
+        assert earth_movers_distance(a, far) > \
+            earth_movers_distance(a, near)
+
+    def test_emd_sees_cross_bin_distance_chi_squared_does_not(self):
+        # The paper's criticism of bin-by-bin metrics: disjoint
+        # histograms look equally different to chi-squared no matter
+        # how far apart they are.
+        base = hist({5: 100})
+        near = hist({8: 100})
+        far = hist({30: 100})
+        assert chi_squared(base, near) == pytest.approx(
+            chi_squared(base, far))
+        assert earth_movers_distance(base, far) > \
+            earth_movers_distance(base, near) * 3
+
+    @given(histograms, histograms)
+    def test_symmetry(self, a, b):
+        assert earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance(b, a), abs=1e-9)
+
+    @given(histograms, histograms, histograms)
+    def test_triangle_inequality(self, a, b, c):
+        ab = earth_movers_distance(a, b)
+        bc = earth_movers_distance(b, c)
+        ac = earth_movers_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+    @given(histograms)
+    def test_non_negative(self, a):
+        assert earth_movers_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBinByBinMetrics:
+    def test_chi_squared_bounded(self):
+        a, b = hist({5: 10}), hist({20: 10})
+        # Symmetric chi-squared on disjoint normalized mass is 2.
+        assert chi_squared(a, b) == pytest.approx(2.0)
+
+    def test_intersection_bounded_by_one(self):
+        a, b = hist({5: 10}), hist({20: 10})
+        assert intersection_distance(a, b) == pytest.approx(1.0)
+
+    def test_minkowski_orders(self):
+        a, b = hist({5: 10, 6: 10}), hist({5: 20})
+        assert minkowski(a, b, order=1) >= minkowski(a, b, order=2)
+
+    def test_minkowski_bad_order(self):
+        with pytest.raises(ValueError):
+            minkowski(hist({1: 1}), hist({1: 1}), order=0)
+
+    def test_kl_asymmetric_but_nonnegative(self):
+        a, b = hist({5: 90, 6: 10}), hist({5: 10, 6: 90})
+        assert kullback_leibler(a, b) >= 0
+        assert jeffrey_divergence(a, b) == pytest.approx(
+            jeffrey_divergence(b, a))
+
+    @given(histograms, histograms)
+    def test_jeffrey_symmetric(self, a, b):
+        assert jeffrey_divergence(a, b) == pytest.approx(
+            jeffrey_divergence(b, a), abs=1e-9)
+
+
+class TestScalarMetrics:
+    def test_total_ops_difference(self):
+        a = hist({5: 100})
+        b = hist({5: 50})
+        assert total_ops_difference(a, b) == pytest.approx(0.5)
+
+    def test_total_latency_difference(self):
+        a = Profile.from_latencies("x", [100] * 10)
+        b = Profile.from_latencies("x", [100] * 5)
+        assert total_latency_difference(a, b) == pytest.approx(0.5)
+
+    def test_empty_histograms(self):
+        assert total_ops_difference(LatencyBuckets(),
+                                    LatencyBuckets()) == 0.0
+        assert total_latency_difference(LatencyBuckets(),
+                                        LatencyBuckets()) == 0.0
+
+
+class TestRegistry:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            compare(hist({1: 1}), hist({1: 1}), "nope")
+
+    def test_all_paper_methods_present(self):
+        for name in ("chi_squared", "minkowski", "intersection",
+                     "kullback_leibler", "jeffrey", "emd", "total_ops",
+                     "total_latency"):
+            assert name in METRICS

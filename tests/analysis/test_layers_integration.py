@@ -1,0 +1,55 @@
+"""Layered-profiling analysis against real simulator runs."""
+
+import pytest
+
+from repro.core.layers import isolate_layer
+from repro.system import System
+from repro.workloads import build_source_tree, run_grep
+
+
+@pytest.fixture(scope="module")
+def layered_run():
+    system = System.build(with_timer=False)
+    root, _ = build_source_tree(system, scale=0.01)
+    run_grep(system, root)
+    return system
+
+
+class TestLayerIsolation:
+    def test_syscall_overhead_isolated(self, layered_run):
+        system = layered_run
+        user_read = system.user_profiles()["read"]
+        fs_read = system.fs_profiles()["read"]
+        result = isolate_layer(user_read, fs_read)
+        # One FS read per syscall read: fan-out 1.
+        assert result["fanout"] == pytest.approx(1.0)
+        # The syscall layer's own cost: trap + hooks, a few hundred
+        # cycles — far below the FS layer's work.
+        assert 0 < result["own_latency"] < 5_000
+        assert result["inner_share"] > 0.8
+
+    def test_fs_to_driver_fanout_below_one(self, layered_run):
+        # Most FS reads are page-cache hits: fewer driver requests
+        # than FS reads.
+        system = layered_run
+        fs_read = system.fs_profiles()["read"]
+        driver_read = system.driver_profiles()["disk_read"]
+        result = isolate_layer(fs_read, driver_read)
+        assert result["fanout"] < 1.0
+
+    def test_every_layer_checksums(self, layered_run):
+        system = layered_run
+        for pset in (system.user_profiles(), system.fs_profiles(),
+                     system.driver_profiles()):
+            assert not pset.verify_checksums()
+
+    def test_user_layer_sees_every_fs_op_slower(self, layered_run):
+        # For each operation present at both layers, the user-level
+        # mean must exceed the FS-level mean (it contains it).
+        system = layered_run
+        user = system.user_profiles()
+        fs = system.fs_profiles()
+        shared = set(user.operations()) & set(fs.operations())
+        assert shared
+        for op in shared:
+            assert user[op].mean_latency() > fs[op].mean_latency()

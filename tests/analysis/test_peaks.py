@@ -1,0 +1,89 @@
+"""Tests for peak detection."""
+
+import pytest
+
+from repro.analysis.peaks import Peak, find_peaks, peak_signature, peaks_differ
+from repro.core.buckets import LatencyBuckets
+from repro.core.profile import Profile
+
+
+def hist(counts):
+    return LatencyBuckets.from_counts(counts)
+
+
+class TestFindPeaks:
+    def test_empty_histogram_no_peaks(self):
+        assert find_peaks(LatencyBuckets()) == []
+
+    def test_single_mode(self):
+        peaks = find_peaks(hist({5: 10, 6: 100, 7: 8}))
+        assert len(peaks) == 1
+        assert peaks[0].apex == 6
+        assert peaks[0].ops == 118
+
+    def test_gap_separates_peaks(self):
+        peaks = find_peaks(hist({5: 100, 6: 40, 12: 80, 13: 20}))
+        assert [p.apex for p in peaks] == [5, 12]
+
+    def test_valley_separates_peaks(self):
+        # Two modes joined by a deep but nonzero valley.
+        counts = {5: 1000, 6: 400, 7: 3, 8: 2, 9: 300, 10: 900}
+        peaks = find_peaks(hist(counts))
+        assert len(peaks) == 2
+        assert peaks[0].apex == 5
+        assert peaks[1].apex == 10
+
+    def test_shallow_dip_does_not_split(self):
+        counts = {5: 900, 6: 700, 7: 850}
+        peaks = find_peaks(hist(counts))
+        assert len(peaks) == 1
+
+    def test_min_ops_filters_noise(self):
+        peaks = find_peaks(hist({5: 1000, 20: 1}), min_ops=5)
+        assert len(peaks) == 1
+
+    def test_works_on_profiles(self):
+        prof = Profile.from_counts("x", {5: 10, 9: 20})
+        assert len(find_peaks(prof)) == 2
+
+    def test_peak_fields(self):
+        peaks = find_peaks(hist({6: 50, 7: 100}))
+        peak = peaks[0]
+        assert peak.low == 6
+        assert peak.high == 7
+        assert peak.width() == 2
+        assert peak.contains(6)
+        assert not peak.contains(8)
+        assert peak.mean_latency > 0
+
+    def test_figure7_shape(self):
+        # Four readdir peaks: past-EOF, cached, disk-cache, seeks.
+        counts = {6: 2000, 7: 1800,
+                  9: 50, 10: 700, 11: 900, 12: 400, 13: 120, 14: 30,
+                  16: 900, 17: 1100,
+                  18: 80, 19: 150, 20: 400, 21: 500, 22: 300, 23: 60}
+        sig = peak_signature(hist(counts))
+        assert len(sig) == 4
+
+
+class TestPeaksDiffer:
+    def test_identical_profiles_do_not_differ(self):
+        a = hist({5: 100, 10: 50})
+        b = hist({5: 110, 10: 45})
+        assert not peaks_differ(a, b)
+
+    def test_new_peak_differs(self):
+        a = hist({5: 100})
+        b = hist({5: 100, 15: 60})
+        assert peaks_differ(a, b)
+
+    def test_moved_peak_differs(self):
+        a = hist({5: 100, 15: 60})
+        b = hist({5: 100, 20: 60})
+        assert peaks_differ(a, b)
+
+    def test_small_shift_within_tolerance(self):
+        a = hist({5: 100})
+        b = hist({6: 100})
+        assert not peaks_differ(a, b, location_tolerance=1)
+        assert peaks_differ(a, b, location_tolerance=0)

@@ -1,0 +1,102 @@
+"""Tests for the Equation 3 preemption model."""
+
+import math
+
+import pytest
+
+from repro.analysis.preemption import (expected_preempted_requests,
+                                       forced_preemption_probability,
+                                       predict_preemption, quantum_bucket)
+from repro.core.buckets import LatencyBuckets
+
+
+class TestEquation3:
+    def test_papers_example_is_vanishingly_small(self):
+        # The paper reports ~2.3e-280 for Y=0.01, t_cpu = t_period/2 =
+        # 2^10, Q = 2^26.  Evaluating Eq. 3 exactly as printed gives
+        # 0.5 * 0.99^(2^15) ~ 5.6e-144 (their figure evidently divides
+        # Q by t_cpu rather than t_period).  Either way the conclusion
+        # stands: forcible preemption is vanishingly improbable.
+        pr = forced_preemption_probability(
+            t_cpu=2 ** 10, t_period=2 ** 11, quantum=2 ** 26,
+            yield_probability=0.01)
+        assert pr < 1e-140
+        # With their alternate exponent (Q / t_cpu) the number matches:
+        pr_alt = forced_preemption_probability(
+            t_cpu=2 ** 10, t_period=2 ** 10, quantum=2 ** 26,
+            yield_probability=0.01)
+        assert pr_alt < 1e-280
+
+    def test_zero_yield_gives_simple_ratio(self):
+        pr = forced_preemption_probability(
+            t_cpu=500, t_period=1000, quantum=10_000,
+            yield_probability=0.0)
+        assert pr == pytest.approx(0.5)
+
+    def test_yield_one_never_preempts(self):
+        pr = forced_preemption_probability(
+            t_cpu=500, t_period=1000, quantum=10_000,
+            yield_probability=1.0)
+        assert pr == 0.0
+
+    def test_declines_with_yield_probability(self):
+        values = [forced_preemption_probability(500, 1000, 100_000, y)
+                  for y in (0.0, 0.001, 0.01)]
+        assert values[0] > values[1] > values[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            forced_preemption_probability(-1, 1000, 100, 0.0)
+        with pytest.raises(ValueError):
+            forced_preemption_probability(10, 0, 100, 0.0)
+        with pytest.raises(ValueError):
+            forced_preemption_probability(10, 1000, 100, 1.5)
+        with pytest.raises(ValueError):
+            forced_preemption_probability(2000, 1000, 100, 0.0)
+
+
+class TestQuantumBucket:
+    def test_papers_quantum_is_bucket_26(self):
+        # 58 ms at 1.7 GHz = 9.86e7 cycles -> bucket 26.
+        assert quantum_bucket(58e-3 * 1.7e9) == 26
+
+
+class TestExpectedPreempted:
+    def test_matches_hand_computation(self):
+        hist = LatencyBuckets.from_counts({8: 1000})
+        quantum = 2 ** 20
+        # t_cpu(8) = 1.5 * 256 = 384; expected = 1000 * 384 / 2^20.
+        expected = expected_preempted_requests(hist, quantum)
+        assert expected == pytest.approx(1000 * 384 / 2 ** 20)
+
+    def test_quantum_bucket_excluded(self):
+        hist = LatencyBuckets.from_counts({20: 50, 8: 100})
+        expected = expected_preempted_requests(hist, 2 ** 20)
+        only_low = expected_preempted_requests(
+            LatencyBuckets.from_counts({8: 100}), 2 ** 20)
+        assert expected == pytest.approx(only_low)
+
+
+class TestPrediction:
+    def test_prediction_compares_theory_and_measurement(self):
+        quantum = 2 ** 20
+        counts = {8: 1_000_000}
+        expected = 1_000_000 * 384 / quantum  # ~366
+        counts[20] = int(expected)
+        hist = LatencyBuckets.from_counts(counts)
+        pred = predict_preemption(hist, quantum)
+        assert pred.quantum_bucket == 20
+        assert pred.measured == int(expected)
+        assert pred.within(0.33)
+
+    def test_relative_error_infinite_when_unexpected(self):
+        hist = LatencyBuckets.from_counts({20: 5})
+        pred = predict_preemption(hist, 2 ** 20)
+        assert pred.expected == 0
+        assert math.isinf(pred.relative_error)
+
+    def test_zero_measured_zero_expected(self):
+        hist = LatencyBuckets()
+        pred = predict_preemption(hist, 2 ** 20)
+        assert pred.relative_error == 0.0
+        assert pred.within(0.33)

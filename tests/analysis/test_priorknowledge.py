@@ -1,0 +1,58 @@
+"""Tests for characteristic-time peak attribution."""
+
+import pytest
+
+from repro.analysis.priorknowledge import (PAPER_TIMES, CharacteristicTime,
+                                           CharacteristicTimes)
+from repro.core.buckets import LatencyBuckets
+
+
+class TestCharacteristicTime:
+    def test_cycles_conversion(self):
+        t = CharacteristicTime("rotation", 4e-3)
+        assert t.cycles(hz=1.7e9) == pytest.approx(6.8e6)
+
+    def test_bucket_placement(self):
+        t = CharacteristicTime("rotation", 4e-3)
+        assert t.bucket() == 22  # 6.8e6 cycles -> bucket 22
+
+
+class TestCharacteristicTimes:
+    def test_paper_defaults_loaded(self):
+        table = CharacteristicTimes()
+        assert "full_seek" in table.names()
+        assert "scheduling_quantum" in table.names()
+
+    def test_papers_quantum_in_bucket_26(self):
+        table = CharacteristicTimes()
+        assert table.bucket_of("scheduling_quantum") == 26
+
+    def test_add_and_get(self):
+        table = CharacteristicTimes(times=[])
+        table.add("my_event", 1e-3, "something periodic")
+        assert table.get("my_event").seconds == 1e-3
+
+    def test_add_rejects_nonpositive(self):
+        table = CharacteristicTimes()
+        with pytest.raises(ValueError):
+            table.add("bad", 0.0)
+
+    def test_candidates_nearest_first(self):
+        table = CharacteristicTimes()
+        rotation_bucket = table.bucket_of("disk_rotation")
+        names = [t.name for t in table.candidates(rotation_bucket,
+                                                  tolerance=1)]
+        assert names[0] in ("disk_rotation", "timer_interrupt")
+
+    def test_candidates_empty_far_away(self):
+        table = CharacteristicTimes()
+        assert table.candidates(0, tolerance=0) == []
+
+    def test_attribute_maps_peaks_to_activities(self):
+        table = CharacteristicTimes()
+        # A peak at the disk-rotation bucket and one at bucket 6.
+        hist = LatencyBuckets.from_counts({6: 1000, 22: 500})
+        attribution = table.attribute(hist, tolerance=1)
+        assert set(attribution) == {6, 22}
+        assert "disk_rotation" in attribution[22]
+        assert attribution[6] == []  # nothing characteristic that fast

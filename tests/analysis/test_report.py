@@ -1,0 +1,104 @@
+"""Tests for profile rendering and consistency checks."""
+
+import pytest
+
+from repro.analysis.report import (ConsistencyError, check_consistency,
+                                   gnuplot_data, render_profile,
+                                   render_profile_set, render_sampled)
+from repro.core.profile import Profile
+from repro.core.profileset import ProfileSet
+from repro.core.sampling import SampledProfiler
+
+
+class TestRenderProfile:
+    def test_contains_header_and_axis(self):
+        prof = Profile.from_latencies("read", [100, 100, 100_000])
+        text = render_profile(prof)
+        assert text.startswith("READ")
+        assert "bucket" in text
+        assert "#" in text
+
+    def test_empty_profile(self):
+        text = render_profile(Profile("empty_op"))
+        assert "<empty>" in text
+
+    def test_bucket_window(self):
+        prof = Profile.from_latencies("x", [100, 1e9])
+        text = render_profile(prof, first=5, last=10)
+        # Bars for the 1e9 sample (bucket 29) excluded by the window.
+        assert text.count("#") == 1
+
+
+class TestRenderProfileSet:
+    def test_sorted_by_latency_and_checked(self):
+        pset = ProfileSet(name="demo")
+        pset.add("cheap", 10)
+        for _ in range(10):
+            pset.add("dear", 1_000_000)
+        text = render_profile_set(pset)
+        assert text.index("DEAR") < text.index("CHEAP")
+
+    def test_checksum_failure_raises(self):
+        pset = ProfileSet()
+        pset.add("x", 100)
+        pset["x"].histogram.total_ops += 1
+        with pytest.raises(ConsistencyError):
+            render_profile_set(pset)
+
+    def test_top_limits_output(self):
+        pset = ProfileSet()
+        pset.add("a", 100)
+        pset.add("b", 10)
+        text = render_profile_set(pset, top=1)
+        assert "A" in text and "B  (" not in text
+
+
+class TestCheckConsistency:
+    def test_passes_on_clean_set(self):
+        pset = ProfileSet()
+        pset.add("x", 5)
+        check_consistency(pset)  # no raise
+
+    def test_names_offending_operation(self):
+        pset = ProfileSet()
+        pset.add("bad_op", 5)
+        pset["bad_op"].histogram.total_ops = 99
+        with pytest.raises(ConsistencyError, match="bad_op"):
+            check_consistency(pset)
+
+
+class TestRenderSampled:
+    def test_density_characters(self):
+        clock = lambda: 0.0
+        sp = SampledProfiler(clock, interval=1000)
+        for _ in range(5):
+            sp.record("op", start=0, latency=100)
+        for _ in range(50):
+            sp.record("op", start=1000, latency=100)
+        for _ in range(500):
+            sp.record("op", start=2000, latency=100)
+        text = render_sampled(sp.series(), "op")
+        assert "." in text and "o" in text and "@" in text
+
+    def test_missing_operation(self):
+        clock = lambda: 0.0
+        sp = SampledProfiler(clock, interval=1000)
+        sp.record("op", start=0, latency=1)
+        assert "no samples" in render_sampled(sp.series(), "nope")
+
+    def test_interval_labels(self):
+        clock = lambda: 0.0
+        sp = SampledProfiler(clock, interval=1000)
+        sp.record("op", start=2500, latency=1)
+        text = render_sampled(sp.series(), "op", interval_seconds=2.5)
+        assert "5.0s" in text
+
+
+class TestGnuplotData:
+    def test_format(self):
+        prof = Profile.from_latencies("read", [100, 200_000])
+        data = gnuplot_data(prof)
+        lines = data.strip().splitlines()
+        assert lines[0].startswith("# read")
+        assert lines[1] == "6 1"
+        assert lines[2] == "17 1"

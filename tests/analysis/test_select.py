@@ -1,0 +1,115 @@
+"""Tests for the automated interesting-profile selector."""
+
+import pytest
+
+from repro.analysis.select import (ProfileSelector, SelectionConfig,
+                                   top_contributors)
+from repro.core.profileset import ProfileSet
+
+
+def make_sets():
+    """Two complete profiles: one op unchanged, one changed, one tiny."""
+    a = ProfileSet(name="before")
+    b = ProfileSet(name="after")
+    # 'read': dominant and significantly different (new slow peak).
+    for _ in range(1000):
+        a.add("read", 1_000)
+        b.add("read", 1_000)
+    for _ in range(400):
+        b.add("read", 3_000_000)
+    # 'write': dominant but identical.
+    for _ in range(800):
+        a.add("write", 50_000)
+        b.add("write", 50_000)
+    # 'tiny': negligible latency and ops.
+    a.add("tiny", 10)
+    b.add("tiny", 4000)
+    return a, b
+
+
+class TestPhase1Filter:
+    def test_drops_similar_and_negligible(self):
+        a, b = make_sets()
+        selector = ProfileSelector()
+        survivors = selector.filter_pairs(a, b)
+        assert survivors == ["read"]
+
+    def test_min_ops_threshold(self):
+        a = ProfileSet()
+        b = ProfileSet()
+        for _ in range(5):
+            a.add("rare", 1_000_000)
+        for _ in range(5):
+            b.add("rare", 9_000_000)
+        selector = ProfileSelector(SelectionConfig(min_ops=10))
+        assert selector.filter_pairs(a, b) == []
+        selector = ProfileSelector(SelectionConfig(min_ops=5))
+        assert selector.filter_pairs(a, b) == ["rare"]
+
+    def test_operation_missing_on_one_side(self):
+        a = ProfileSet()
+        b = ProfileSet()
+        for _ in range(100):
+            a.add("gone", 100_000)
+        assert ProfileSelector().filter_pairs(a, b) == ["gone"]
+
+
+class TestSelect:
+    def test_reports_ranked_by_score(self):
+        a, b = make_sets()
+        reports = ProfileSelector().select(a, b)
+        assert [r.operation for r in reports] == ["read"]
+        assert reports[0].score > 0
+
+    def test_report_fields(self):
+        a, b = make_sets()
+        report = ProfileSelector().select(a, b)[0]
+        assert report.total_ops_a == 1000
+        assert report.total_ops_b == 1400
+        assert report.peak_count_changed  # one peak became two
+        assert "read" in report.describe()
+
+    def test_interesting_limit(self):
+        a, b = make_sets()
+        assert ProfileSelector().interesting(a, b, limit=0) == []
+        assert ProfileSelector().interesting(a, b) == ["read"]
+
+    def test_custom_metric(self):
+        a, b = make_sets()
+        selector = ProfileSelector(SelectionConfig(metric="total_ops"))
+        reports = selector.select(a, b)
+        assert reports[0].score == pytest.approx(400 / 1400)
+
+    def test_moved_peaks_reported(self):
+        a = ProfileSet()
+        b = ProfileSet()
+        for _ in range(500):
+            a.add("op", 1_000)       # bucket 9
+            b.add("op", 64_000)      # bucket 15
+        report = ProfileSelector().report_pair("op", a["op"], b["op"])
+        assert report.moved_peaks() == [(9, 15)]
+
+
+class TestTopContributors:
+    def test_selects_heavy_hitters(self):
+        pset = ProfileSet()
+        for _ in range(100):
+            pset.add("big", 1_000_000)
+        pset.add("small", 100)
+        top = top_contributors(pset, fraction=0.9)
+        assert [p.operation for p in top] == ["big"]
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            top_contributors(ProfileSet(), fraction=0.0)
+
+    def test_max_profiles_cap(self):
+        pset = ProfileSet()
+        for op in ("a", "b", "c"):
+            for _ in range(10):
+                pset.add(op, 1000)
+        top = top_contributors(pset, fraction=1.0, max_profiles=2)
+        assert len(top) == 2
+
+    def test_empty_set(self):
+        assert top_contributors(ProfileSet(), fraction=0.5) == []

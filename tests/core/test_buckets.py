@@ -1,0 +1,192 @@
+"""Unit and property tests for the logarithmic bucket library."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import (BucketSpec, LatencyBuckets, MAX_BUCKET,
+                                format_seconds)
+
+
+class TestBucketSpec:
+    def test_bucket_of_powers_of_two(self):
+        spec = BucketSpec()
+        for exponent in range(0, 40):
+            assert spec.bucket(2 ** exponent) == exponent
+
+    def test_bucket_is_floor_of_log2(self):
+        spec = BucketSpec()
+        assert spec.bucket(3) == 1
+        assert spec.bucket(1023) == 9
+        assert spec.bucket(1025) == 10
+
+    def test_sub_cycle_latencies_land_in_bucket_zero(self):
+        spec = BucketSpec()
+        assert spec.bucket(0) == 0
+        assert spec.bucket(0.5) == 0
+
+    def test_resolution_two_doubles_density(self):
+        # r=2 gives two buckets per octave (Section 3).
+        spec = BucketSpec(resolution=2)
+        assert spec.bucket(2) == 2
+        assert spec.bucket(2.9) == 3
+        assert spec.bucket(4) == 4
+
+    def test_bounds_bracket_their_bucket(self):
+        spec = BucketSpec()
+        for b in range(0, 30):
+            assert spec.bucket(spec.low(b)) == b
+            assert spec.bucket(math.nextafter(spec.high(b), 0)) == b
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            BucketSpec(0)
+        with pytest.raises(ValueError):
+            BucketSpec(-1)
+        with pytest.raises(ValueError):
+            BucketSpec(9)
+
+    def test_equality_by_resolution(self):
+        assert BucketSpec(1) == BucketSpec(1)
+        assert BucketSpec(1) != BucketSpec(2)
+        assert hash(BucketSpec(2)) == hash(BucketSpec(2))
+
+    def test_huge_latency_capped(self):
+        spec = BucketSpec()
+        assert spec.bucket(2.0 ** 600) == MAX_BUCKET
+
+    def test_label_matches_paper_scale(self):
+        # At 1.7 GHz, bucket 5 is ~19-38 ns; the paper labels it 28ns.
+        spec = BucketSpec()
+        assert spec.label(5).endswith("ns")
+        assert spec.label(15).endswith("us")
+        assert spec.label(25).endswith("ms")
+
+    @given(st.floats(min_value=1.0, max_value=2.0 ** 62))
+    def test_bucket_matches_definition(self, latency):
+        # floor(log2): 2^b <= latency < 2^(b+1).  Checked against the
+        # power-of-two bounds directly, because math.log2 itself rounds
+        # at bucket boundaries.
+        spec = BucketSpec()
+        b = spec.bucket(latency)
+        assert 2.0 ** b <= latency < 2.0 ** (b + 1)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.floats(min_value=1.0, max_value=1e12))
+    def test_bucket_monotone_in_latency(self, r, latency):
+        spec = BucketSpec(r)
+        assert spec.bucket(latency * 2) >= spec.bucket(latency)
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(28e-9) == "28ns"
+        assert format_seconds(903e-9) == "903ns"
+        assert format_seconds(28e-6) == "28us"
+        assert format_seconds(29e-3) == "29ms"
+        assert format_seconds(1.5) == "1.5s"
+
+
+class TestLatencyBuckets:
+    def test_add_returns_bucket(self):
+        hist = LatencyBuckets()
+        assert hist.add(1000) == 9
+
+    def test_totals_track_adds(self):
+        hist = LatencyBuckets()
+        hist.add(100)
+        hist.add(200, count=3)
+        assert hist.total_ops == 4
+        assert hist.total_latency == pytest.approx(700)
+        assert hist.min_latency == 100
+        assert hist.max_latency == 200
+
+    def test_checksum_holds(self):
+        hist = LatencyBuckets.from_latencies([1, 10, 100, 1000] * 5)
+        assert hist.verify_checksum()
+
+    def test_negative_latency_rejected(self):
+        hist = LatencyBuckets()
+        with pytest.raises(ValueError):
+            hist.add(-1)
+
+    def test_zero_count_rejected(self):
+        hist = LatencyBuckets()
+        with pytest.raises(ValueError):
+            hist.add(10, count=0)
+
+    def test_merge_accumulates(self):
+        a = LatencyBuckets.from_latencies([10, 20, 30])
+        b = LatencyBuckets.from_latencies([1000, 2000])
+        a.merge(b)
+        assert a.total_ops == 5
+        assert a.verify_checksum()
+        assert a.max_latency == 2000
+
+    def test_merge_resolution_mismatch_rejected(self):
+        a = LatencyBuckets(BucketSpec(1))
+        b = LatencyBuckets(BucketSpec(2))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_span_and_as_list(self):
+        hist = LatencyBuckets.from_counts({5: 2, 8: 1})
+        assert hist.span() == (5, 8)
+        assert hist.as_list() == [2, 0, 0, 1]
+        assert hist.as_list(first=4, last=9) == [0, 2, 0, 0, 1, 0]
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyBuckets().span()
+
+    def test_mean_latency(self):
+        hist = LatencyBuckets.from_latencies([100, 300])
+        assert hist.mean_latency() == pytest.approx(200)
+        assert LatencyBuckets().mean_latency() == 0.0
+
+    def test_add_to_bucket_keeps_checksum_consistent(self):
+        hist = LatencyBuckets()
+        hist.add_to_bucket(7, count=10)
+        assert hist.count(7) == 10
+        assert hist.verify_checksum()
+        assert hist.total_latency > 0
+
+    def test_iteration_yields_sorted_stats(self):
+        hist = LatencyBuckets.from_counts({9: 3, 4: 1})
+        stats = list(hist)
+        assert [s.index for s in stats] == [4, 9]
+        assert stats[0].low == 16.0
+        assert stats[0].high == 32.0
+
+    def test_equality(self):
+        a = LatencyBuckets.from_latencies([10, 100])
+        b = LatencyBuckets.from_latencies([10, 100])
+        assert a == b
+        b.add(5)
+        assert a != b
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e15),
+                    min_size=1, max_size=200))
+    def test_checksum_invariant_random(self, latencies):
+        hist = LatencyBuckets.from_latencies(latencies)
+        assert hist.verify_checksum()
+        assert hist.total_ops == len(latencies)
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e12),
+                    min_size=1, max_size=100),
+           st.lists(st.floats(min_value=1, max_value=1e12),
+                    min_size=1, max_size=100))
+    def test_merge_equals_union(self, xs, ys):
+        merged = LatencyBuckets.from_latencies(xs)
+        merged.merge(LatencyBuckets.from_latencies(ys))
+        union = LatencyBuckets.from_latencies(xs + ys)
+        assert merged.counts() == union.counts()
+        assert merged.total_ops == union.total_ops
+
+    def test_estimated_latency_close_to_true(self):
+        hist = LatencyBuckets.from_latencies([100] * 50)
+        # Midpoint of bucket 6 is 96; within a factor of bucket width.
+        assert hist.estimated_latency() == pytest.approx(
+            hist.total_latency, rel=0.5)

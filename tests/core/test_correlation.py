@@ -1,0 +1,86 @@
+"""Tests for direct profile/value correlation (Figure 8 machinery)."""
+
+import pytest
+
+from repro.core.correlation import PeakRange, ValueCorrelator
+
+
+class TestPeakRange:
+    def test_contains(self):
+        peak = PeakRange("first", 6, 7)
+        assert peak.contains(6)
+        assert peak.contains(7)
+        assert not peak.contains(8)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            PeakRange("bad", 7, 6)
+
+
+class TestValueCorrelator:
+    def test_routing_by_latency_peak(self):
+        vc = ValueCorrelator([PeakRange("fast", 5, 8),
+                              PeakRange("slow", 16, 23)])
+        assert vc.record(latency=100, value=1) == "fast"       # bucket 6
+        assert vc.record(latency=100_000, value=9) == "slow"   # bucket 16
+        assert vc.record(latency=5_000, value=3) == "other"    # bucket 12
+
+    def test_value_scale_like_figure8(self):
+        # Figure 8 multiplies the 0/1 flag by 1024 to make it visible.
+        vc = ValueCorrelator([PeakRange("first", 6, 7)],
+                             value_scale=1024)
+        vc.record(latency=100, value=1)
+        hist = vc.histogram("first")
+        assert hist.count(10) == 1  # 1024 -> bucket 10
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ValueCorrelator([PeakRange("a", 1, 2), PeakRange("a", 3, 4)])
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(ValueError):
+            ValueCorrelator([PeakRange("other", 1, 2)])
+
+    def test_negative_value_rejected(self):
+        vc = ValueCorrelator([PeakRange("a", 5, 8)])
+        with pytest.raises(ValueError):
+            vc.record(latency=100, value=-1)
+
+    def test_first_matching_peak_wins(self):
+        vc = ValueCorrelator([PeakRange("a", 5, 10), PeakRange("b", 8, 12)])
+        assert vc.record(latency=512, value=1) == "a"  # bucket 9
+
+    def test_summary_structure(self):
+        vc = ValueCorrelator([PeakRange("p", 5, 8)])
+        vc.record(100, 4)
+        summary = vc.summary()
+        assert set(summary) == {"p", "other"}
+        assert sum(summary["p"].values()) == 1
+
+    def test_discrimination_perfect_separation(self):
+        # Peak requests carry flag 1 (*1024); others carry flag 0.
+        vc = ValueCorrelator([PeakRange("eof", 6, 7)], value_scale=1024)
+        for _ in range(50):
+            vc.record(latency=100, value=1)     # eof peak, flag 1
+        for _ in range(50):
+            vc.record(latency=100_000, value=0)  # other, flag 0
+        assert vc.discrimination("eof") == 1.0
+
+    def test_discrimination_no_separation(self):
+        vc = ValueCorrelator([PeakRange("p", 6, 7)])
+        for _ in range(10):
+            vc.record(latency=100, value=8)
+            vc.record(latency=100_000, value=8)
+        assert vc.discrimination("p") == 0.0
+
+    def test_discrimination_empty_peak(self):
+        vc = ValueCorrelator([PeakRange("p", 6, 7)])
+        assert vc.discrimination("p") == 0.0
+
+    def test_dominant_value_bucket(self):
+        vc = ValueCorrelator([PeakRange("p", 6, 7)])
+        vc.record(100, 16)
+        vc.record(100, 16)
+        vc.record(100, 1024)
+        assert vc.dominant_value_bucket("p") == 4
+        assert vc.dominant_value_bucket("other") is None

@@ -1,0 +1,70 @@
+"""Tests for profiling the host OS (user-level profiler)."""
+
+import os
+
+import pytest
+
+from repro.core.hostprof import SyscallProfiler, profile_callable
+
+
+class TestSyscallProfiler:
+    def test_profiles_real_file_io(self, tmp_path):
+        path = tmp_path / "data"
+        path.write_bytes(b"x" * 8192)
+        prof = SyscallProfiler()
+        fd = prof.open(str(path), os.O_RDONLY)
+        data = prof.read(fd, 4096)
+        prof.lseek(fd, 0)
+        prof.close(fd)
+        assert len(data) == 4096
+        pset = prof.profile_set()
+        for op in ("open", "read", "lseek", "close"):
+            assert pset[op].total_ops == 1
+            assert pset[op].verify_checksum()
+
+    def test_listdir_and_stat(self, tmp_path):
+        (tmp_path / "f").write_text("hi")
+        prof = SyscallProfiler()
+        names = prof.listdir(str(tmp_path))
+        st = prof.stat(str(tmp_path / "f"))
+        assert names == ["f"]
+        assert st.st_size == 2
+        assert prof.profile_set()["readdir"].total_ops == 1
+
+    def test_latencies_are_positive_cycles(self, tmp_path):
+        (tmp_path / "f").write_text("hi")
+        prof = SyscallProfiler()
+        prof.stat(str(tmp_path / "f"))
+        stat_prof = prof.profile_set()["stat"]
+        # A real syscall takes at least hundreds of cycles.
+        assert stat_prof.mean_latency() > 0
+
+    def test_reset(self, tmp_path):
+        prof = SyscallProfiler()
+        prof.listdir(str(tmp_path))
+        prof.reset()
+        assert prof.profile_set().total_ops() == 0
+
+    def test_wrappable_listing(self):
+        assert "read" in SyscallProfiler.wrappable()
+
+
+class TestProfileCallable:
+    def test_collects_requested_iterations(self):
+        pset = profile_callable(lambda: sum(range(50)), "busy",
+                                iterations=200)
+        assert pset["busy"].total_ops == 200
+        assert pset["busy"].verify_checksum()
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            profile_callable(lambda: None, "x", iterations=0)
+
+    def test_distribution_shape_single_mode(self):
+        # An empty callable should form a tight distribution: the vast
+        # majority of samples within a few adjacent buckets.
+        pset = profile_callable(lambda: None, "empty", iterations=500)
+        counts = pset["empty"].counts()
+        top = max(counts, key=counts.get)
+        near = sum(c for b, c in counts.items() if abs(b - top) <= 2)
+        assert near / 500 > 0.8

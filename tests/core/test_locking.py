@@ -1,0 +1,77 @@
+"""Tests for the SMP bucket-update strategies (Section 3.4)."""
+
+import pytest
+
+from repro.core.locking import (LossySharedBuckets, PerThreadBuckets,
+                                locked_reference_count)
+
+
+class TestLossyShared:
+    def test_single_thread_loses_nothing(self):
+        shared = LossySharedBuckets()
+        recorded = locked_reference_count(
+            workers=1, updates_per_worker=5000,
+            make_latency=lambda w, i: 100.0, strategy=shared)
+        assert recorded == 5000
+        assert shared.lost() == 0
+
+    def test_concurrent_updates_lossy_but_bounded(self):
+        # The paper's worst case: two threads hammering the same bucket
+        # lost <1% of updates in C.  Python's GIL scheduling makes the
+        # loss rate here highly timing-dependent (0-50% across runs),
+        # so assert the structural invariants; the tbl-locking bench
+        # reports the measured rate.
+        shared = LossySharedBuckets()
+        locked_reference_count(
+            workers=4, updates_per_worker=20_000,
+            make_latency=lambda w, i: 100.0, strategy=shared)
+        assert shared.attempted() == 80_000
+        assert shared.recorded() <= shared.attempted()
+        assert shared.lost() == shared.attempted() - shared.recorded()
+        # Everything recorded landed in the single contended bucket.
+        assert shared.histogram().count(6) == shared.recorded()
+
+    def test_histogram_reflects_surviving_counts(self):
+        shared = LossySharedBuckets()
+        shared.add(100.0)
+        shared.add(100.0)
+        hist = shared.histogram()
+        assert hist.count(6) == 2
+
+    def test_loss_rate_empty(self):
+        assert LossySharedBuckets().loss_rate() == 0.0
+
+
+class TestPerThread:
+    def test_never_loses_updates(self):
+        per_thread = PerThreadBuckets()
+        recorded = locked_reference_count(
+            workers=4, updates_per_worker=20_000,
+            make_latency=lambda w, i: 100.0, strategy=per_thread)
+        assert recorded == 80_000
+        assert per_thread.histogram().count(6) == 80_000
+
+    def test_thread_count_tracked(self):
+        per_thread = PerThreadBuckets()
+        locked_reference_count(
+            workers=3, updates_per_worker=10,
+            make_latency=lambda w, i: 50.0, strategy=per_thread)
+        assert per_thread.thread_count() == 3
+
+    def test_merged_histogram_spans_all_threads(self):
+        per_thread = PerThreadBuckets()
+        locked_reference_count(
+            workers=2, updates_per_worker=100,
+            make_latency=lambda w, i: 100.0 if w == 0 else 100_000.0,
+            strategy=per_thread)
+        hist = per_thread.histogram()
+        assert hist.count(6) == 100
+        assert hist.count(16) == 100
+        assert hist.verify_checksum()
+
+
+class TestDriver:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            locked_reference_count(0, 10, lambda w, i: 1.0,
+                                   PerThreadBuckets())

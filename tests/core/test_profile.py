@@ -1,0 +1,141 @@
+"""Tests for Profile and ProfileSet."""
+
+import io
+
+import pytest
+
+from repro.core.buckets import BucketSpec
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+
+
+class TestProfile:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Profile("")
+
+    def test_add_and_passthroughs(self):
+        prof = Profile("read", layer=Layer.USER)
+        prof.add(100)
+        prof.add(3000)
+        assert prof.total_ops == 2
+        assert prof.total_latency == pytest.approx(3100)
+        assert prof.count(6) == 1
+        assert prof.count(11) == 1
+        assert prof.mean_latency() == pytest.approx(1550)
+
+    def test_merge_same_operation(self):
+        a = Profile.from_latencies("read", [10, 20])
+        b = Profile.from_latencies("read", [30])
+        a.merge(b)
+        assert a.total_ops == 3
+
+    def test_merge_name_mismatch_rejected(self):
+        a = Profile("read")
+        b = Profile("write")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_copy_is_independent(self):
+        a = Profile.from_latencies("read", [10])
+        b = a.copy()
+        b.add(100)
+        assert a.total_ops == 1
+        assert b.total_ops == 2
+
+    def test_from_counts(self):
+        prof = Profile.from_counts("x", {5: 3, 9: 1})
+        assert prof.total_ops == 4
+        assert prof.verify_checksum()
+
+
+class TestProfileSet:
+    def make_set(self):
+        pset = ProfileSet(name="demo")
+        pset.add("read", 100)
+        pset.add("read", 100000)
+        pset.add("llseek", 400)
+        pset.add("write", 2000)
+        return pset
+
+    def test_container_protocol(self):
+        pset = self.make_set()
+        assert "read" in pset
+        assert len(pset) == 3
+        assert pset.operations() == ["llseek", "read", "write"]
+        assert pset["read"].total_ops == 2
+        assert pset.get("missing") is None
+
+    def test_totals(self):
+        pset = self.make_set()
+        assert pset.total_ops() == 4
+        assert pset.total_latency() == pytest.approx(102500)
+
+    def test_sorted_by_latency(self):
+        pset = self.make_set()
+        ranked = pset.by_total_latency()
+        assert ranked[0].operation == "read"
+
+    def test_insert_merges_duplicates(self):
+        pset = ProfileSet()
+        pset.insert(Profile.from_latencies("read", [10]))
+        pset.insert(Profile.from_latencies("read", [20]))
+        assert pset["read"].total_ops == 2
+
+    def test_insert_wrong_resolution_rejected(self):
+        pset = ProfileSet(spec=BucketSpec(1))
+        with pytest.raises(ValueError):
+            pset.insert(Profile("read", spec=BucketSpec(2)))
+
+    def test_merge_sets(self):
+        a = self.make_set()
+        b = ProfileSet()
+        b.add("read", 50)
+        b.add("fsync", 7)
+        a.merge(b)
+        assert a["read"].total_ops == 3
+        assert "fsync" in a
+
+    def test_merge_leaves_source_untouched(self):
+        a = self.make_set()
+        b = ProfileSet()
+        b.add("read", 50)
+        a.merge(b)
+        a["read"].add(60)
+        assert b["read"].total_ops == 1
+
+    def test_roundtrip_text_format(self):
+        pset = self.make_set()
+        text = pset.dumps()
+        loaded = ProfileSet.loads(text)
+        assert loaded.operations() == pset.operations()
+        for op in pset.operations():
+            assert loaded[op].counts() == pset[op].counts()
+            assert loaded[op].total_ops == pset[op].total_ops
+        assert not loaded.verify_checksums()
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ProfileSet.load(io.StringIO("not a profile\n"))
+
+    def test_load_rejects_orphan_bucket_line(self):
+        bad = "# osprof 1 resolution=1\n5 10\n"
+        with pytest.raises(ValueError):
+            ProfileSet.loads(bad)
+
+    def test_checksum_verification_reports_bad_ops(self):
+        pset = self.make_set()
+        # Corrupt one histogram behind the API's back.
+        pset["read"].histogram.total_ops += 5
+        assert pset.verify_checksums() == ["read"]
+
+    def test_from_operation_latencies(self):
+        pset = ProfileSet.from_operation_latencies(
+            {"a": [1, 2], "b": [3]})
+        assert pset.total_ops() == 3
+
+    def test_resolution_roundtrip(self):
+        pset = ProfileSet(spec=BucketSpec(2))
+        pset.add("op", 100)
+        loaded = ProfileSet.loads(pset.dumps())
+        assert loaded.spec.resolution == 2

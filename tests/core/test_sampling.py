@@ -1,0 +1,91 @@
+"""Tests for time-segmented (3-D) profile sampling."""
+
+import pytest
+
+from repro.core.sampling import SampledProfiler
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSampledProfiler:
+    def test_requests_land_in_their_start_segment(self, clock):
+        sp = SampledProfiler(clock, interval=1000)
+        sp.record("read", start=0, latency=10)
+        sp.record("read", start=999, latency=10)
+        sp.record("read", start=1000, latency=10)
+        sp.record("read", start=2500, latency=10)
+        series = sp.series()
+        assert len(series) == 3
+        assert series[0]["read"].total_ops == 2
+        assert series[1]["read"].total_ops == 1
+        assert series[2]["read"].total_ops == 1
+
+    def test_record_now_attributes_by_start_time(self, clock):
+        sp = SampledProfiler(clock, interval=1000)
+        clock.now = 1500
+        # Started at 900 (segment 0), completed at 1500 (segment 1).
+        sp.record_now("op", latency=600)
+        series = sp.series()
+        assert series[0]["op"].total_ops == 1
+
+    def test_invalid_interval_rejected(self, clock):
+        with pytest.raises(ValueError):
+            SampledProfiler(clock, interval=0)
+
+    def test_segments_created_lazily(self, clock):
+        sp = SampledProfiler(clock, interval=100)
+        sp.record("op", start=950, latency=1)
+        assert len(sp.series()) == 10
+
+    def test_negative_latency_clamped(self, clock):
+        sp = SampledProfiler(clock, interval=100)
+        sp.record("op", start=0, latency=-5)
+        assert sp.series()[0]["op"].count(0) == 1
+
+
+class TestSampledSeries:
+    def make_series(self, clock):
+        sp = SampledProfiler(clock, interval=1000)
+        sp.record("read", start=0, latency=100)
+        sp.record("read", start=0, latency=5000)
+        sp.record("write_super", start=1000, latency=1 << 20)
+        sp.record("read", start=2000, latency=100)
+        return sp.series()
+
+    def test_operations_union(self, clock):
+        series = self.make_series(clock)
+        assert series.operations() == ["read", "write_super"]
+
+    def test_cells_matrix(self, clock):
+        series = self.make_series(clock)
+        cells = series.cells("read")
+        assert cells[(0, 6)] == 1
+        assert cells[(0, 12)] == 1
+        assert cells[(2, 6)] == 1
+        assert (1, 6) not in cells
+
+    def test_collapse_equals_total(self, clock):
+        series = self.make_series(clock)
+        total = series.collapse()
+        assert total["read"].total_ops == 3
+        assert total["write_super"].total_ops == 1
+
+    def test_periodicity_counts_in_range(self, clock):
+        series = self.make_series(clock)
+        row = series.periodicity("write_super", 15, 25)
+        assert row == [0, 1, 0]
+
+    def test_periodicity_missing_op_is_zeroes(self, clock):
+        series = self.make_series(clock)
+        assert series.periodicity("nope", 0, 60) == [0, 0, 0]

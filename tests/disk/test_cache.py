@@ -1,0 +1,65 @@
+"""Tests for the drive's segment (readahead) cache."""
+
+import pytest
+
+from repro.disk.cache import SegmentCache
+
+
+class TestSegmentCache:
+    def test_miss_then_hit(self):
+        cache = SegmentCache(segments=2)
+        assert not cache.lookup(5)
+        cache.fill(5)
+        assert cache.lookup(5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SegmentCache(segments=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(3)  # evicts 1
+        assert not cache.resident(1)
+        assert cache.resident(2)
+        assert cache.resident(3)
+
+    def test_lookup_refreshes_lru(self):
+        cache = SegmentCache(segments=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)   # 1 most recent
+        cache.fill(3)     # evicts 2
+        assert cache.resident(1)
+        assert not cache.resident(2)
+
+    def test_fill_existing_refreshes(self):
+        cache = SegmentCache(segments=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(1)
+        cache.fill(3)  # evicts 2, not 1
+        assert cache.resident(1)
+
+    def test_zero_capacity_never_caches(self):
+        cache = SegmentCache(segments=0)
+        cache.fill(1)
+        assert not cache.lookup(1)
+
+    def test_invalidate(self):
+        cache = SegmentCache(segments=4)
+        cache.fill(1)
+        cache.fill(2)
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = SegmentCache(segments=4)
+        assert cache.hit_rate() == 0.0
+        cache.lookup(1)
+        cache.fill(1)
+        cache.lookup(1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentCache(segments=-1)

@@ -1,0 +1,90 @@
+"""Tests for disk geometry and mechanical timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.geometry import BLOCK_SIZE, DiskGeometry
+from repro.sim.engine import seconds
+from repro.sim.rng import SimRandom
+
+
+class TestMapping:
+    def test_track_of_blocks(self):
+        geo = DiskGeometry(num_blocks=1000, blocks_per_track=100)
+        assert geo.track_of(0) == 0
+        assert geo.track_of(99) == 0
+        assert geo.track_of(100) == 1
+        assert geo.track_of(999) == 9
+
+    def test_out_of_range_rejected(self):
+        geo = DiskGeometry(num_blocks=100, blocks_per_track=10)
+        with pytest.raises(ValueError):
+            geo.track_of(100)
+        with pytest.raises(ValueError):
+            geo.track_of(-1)
+
+    def test_track_span(self):
+        geo = DiskGeometry(num_blocks=95, blocks_per_track=10)
+        assert list(geo.track_span(0)) == list(range(10))
+        assert list(geo.track_span(9)) == list(range(90, 95))
+
+
+class TestSeekTimes:
+    def test_same_track_is_free(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(5, 5) == 0.0
+
+    def test_adjacent_track_costs_track_seek(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(5, 6) == pytest.approx(geo.track_seek)
+
+    def test_full_stroke_costs_full_seek(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(0, geo.num_tracks - 1) == pytest.approx(
+            geo.full_seek)
+
+    def test_symmetric(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(10, 500) == geo.seek_time(500, 10)
+
+    @given(st.integers(min_value=0, max_value=2047),
+           st.integers(min_value=0, max_value=2047))
+    @settings(max_examples=50)
+    def test_bounded_and_monotone(self, a, b):
+        geo = DiskGeometry()
+        t = geo.seek_time(a, b)
+        assert 0 <= t <= geo.full_seek
+        if a != b:
+            assert t >= geo.track_seek
+
+    def test_paper_characteristic_times(self):
+        geo = DiskGeometry()
+        assert geo.track_seek == pytest.approx(seconds(0.3e-3))
+        assert geo.full_seek == pytest.approx(seconds(8e-3))
+        assert geo.rotation == pytest.approx(seconds(4e-3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(num_blocks=0)
+        with pytest.raises(ValueError):
+            DiskGeometry(track_seek=10, full_seek=5)
+
+
+class TestRotationAndTransfer:
+    def test_rotational_delay_within_one_rotation(self):
+        geo = DiskGeometry()
+        rng = SimRandom(1)
+        for _ in range(100):
+            delay = geo.rotational_delay(rng)
+            assert 0 <= delay < geo.rotation
+
+    def test_transfer_time_proportional(self):
+        geo = DiskGeometry()
+        assert geo.transfer_time(2) == pytest.approx(
+            2 * geo.transfer_time(1))
+        with pytest.raises(ValueError):
+            geo.transfer_time(0)
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 4096

@@ -1,0 +1,278 @@
+"""Tests for the Ext2-like file system."""
+
+import pytest
+
+from repro.disk.geometry import BLOCK_SIZE
+from repro.system import System
+from repro.vfs.file import O_DIRECT
+from repro.vfs.inode import ENTRIES_PER_PAGE
+
+
+@pytest.fixture
+def system():
+    return System.build(fs_type="ext2", with_timer=False)
+
+
+def run_body(system, fn):
+    p = system.kernel.spawn(fn, "t")
+    system.run([p])
+    return p
+
+
+class TestReaddir:
+    def test_batches_then_eof(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        for i in range(20):
+            system.tree.mkfile(d, f"f{i}", 100)
+        f = system.vfs.open_inode(d)
+        batches = []
+
+        def body(proc):
+            while True:
+                entries = yield from system.vfs.readdir(proc, f)
+                if not entries:
+                    return batches
+                batches.append(len(entries))
+
+        p = run_body(system, body)
+        assert sum(batches) == 20
+        assert max(batches) <= system.fs.readdir_chunk
+
+    def test_eof_call_is_fast(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        f = system.vfs.open_inode(d)
+        f.pos = 0  # empty dir: first call is already past EOF
+
+        def body(proc):
+            entries = yield from system.vfs.readdir(proc, f)
+            return entries
+
+        p = run_body(system, body)
+        assert p.exit_value == []
+        prof = system.fs_profiles()["readdir"]
+        lo, hi = prof.histogram.span()
+        assert hi <= 8  # past-EOF peak: buckets 6-7ish
+
+    def test_miss_invokes_readpage_once_per_page(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        for i in range(ENTRIES_PER_PAGE * 2):
+            system.tree.mkfile(d, f"f{i}", 100)
+        f = system.vfs.open_inode(d)
+
+        def body(proc):
+            while True:
+                entries = yield from system.vfs.readdir(proc, f)
+                if not entries:
+                    return None
+
+        run_body(system, body)
+        pset = system.fs_profiles()
+        assert pset["readpage"].total_ops == 2  # one per directory page
+
+    def test_cached_calls_cheaper_than_misses(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        for i in range(ENTRIES_PER_PAGE):
+            system.tree.mkfile(d, f"f{i}", 100)
+        f = system.vfs.open_inode(d)
+
+        def body(proc):
+            while True:
+                entries = yield from system.vfs.readdir(proc, f)
+                if not entries:
+                    return None
+
+        run_body(system, body)
+        prof = system.fs_profiles()["readdir"]
+        counts = prof.counts()
+        # One miss (waits for disk: bucket >= 15) and several cached
+        # calls (buckets < 15).
+        slow = sum(c for b, c in counts.items() if b >= 15)
+        fast = sum(c for b, c in counts.items() if b < 15)
+        assert slow == 1
+        assert fast >= 3
+
+    def test_readdir_on_file_rejected(self, system):
+        f_inode = system.tree.mkfile(system.root, "f", 100)
+        f = system.vfs.open_inode(f_inode)
+
+        def body(proc):
+            yield from system.vfs.readdir(proc, f)
+
+        system.kernel.spawn(body, "p")
+        with pytest.raises(ValueError):
+            system.kernel.run(max_events=500)
+
+    def test_atime_dirtied(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        system.tree.mkfile(d, "f", 100)
+        f = system.vfs.open_inode(d)
+
+        def body(proc):
+            yield from system.vfs.readdir(proc, f)
+
+        run_body(system, body)
+        assert d.dirty
+
+
+class TestRead:
+    def test_zero_byte_read_fast_path(self, system):
+        inode = system.tree.mkfile(system.root, "f", 0)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            n = yield from system.vfs.read(proc, f, 4096)
+            return n
+
+        p = run_body(system, body)
+        assert p.exit_value == 0
+        prof = system.fs_profiles()["read"]
+        assert max(prof.counts()) <= 8
+
+    def test_buffered_read_fills_cache(self, system):
+        inode = system.tree.mkfile(system.root, "f", BLOCK_SIZE * 2)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            total = 0
+            while True:
+                n = yield from system.vfs.read(proc, f, BLOCK_SIZE)
+                if n == 0:
+                    return total
+                total += n
+
+        p = run_body(system, body)
+        assert p.exit_value == BLOCK_SIZE * 2
+        assert system.vfs.pagecache.resident_count() == 2
+        # Second read of the same data: all cache hits, no new I/O.
+        reads_before = system.disk.reads
+        f2 = system.vfs.open_inode(inode)
+
+        def body2(proc):
+            while True:
+                n = yield from system.vfs.read(proc, f2, BLOCK_SIZE)
+                if n == 0:
+                    return None
+
+        run_body(system, body2)
+        assert system.disk.reads == reads_before
+
+    def test_short_read_at_eof(self, system):
+        inode = system.tree.mkfile(system.root, "f", 1000)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            n = yield from system.vfs.read(proc, f, 4096)
+            return n
+
+        p = run_body(system, body)
+        assert p.exit_value == 1000
+
+    def test_direct_read_bypasses_page_cache(self, system):
+        inode = system.tree.mkfile(system.root, "f", BLOCK_SIZE * 4)
+        f = system.vfs.open_inode(inode, flags=O_DIRECT)
+
+        def body(proc):
+            yield from system.vfs.read(proc, f, 512)
+
+        run_body(system, body)
+        assert system.vfs.pagecache.resident_count() == 0
+        assert system.disk.reads == 1
+
+    def test_direct_read_holds_i_sem(self, system):
+        inode = system.tree.mkfile(system.root, "f", BLOCK_SIZE * 4)
+        f = system.vfs.open_inode(inode, flags=O_DIRECT)
+
+        def body(proc):
+            yield from system.vfs.read(proc, f, 512)
+
+        run_body(system, body)
+        assert inode.i_sem.acquisitions == 1
+        assert inode.i_sem.count == 1
+
+    def test_negative_size_rejected(self, system):
+        inode = system.tree.mkfile(system.root, "f", 100)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            yield from system.vfs.read(proc, f, -1)
+
+        system.kernel.spawn(body, "p")
+        with pytest.raises(ValueError):
+            system.kernel.run(max_events=500)
+
+
+class TestWriteAndFsync:
+    def test_write_dirties_cache_without_io(self, system):
+        inode = system.tree.mkfile(system.root, "f", 0)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            n = yield from system.vfs.write(proc, f, BLOCK_SIZE * 2)
+            return n
+
+        p = run_body(system, body)
+        assert p.exit_value == BLOCK_SIZE * 2
+        assert inode.size == BLOCK_SIZE * 2
+        assert len(system.vfs.pagecache.dirty_pages()) == 2
+        assert system.disk.writes == 0
+
+    def test_fsync_writes_back_dirty_pages(self, system):
+        inode = system.tree.mkfile(system.root, "f", 0)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            yield from system.vfs.write(proc, f, BLOCK_SIZE * 3)
+            flushed = yield from system.vfs.fsync(proc, f)
+            return flushed
+
+        p = run_body(system, body)
+        assert p.exit_value == 3
+        assert system.disk.writes == 3
+        assert not system.vfs.pagecache.dirty_pages()
+        assert not inode.dirty
+
+    def test_write_allocates_blocks(self, system):
+        inode = system.tree.mkfile(system.root, "f", 0)
+        f = system.vfs.open_inode(inode)
+        assert len(inode.blocks) == 0
+
+        def body(proc):
+            yield from system.vfs.write(proc, f, BLOCK_SIZE * 2)
+
+        run_body(system, body)
+        assert len(inode.blocks) == 2
+
+
+class TestNamespace:
+    def test_create_and_unlink(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+
+        def body(proc):
+            inode = yield from system.fs.create(proc, d, "new")
+            yield from system.fs.unlink(proc, d, "new")
+            return inode
+
+        p = run_body(system, body)
+        assert p.exit_value.kind == "file"
+        assert d.lookup_entry("new") is None
+
+    def test_create_duplicate_rejected(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+        system.tree.mkfile(d, "f", 10)
+
+        def body(proc):
+            yield from system.fs.create(proc, d, "f")
+
+        system.kernel.spawn(body, "p")
+        with pytest.raises(FileExistsError):
+            system.kernel.run(max_events=1000)
+
+    def test_unlink_missing_rejected(self, system):
+        d = system.tree.mkdir(system.root, "dir")
+
+        def body(proc):
+            yield from system.fs.unlink(proc, d, "ghost")
+
+        system.kernel.spawn(body, "p")
+        with pytest.raises(FileNotFoundError):
+            system.kernel.run(max_events=1000)

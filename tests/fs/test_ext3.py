@@ -1,0 +1,126 @@
+"""Tests for the Ext3-like journaled file system."""
+
+import pytest
+
+from repro.disk.geometry import BLOCK_SIZE
+from repro.system import System
+
+
+@pytest.fixture
+def ext3():
+    return System.build(fs_type="ext3", with_timer=False)
+
+
+@pytest.fixture
+def ext2():
+    return System.build(fs_type="ext2", with_timer=False)
+
+
+def write_and_fsync(system, size=BLOCK_SIZE * 2):
+    inode = system.tree.mkfile(system.root, "mail", 0)
+    handle = system.vfs.open_inode(inode)
+
+    def body(proc):
+        yield from system.vfs.write(proc, handle, size)
+        flushed = yield from system.vfs.fsync(proc, handle)
+        return flushed
+
+    proc = system.kernel.spawn(body, "w")
+    system.run([proc])
+    return proc
+
+
+class TestJournal:
+    def test_fsync_commits_a_transaction(self, ext3):
+        proc = write_and_fsync(ext3)
+        assert proc.exit_value == 2  # data pages flushed
+        assert ext3.fs.commits == 1
+        # Data blocks + journal blocks hit the disk.
+        assert ext3.disk.writes == 2 + len(ext3.fs.journal_area)
+
+    def test_fsync_slower_than_ext2(self, ext2, ext3):
+        p2 = write_and_fsync(ext2)
+        p3 = write_and_fsync(ext3)
+        fsync2 = ext2.fs_profiles()["fsync"]
+        fsync3 = ext3.fs_profiles()["fsync"]
+        assert fsync3.mean_latency() > fsync2.mean_latency()
+
+    def test_reads_not_serialized_by_commit(self, ext3):
+        # The anti-Reiserfs property: a reader concurrent with the
+        # journal commit never waits on a shared lock.
+        inode = ext3.tree.mkfile(ext3.root, "f", BLOCK_SIZE)
+        dirty = ext3.tree.mkfile(ext3.root, "dirty", 0)
+        dirty.dirty = True
+
+        def committer(proc):
+            yield from ext3.fs.write_super(proc)
+
+        def reader(proc):
+            handle = ext3.vfs.open_inode(inode)
+            yield from ext3.vfs.read(proc, handle, BLOCK_SIZE)
+
+        c = ext3.kernel.spawn(committer, "commit")
+        r = ext3.kernel.spawn(reader, "read")
+        ext3.run([c, r])
+        assert inode.i_sem.contentions == 0
+
+    def test_write_super_clears_dirty_metadata(self, ext3):
+        inode = ext3.tree.mkfile(ext3.root, "f", 0)
+        inode.dirty = True
+
+        def body(proc):
+            cleaned = yield from ext3.fs.write_super(proc)
+            return cleaned
+
+        proc = ext3.kernel.spawn(body, "flush")
+        ext3.run([proc])
+        assert proc.exit_value == 1
+        assert not inode.dirty
+        assert ext3.fs.commits == 1
+
+    def test_journal_validation(self, ext3):
+        from repro.fs.ext3 import Ext3
+
+        with pytest.raises(ValueError):
+            Ext3(ext3.kernel, ext3.driver, ext3.inodes,
+                 ext3.allocator, journal_blocks=0)
+
+
+class TestWebServerWorkload:
+    def test_bimodal_read_profile(self):
+        from repro.workloads import WebServerConfig, run_webserver
+
+        system = System.build(fs_type="ext2", num_cpus=2,
+                              with_timer=False)
+        result = run_webserver(system,
+                               WebServerConfig(documents=100,
+                                               requests=400))
+        assert result.requests == 400
+        assert result.bytes_served > 0
+        counts = system.fs_profiles()["read"].counts()
+        cached = sum(c for b, c in counts.items() if b < 15)
+        disk = sum(c for b, c in counts.items() if b >= 15)
+        assert cached > 0 and disk > 0
+        assert cached > disk  # Zipf hot set dominates
+
+    def test_smaller_cache_shifts_mass_to_disk(self):
+        from repro.workloads import WebServerConfig, run_webserver
+
+        def disk_share(pages):
+            system = System.build(fs_type="ext2", num_cpus=2,
+                                  with_timer=False,
+                                  pagecache_pages=pages)
+            run_webserver(system, WebServerConfig(documents=150,
+                                                  requests=400))
+            counts = system.fs_profiles()["read"].counts()
+            disk = sum(c for b, c in counts.items() if b >= 15)
+            return disk / sum(counts.values())
+
+        assert disk_share(64) > disk_share(100_000)
+
+    def test_validation(self):
+        from repro.workloads import WebServerConfig, run_webserver
+
+        system = System.build(with_timer=False)
+        with pytest.raises(ValueError):
+            run_webserver(system, WebServerConfig(workers=0))

@@ -1,0 +1,106 @@
+"""Tests for OS-level readahead."""
+
+import pytest
+
+from repro.sim.process import CpuBurst
+from repro.system import System
+
+PROCESS_COST = 200_000  # ~120us of user CPU per page: room to overlap
+
+
+def sequential_reader(system, inode, think=PROCESS_COST):
+    def body(proc):
+        handle = system.vfs.open_inode(inode)
+        while True:
+            n = yield from system.syscalls.invoke(
+                proc, "read", system.vfs.read(proc, handle, 4096))
+            if n == 0:
+                return None
+            yield CpuBurst(think)
+
+    return body
+
+
+def run_sequential(readahead, size=2 << 20, think=PROCESS_COST):
+    system = System.build(with_timer=False)
+    system.fs.readahead = readahead
+    inode = system.tree.mkfile(system.root, "big", size)
+    p = system.kernel.spawn(sequential_reader(system, inode, think),
+                            "seq")
+    system.run([p])
+    return system
+
+
+class TestReadahead:
+    def test_hides_disk_latency_under_sequential_reads(self):
+        with_ra = run_sequential(True)
+        without = run_sequential(False)
+        slow = lambda s: sum(
+            c for b, c in s.fs_profiles()["read"].counts().items()
+            if b >= 15)
+        assert slow(with_ra) < slow(without) / 20
+        assert with_ra.elapsed_seconds() < without.elapsed_seconds()
+
+    def test_window_grows_and_caps(self):
+        system = run_sequential(True)
+        assert system.fs.readahead_pages > 0
+        # Window state lives on the file; a fresh file starts closed.
+        inode = system.tree.mkfile(system.root, "other", 4096)
+        f = system.vfs.open_inode(inode)
+        assert f.ra_window == 0
+
+    def test_random_access_closes_window(self):
+        system = System.build(with_timer=False)
+        inode = system.tree.mkfile(system.root, "f", 1 << 20)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            # Two sequential reads open the window...
+            yield from system.vfs.read(proc, f, 4096)
+            yield from system.vfs.read(proc, f, 4096)
+            opened = f.ra_window
+            # ...then a far seek closes it.
+            f.pos = 100 * 4096
+            yield from system.vfs.read(proc, f, 4096)
+            return (opened, f.ra_window)
+
+        p = system.kernel.spawn(body, "p")
+        system.run([p])
+        opened, closed = p.exit_value
+        assert opened > 0
+        assert closed == 0
+
+    def test_no_readahead_past_eof(self):
+        system = System.build(with_timer=False)
+        inode = system.tree.mkfile(system.root, "tiny", 2 * 4096)
+        f = system.vfs.open_inode(inode)
+
+        def body(proc):
+            while True:
+                n = yield from system.vfs.read(proc, f, 4096)
+                if n == 0:
+                    return None
+
+        p = system.kernel.spawn(body, "p")
+        system.run([p])
+        # Only the file's own 2 pages were ever requested.
+        assert system.disk.reads <= 2
+
+    def test_direct_io_unaffected(self):
+        system = System.build(with_timer=False)
+        from repro.vfs.file import O_DIRECT
+
+        inode = system.tree.mkfile(system.root, "f", 1 << 20)
+        f = system.vfs.open_inode(inode, flags=O_DIRECT)
+
+        def body(proc):
+            yield from system.vfs.read(proc, f, 4096)
+            yield from system.vfs.read(proc, f, 4096)
+
+        p = system.kernel.spawn(body, "p")
+        system.run([p])
+        assert system.fs.readahead_pages == 0
+
+    def test_disabled_readahead_never_prefetches(self):
+        system = run_sequential(False)
+        assert system.fs.readahead_pages == 0

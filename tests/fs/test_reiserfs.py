@@ -1,0 +1,99 @@
+"""Tests for the reiserfs-like journaled FS and bdflush."""
+
+import pytest
+
+from repro.fs.bdflush import make_flush_daemons
+from repro.sim.engine import seconds
+from repro.system import System
+
+
+@pytest.fixture
+def system():
+    return System.build(fs_type="reiserfs", with_timer=False)
+
+
+class TestJournalCommit:
+    def test_write_super_commits_under_lock(self, system):
+        # Dirty an inode via a read's atime update first.
+        inode = system.tree.mkfile(system.root, "f", 4096)
+        f = system.vfs.open_inode(inode)
+
+        def reader(proc):
+            yield from system.vfs.read(proc, f, 4096)
+
+        p = system.kernel.spawn(reader, "r")
+        system.run([p])
+        assert inode.dirty
+
+        def flusher(proc):
+            flushed = yield from system.fs.write_super(proc)
+            return flushed
+
+        p = system.kernel.spawn(flusher, "flush")
+        system.run([p])
+        assert p.exit_value == 1
+        assert not inode.dirty
+        assert system.fs.commits == 1
+        assert system.disk.writes == len(system.fs.journal_area)
+
+    def test_reads_stall_during_commit(self, system):
+        inode = system.tree.mkfile(system.root, "f", 4096)
+
+        def flusher(proc):
+            yield from system.fs.write_super(proc)
+
+        def reader(proc):
+            f = system.vfs.open_inode(inode)
+            yield from system.vfs.read(proc, f, 4096)
+
+        flush_proc = system.kernel.spawn(flusher, "flush")
+        read_proc = system.kernel.spawn(reader, "read")
+        system.run([flush_proc, read_proc])
+        # The journal lock serialized them: the read contended.
+        assert system.fs.journal_lock.contentions >= 1
+
+    def test_journal_blocks_validation(self, system):
+        from repro.fs.reiserfs import Reiserfs
+        with pytest.raises(ValueError):
+            Reiserfs(system.kernel, system.driver, system.inodes,
+                     system.allocator, journal_blocks=0)
+
+
+class TestFlushDaemons:
+    def test_metadata_daemon_commits_periodically(self, system):
+        inode = system.tree.mkfile(system.root, "f", 4096)
+        inode.dirty = True
+        meta, data = make_flush_daemons(system.kernel, system.vfs,
+                                        metadata_period=seconds(5.0))
+        meta.start()
+        system.kernel.run(until=seconds(11.0))
+        assert meta.wakeups == 2
+        assert system.fs.commits == 2
+        system.kernel.shutdown()
+
+    def test_data_daemon_writes_dirty_pages(self, system):
+        inode = system.tree.mkfile(system.root, "f", 0)
+        f = system.vfs.open_inode(inode)
+
+        def writer(proc):
+            yield from system.vfs.write(proc, f, 8192)
+
+        p = system.kernel.spawn(writer, "w")
+        system.run([p])
+        dirty_before = len(system.vfs.pagecache.dirty_pages())
+        assert dirty_before == 2
+        meta, data = make_flush_daemons(system.kernel, system.vfs,
+                                        data_period=seconds(2.0))
+        data.start()
+        system.kernel.run(until=seconds(4.5))
+        assert not system.vfs.pagecache.dirty_pages()
+        system.kernel.shutdown()
+
+    def test_write_super_instrumented(self, system):
+        system.tree.mkfile(system.root, "f", 4096).dirty = True
+        meta, _ = make_flush_daemons(system.kernel, system.vfs,
+                                     metadata_period=seconds(5.0))
+        meta.start()
+        system.kernel.run(until=seconds(6.0))
+        assert system.fs_profiles()["write_super"].total_ops == 1
+        system.kernel.shutdown()

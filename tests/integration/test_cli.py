@@ -1,0 +1,138 @@
+"""Tests for the osprof command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dump_a(tmp_path):
+    path = tmp_path / "a.prof"
+    rc = main(["run", "grep", "--scale", "0.005", "--seed", "1",
+               "-o", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+@pytest.fixture
+def dump_b(tmp_path):
+    path = tmp_path / "b.prof"
+    rc = main(["run", "randomread", "--processes", "2",
+               "--iterations", "100", "--seed", "2", "-o", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+class TestRun:
+    def test_run_writes_parseable_dump(self, dump_a):
+        from repro.core.profileset import ProfileSet
+        with open(dump_a) as f:
+            pset = ProfileSet.load(f)
+        assert "readdir" in pset
+        assert pset.total_ops() > 0
+
+    def test_run_to_stdout(self, capsys):
+        rc = main(["run", "zerobyte", "--processes", "1",
+                   "--iterations", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# osprof 1")
+
+    def test_run_layers_differ(self, tmp_path):
+        user = tmp_path / "user.prof"
+        driver = tmp_path / "driver.prof"
+        main(["run", "grep", "--scale", "0.005", "--layer", "user",
+              "-o", str(user)])
+        main(["run", "grep", "--scale", "0.005", "--layer", "driver",
+              "-o", str(driver)])
+        assert "readdir" in user.read_text()
+        assert "disk_read" in driver.read_text()
+
+    def test_all_workloads_run(self, tmp_path):
+        for workload in ("postmark", "clone"):
+            rc = main(["run", workload, "--iterations", "50",
+                       "-o", str(tmp_path / f"{workload}.prof")])
+            assert rc == 0
+
+
+class TestRender:
+    def test_render_all(self, dump_a, capsys):
+        assert main(["render", dump_a]) == 0
+        out = capsys.readouterr().out
+        assert "READDIR" in out
+        assert "#" in out
+
+    def test_render_single_op(self, dump_a, capsys):
+        assert main(["render", dump_a, "--op", "read"]) == 0
+        out = capsys.readouterr().out
+        assert "READ" in out
+        assert "READDIR" not in out
+
+    def test_render_unknown_op_fails(self, dump_a, capsys):
+        assert main(["render", dump_a, "--op", "bogus"]) == 1
+
+    def test_render_top(self, dump_a, capsys):
+        assert main(["render", dump_a, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bucket = floor") == 1
+
+
+class TestPeaksCompareGnuplot:
+    def test_peaks_lists_buckets(self, dump_a, capsys):
+        assert main(["peaks", dump_a]) == 0
+        out = capsys.readouterr().out
+        assert "buckets" in out
+
+    def test_compare_flags_differences(self, dump_a, dump_b, capsys):
+        assert main(["compare", dump_a, dump_b]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+
+    def test_compare_identical_sets(self, dump_a, capsys):
+        assert main(["compare", dump_a, dump_a]) == 0
+        out = capsys.readouterr().out
+        assert "no interesting differences" in out
+
+    def test_compare_metric_choice(self, dump_a, dump_b, capsys):
+        assert main(["compare", dump_a, dump_b, "--metric",
+                     "chi_squared", "--limit", "1"]) == 0
+
+    def test_gnuplot_output(self, dump_a, capsys):
+        assert main(["gnuplot", dump_a]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# ")
+        # data lines are "<bucket> <count>"
+        data_lines = [l for l in out.splitlines()
+                      if l and not l.startswith("#")]
+        assert all(len(l.split()) == 2 for l in data_lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+
+class TestSampled:
+    def test_sampled_ascii(self, capsys):
+        rc = main(["sampled", "grep", "--scale", "0.01",
+                   "--duration", "5", "--interval", "2.5",
+                   "--op", "read"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "READ" in out
+        assert "key:" in out
+
+    def test_sampled_splot(self, capsys):
+        rc = main(["sampled", "grep", "--scale", "0.01",
+                   "--duration", "5", "--interval", "2.5",
+                   "--op", "read", "--splot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        data = [l for l in out.splitlines()
+                if l and not l.startswith("#")]
+        assert all(len(l.split()) == 3 for l in data)

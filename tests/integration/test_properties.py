@@ -1,0 +1,188 @@
+"""Cross-module property-based tests (hypothesis).
+
+Deeper invariants than the per-module suites: serialization fidelity,
+resolution-collapse equivalence, page-cache bounds, TCP delivery
+ordering, and workload conservation laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import BucketSpec, LatencyBuckets
+from repro.core.profileset import ProfileSet
+from repro.sim.engine import seconds
+from repro.sim.scheduler import Kernel
+
+
+op_names = st.text(alphabet="abcdefgh_", min_size=1, max_size=10)
+latency_lists = st.lists(st.floats(min_value=0, max_value=1e14),
+                         min_size=1, max_size=50)
+
+
+class TestSerializationProperties:
+    @given(st.dictionaries(op_names, latency_lists,
+                           min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_dump_load_preserves_counts(self, samples):
+        pset = ProfileSet.from_operation_latencies(samples)
+        loaded = ProfileSet.loads(pset.dumps())
+        assert loaded.operations() == pset.operations()
+        for op in pset.operations():
+            assert loaded[op].counts() == pset[op].counts()
+            assert loaded[op].total_ops == pset[op].total_ops
+            assert loaded[op].verify_checksum()
+
+    @given(st.dictionaries(op_names, latency_lists,
+                           min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_double_roundtrip_is_fixed_point(self, samples):
+        pset = ProfileSet.from_operation_latencies(samples)
+        once = ProfileSet.loads(pset.dumps()).dumps()
+        twice = ProfileSet.loads(ProfileSet.loads(once).dumps()).dumps()
+        assert once == twice
+
+
+class TestResolutionProperties:
+    @given(st.lists(st.floats(min_value=1, max_value=1e12),
+                    min_size=1, max_size=100),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_higher_resolution_collapses_to_r1(self, latencies, r):
+        """r>1 carries strictly more information: collapsing its
+        buckets by b // r reproduces the r=1 histogram exactly."""
+        fine = LatencyBuckets.from_latencies(latencies, BucketSpec(r))
+        coarse = LatencyBuckets.from_latencies(latencies, BucketSpec(1))
+        collapsed = {}
+        for b, c in fine.counts().items():
+            collapsed[b // r] = collapsed.get(b // r, 0) + c
+        assert collapsed == coarse.counts()
+
+
+class TestPageCacheProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=5),
+                              st.integers(min_value=0, max_value=20)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_clean_resident_pages_bounded_by_capacity(self, accesses):
+        kernel = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        from repro.vfs.pagecache import PageCache
+
+        cache = PageCache(kernel, capacity_pages=8)
+        for ino, page_index in accesses:
+            cache.install_resident(ino, page_index)
+        clean = sum(1 for p in cache._pages.values()
+                    if p.resident and not p.dirty)
+        assert clean <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_lookup_after_install_always_hits(self, pages):
+        kernel = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        from repro.vfs.pagecache import PageCache
+
+        cache = PageCache(kernel, capacity_pages=1024)
+        for page_index in pages:
+            cache.install_resident(1, page_index)
+            assert cache.lookup(1, page_index) is not None
+
+
+class TestTcpProperties:
+    @given(st.lists(st.integers(min_value=40, max_value=1460),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_all_segments_eventually_delivered(self, sizes, loss):
+        from repro.net.tcp import TcpConnection, TcpEndpoint
+
+        kernel = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        a = TcpEndpoint("a", kernel, ack_immediately=True)
+        b = TcpEndpoint("b", kernel, ack_immediately=True)
+        TcpConnection(kernel, a, b, loss_rate=loss)
+        got = []
+        b.on_receive = lambda p: got.append(p.describe)
+        for i, size in enumerate(sizes):
+            a.send(size, f"seg{i}")
+        kernel.run(until=seconds(60.0))
+        assert len(got) == len(sizes)
+
+    @given(st.lists(st.integers(min_value=40, max_value=1460),
+                    min_size=2, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_lossless_delivery_preserves_order(self, sizes):
+        from repro.net.tcp import TcpConnection, TcpEndpoint
+
+        kernel = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        a = TcpEndpoint("a", kernel, ack_immediately=True)
+        b = TcpEndpoint("b", kernel, ack_immediately=True)
+        TcpConnection(kernel, a, b)
+        got = []
+        b.on_receive = lambda p: got.append(p.describe)
+        for i, size in enumerate(sizes):
+            a.send(size, f"seg{i}")
+        kernel.run(until=seconds(5.0))
+        assert got == [f"seg{i}" for i in range(len(sizes))]
+
+
+class TestWorkloadConservation:
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=10, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_byte_reads_all_profiled(self, processes, iterations):
+        from repro.system import System
+        from repro.workloads import run_zero_byte_reads
+
+        system = System.build(with_timer=False, seed=3)
+        run_zero_byte_reads(system, processes=processes,
+                            iterations=iterations)
+        prof = system.user_profiles()["read"]
+        assert prof.total_ops == processes * iterations
+        assert prof.verify_checksum()
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_grep_scans_exactly_the_tree(self, seed):
+        from repro.system import System
+        from repro.workloads import build_source_tree, run_grep
+
+        system = System.build(with_timer=False, seed=seed)
+        root, stats = build_source_tree(system, scale=0.005, seed=seed)
+        result = run_grep(system, root)
+        assert result.files == stats.files
+        assert result.bytes_scanned == stats.total_bytes
+        assert result.directories == stats.directories
+
+
+class TestDeterminismProperties:
+    @given(st.integers(min_value=1, max_value=2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_identical_seeds_identical_profiles(self, seed):
+        from repro.system import System
+        from repro.workloads import RandomReadConfig, run_random_read
+
+        def run():
+            system = System.build(num_cpus=2, with_timer=False,
+                                  seed=seed)
+            run_random_read(system,
+                            RandomReadConfig(processes=2,
+                                             iterations=60))
+            return system.fs_profiles().dumps(), system.kernel.now
+
+        first = run()
+        second = run()
+        assert first == second
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_cifs_mount_deterministic(self, seed):
+        from repro.net import build_cifs_mount
+        from repro.workloads import run_grep
+
+        def run():
+            mount = build_cifs_mount(scale=0.005, seed=seed)
+            run_grep(mount.client, mount.root)
+            return (mount.client.kernel.now,
+                    len(mount.sniffer.packets))
+
+        assert run() == run()

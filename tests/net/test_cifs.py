@@ -1,0 +1,108 @@
+"""Tests for the CIFS client/server pair and the Figure 10/11 pathology."""
+
+import pytest
+
+from repro.net.mount import build_cifs_mount
+from repro.net.sniffer import render_timeline
+from repro.net.smb import FIND_BATCH
+from repro.workloads.grep import run_grep
+
+
+@pytest.fixture(scope="module")
+def windows_mount():
+    m = build_cifs_mount(scale=0.01, flavor="windows", delayed_ack=True)
+    run_grep(m.client, m.root)
+    return m
+
+
+@pytest.fixture(scope="module")
+def linux_mount():
+    m = build_cifs_mount(scale=0.01, flavor="linux")
+    run_grep(m.client, m.root)
+    return m
+
+
+class TestListingCorrectness:
+    def test_grep_sees_whole_tree(self, windows_mount):
+        m = windows_mount
+        # Every file the tree builder created was scanned.
+        assert m.tree.files > 0
+
+    def test_same_results_regardless_of_flavor(self):
+        a = build_cifs_mount(scale=0.005, flavor="windows")
+        ra = run_grep(a.client, a.root)
+        b = build_cifs_mount(scale=0.005, flavor="linux")
+        rb = run_grep(b.client, b.root)
+        assert ra.files == rb.files
+        assert ra.directories == rb.directories
+        assert ra.bytes_scanned == rb.bytes_scanned
+
+    def test_find_next_used_for_big_directories(self, windows_mount):
+        m = windows_mount
+        pset = m.client.fs_profiles()
+        big_dirs = sum(1 for inode in m.client.inodes._inodes.values()
+                       if inode.is_dir and inode.size > FIND_BATCH)
+        if big_dirs:
+            assert pset.get("FIND_NEXT") is not None
+
+
+class TestDelayedAckPathology:
+    def test_windows_client_has_rightmost_peaks(self, windows_mount):
+        pset = windows_mount.client.fs_profiles()
+        ff = pset["FIND_FIRST"]
+        # Stalled transactions: >= 100ms => buckets 27+.
+        assert any(b >= 27 for b in ff.counts())
+
+    def test_linux_client_lacks_rightmost_peaks(self, linux_mount):
+        pset = linux_mount.client.fs_profiles()
+        ff = pset["FIND_FIRST"]
+        assert all(b < 27 for b in ff.counts())
+
+    def test_stalls_only_with_delayed_ack(self, windows_mount,
+                                          linux_mount):
+        assert windows_mount.sniffer.stalls(0.15)
+        assert not linux_mount.sniffer.stalls(0.15)
+
+    def test_registry_fix_removes_stalls(self):
+        m = build_cifs_mount(scale=0.01, flavor="windows",
+                             delayed_ack=False)
+        run_grep(m.client, m.root)
+        assert not m.sniffer.stalls(0.15)
+
+    def test_fix_improves_elapsed_time(self):
+        slow = build_cifs_mount(scale=0.01, flavor="windows",
+                                delayed_ack=True)
+        run_grep(slow.client, slow.root)
+        fast = build_cifs_mount(scale=0.01, flavor="windows",
+                                delayed_ack=False)
+        run_grep(fast.client, fast.root)
+        assert fast.client.elapsed_seconds() < \
+            slow.client.elapsed_seconds()
+
+    def test_network_ops_beyond_bucket_18(self, windows_mount):
+        # "instances of an operation which fall into bucket 18 and
+        # higher involve interaction with the server."
+        pset = windows_mount.client.fs_profiles()
+        ff = pset["FIND_FIRST"]
+        assert min(ff.counts()) >= 18
+
+    def test_buffered_find_next_is_local(self, windows_mount):
+        pset = windows_mount.client.fs_profiles()
+        fn = pset.get("FIND_NEXT")
+        if fn is None:
+            pytest.skip("tree too small for FIND_NEXT")
+        counts = fn.counts()
+        local = sum(c for b, c in counts.items() if b < 18)
+        assert local > 0
+
+
+class TestTimeline:
+    def test_timeline_renders_exchange(self, windows_mount):
+        text = render_timeline(windows_mount.sniffer, "client", "server",
+                               limit=12)
+        assert "FIND" in text
+        assert "|<" in text and ">|" in text
+
+    def test_empty_sniffer(self):
+        from repro.net.sniffer import Sniffer
+        assert "no packets" in render_timeline(Sniffer(), "a", "b")

@@ -1,0 +1,119 @@
+"""Tests for SMB message sizing and the CIFS server's burst discipline."""
+
+import pytest
+
+from repro.net.cifs_server import CifsServer
+from repro.net.smb import (ENTRY_WIRE_SIZE, FIND_BATCH, DirEntryInfo,
+                           FindFirstRequest, FindNextRequest, FindReply,
+                           ReadReply, ReadRequest)
+from repro.net.tcp import MAX_SEGMENT, TcpConnection, TcpEndpoint
+from repro.sim.engine import seconds
+from repro.sim.scheduler import Kernel
+from repro.system import System
+from repro.workloads import build_source_tree
+
+
+class TestWireSizes:
+    def test_find_reply_scales_with_entries(self):
+        empty = FindReply(mid=1, entries=[])
+        one = FindReply(mid=1, entries=[
+            DirEntryInfo("a", 2, False, 10)])
+        assert one.wire_size() - empty.wire_size() == ENTRY_WIRE_SIZE
+
+    def test_read_reply_includes_data(self):
+        small = ReadReply(mid=1, ino=2, offset=0, length=100)
+        big = ReadReply(mid=1, ino=2, offset=0, length=4096)
+        assert big.wire_size() - small.wire_size() == 4096 - 100
+
+    def test_requests_are_small(self):
+        assert FindFirstRequest(1, 2).wire_size() < MAX_SEGMENT
+        assert FindNextRequest(1, 2).wire_size() < MAX_SEGMENT
+        assert ReadRequest(1, 2, 0, 4096).wire_size() < MAX_SEGMENT
+
+
+def make_server_pair(burst_segments=3):
+    host = System.build(with_timer=False, instrumentation="off")
+    root, _ = build_source_tree(host, scale=0.01)
+    kernel = host.kernel
+    client = TcpEndpoint("client", kernel, ack_immediately=True)
+    server_ep = TcpEndpoint("server", kernel, ack_immediately=True)
+    TcpConnection(kernel, client, server_ep)
+    server = CifsServer(kernel, host.inodes, server_ep,
+                        burst_segments=burst_segments)
+    return kernel, host, root, client, server
+
+
+class TestServerInternals:
+    def test_segment_sizes_cover_reply(self):
+        kernel, host, root, client, server = make_server_pair()
+        sizes = server._segment_sizes(4000)
+        assert sum(sizes) == 4000
+        assert all(s <= MAX_SEGMENT for s in sizes)
+        assert server._segment_sizes(0) == [40]
+
+    def test_find_first_reply_received(self):
+        kernel, host, root, client, server = make_server_pair()
+        replies = []
+        client.on_receive = lambda p: (
+            replies.append(p.payload) if p.payload else None)
+        client.send(FindFirstRequest(7, root.ino).wire_size(), "req",
+                    FindFirstRequest(7, root.ino))
+        kernel.run(until=seconds(1.0))
+        assert len(replies) == 1
+        reply = replies[0]
+        assert isinstance(reply, FindReply)
+        assert len(reply.entries) == min(FIND_BATCH, len(root.entries))
+
+    def test_cookie_continues_listing(self):
+        kernel, host, root, client, server = make_server_pair()
+        # Find a directory larger than one batch.
+        big = [i for i in host.inodes._inodes.values()
+               if i.is_dir and len(i.entries) > FIND_BATCH]
+        if not big:
+            pytest.skip("no large directory at this scale")
+        directory = big[0]
+        replies = []
+        client.on_receive = lambda p: (
+            replies.append(p.payload) if p.payload else None)
+        client.send(100, "req", FindFirstRequest(1, directory.ino))
+        kernel.run(until=seconds(1.0))
+        first = replies[-1]
+        assert not first.end_of_search
+        assert first.cookie is not None
+        client.send(100, "req", FindNextRequest(2, first.cookie))
+        kernel.run(until=seconds(2.0))
+        second = replies[-1]
+        names = [e.name for e in first.entries + second.entries]
+        assert names == [e.name for e in
+                         directory.entries[:len(names)]]
+
+    def test_warm_listing_faster_than_cold(self):
+        kernel, host, root, client, server = make_server_pair()
+        times = []
+        client.on_receive = lambda p: (
+            times.append(kernel.now) if p.payload else None)
+        t0 = kernel.now
+        client.send(100, "req", FindFirstRequest(1, root.ino))
+        kernel.run(until=seconds(1.0))
+        cold = times[-1] - t0
+        t1 = kernel.now
+        client.send(100, "req", FindFirstRequest(2, root.ino))
+        kernel.run(until=seconds(2.0))
+        warm = times[-1] - t1
+        assert warm < cold / 3
+
+    def test_burst_size_validation(self):
+        kernel, host, root, client, server = make_server_pair()
+        with pytest.raises(ValueError):
+            CifsServer(kernel, host.inodes,
+                       TcpEndpoint("x", kernel), burst_segments=0)
+
+    def test_read_service_warms_per_page(self):
+        kernel, host, root, client, server = make_server_pair()
+        f = next(i for i in host.inodes._inodes.values()
+                 if not i.is_dir and i.size > 8192)
+        cold0 = server._read_service(f.ino, 0)
+        warm0 = server._read_service(f.ino, 0)
+        cold1 = server._read_service(f.ino, 4096)
+        assert warm0 < cold0
+        assert cold1 == pytest.approx(cold0)

@@ -1,0 +1,81 @@
+"""Tests for the packet sniffer and timeline rendering."""
+
+import pytest
+
+from repro.net.sniffer import CapturedPacket, Sniffer, render_timeline
+from repro.sim.engine import CYCLES_PER_SECOND
+
+
+def packet(seq, t_ms, src="client", dst="server", size=100,
+           describe="data", is_data=True):
+    cycles = t_ms * 1e-3 * CYCLES_PER_SECOND
+    return CapturedPacket(seq=seq, time=cycles, sent_at=cycles - 1000,
+                          src=src, dst=dst, size=size,
+                          describe=describe, is_data=is_data)
+
+
+class TestSniffer:
+    def test_between_filters_by_time(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(1, 0), packet(2, 10), packet(3, 20)]
+        window = sniffer.between(5e-3 * CYCLES_PER_SECOND,
+                                 15e-3 * CYCLES_PER_SECOND)
+        assert [p.seq for p in window] == [2]
+
+    def test_stalls_finds_gaps(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(1, 0), packet(2, 5), packet(3, 210),
+                           packet(4, 214)]
+        stalls = sniffer.stalls(threshold_seconds=0.1)
+        assert len(stalls) == 1
+        assert stalls[0] == pytest.approx(0.205)
+
+    def test_stalls_unsorted_input(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(2, 210), packet(1, 0)]
+        assert len(sniffer.stalls(0.1)) == 1
+
+    def test_clear(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(1, 0)]
+        sniffer.clear()
+        assert sniffer.packets == []
+
+    def test_time_ms_helper(self):
+        p = packet(1, 25)
+        assert p.time_ms() == pytest.approx(25)
+        assert p.time_ms(epoch=5e-3 * CYCLES_PER_SECOND) == \
+            pytest.approx(20)
+
+
+class TestRenderTimeline:
+    def test_directions(self):
+        sniffer = Sniffer()
+        sniffer.packets = [
+            packet(1, 0, src="client", dst="server",
+                   describe="request"),
+            packet(2, 1, src="server", dst="client", describe="reply"),
+        ]
+        text = render_timeline(sniffer, "client", "server")
+        lines = text.splitlines()
+        assert ">|" in lines[1]      # client -> server
+        assert "|<" in lines[2]      # server -> client
+        assert "request" in lines[1]
+        assert "reply" in lines[2]
+
+    def test_limit(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(i, i) for i in range(10)]
+        text = render_timeline(sniffer, "client", "server", limit=3)
+        assert len(text.splitlines()) == 4  # header + 3 packets
+
+    def test_relative_timestamps(self):
+        sniffer = Sniffer()
+        sniffer.packets = [packet(1, 100), packet(2, 300)]
+        text = render_timeline(sniffer, "client", "server")
+        # First packet is the epoch: ~0 ms; second ~200 ms later.
+        assert "   0.0" in text.splitlines()[1]
+        assert "200" in text.splitlines()[2]
+
+    def test_empty(self):
+        assert "no packets" in render_timeline(Sniffer(), "a", "b")

@@ -1,0 +1,154 @@
+"""Tests for the TCP model: delivery, delayed ACKs, piggybacking."""
+
+import pytest
+
+from repro.net.sniffer import Sniffer
+from repro.net.tcp import (DELAYED_ACK_TIMEOUT, Packet, TcpConnection,
+                           TcpEndpoint)
+from repro.sim.engine import seconds
+from repro.sim.scheduler import Kernel
+
+
+def make_pair(client_immediate=False, server_immediate=True,
+              sniffer=None):
+    k = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+    client = TcpEndpoint("client", k, ack_immediately=client_immediate)
+    server = TcpEndpoint("server", k, ack_immediately=server_immediate)
+    conn = TcpConnection(k, client, server, sniffer=sniffer)
+    return k, client, server, conn
+
+
+class TestDelivery:
+    def test_data_arrives_with_latency(self):
+        k, client, server, conn = make_pair()
+        got = []
+        server.on_receive = lambda p: got.append((p.payload, k.now))
+        client.send(100, "hello", payload="hi")
+        k.run(max_events=50)
+        assert got[0][0] == "hi"
+        assert got[0][1] >= conn.latency
+
+    def test_serialization_orders_same_sender(self):
+        k, client, server, conn = make_pair()
+        got = []
+        server.on_receive = lambda p: got.append(p.describe)
+        client.send(1460, "first")
+        client.send(1460, "second")
+        k.run(max_events=50)
+        assert got == ["first", "second"]
+
+    def test_big_packets_take_longer(self):
+        k, client, server, conn = make_pair()
+        times = []
+        server.on_receive = lambda p: times.append(k.now)
+        client.send(1460, "big")
+        k.run(max_events=50)
+        k2, c2, s2, conn2 = make_pair()
+        times2 = []
+        s2.on_receive = lambda p: times2.append(k2.now)
+        c2.send(40, "small")
+        k2.run(max_events=50)
+        assert times[0] > times2[0]
+
+    def test_endpoint_names_must_differ(self):
+        k = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        a = TcpEndpoint("x", k)
+        b = TcpEndpoint("x", k)
+        with pytest.raises(ValueError):
+            TcpConnection(k, a, b)
+
+
+class TestDelayedAck:
+    def test_single_segment_ack_delayed_200ms(self):
+        k, client, server, conn = make_pair(server_immediate=False)
+        client.send(100, "lone segment")
+        k.run(until=seconds(0.5))
+        assert server.delayed_acks_sent == 1
+        assert server.immediate_acks_sent == 0
+        assert client.peer_acked_through == 1
+
+    def test_second_segment_forces_immediate_ack(self):
+        k, client, server, conn = make_pair(server_immediate=False)
+        client.send(100, "one")
+        client.send(100, "two")
+        k.run(until=seconds(0.01))
+        assert server.immediate_acks_sent == 1
+        assert server.delayed_acks_sent == 0
+
+    def test_ack_immediately_endpoint_never_delays(self):
+        k, client, server, conn = make_pair(server_immediate=True)
+        client.send(100, "x")
+        k.run(until=seconds(0.01))
+        assert server.immediate_acks_sent == 1
+
+    def test_outgoing_data_piggybacks_ack(self):
+        k, client, server, conn = make_pair(server_immediate=False)
+        responded = []
+
+        def reply(packet):
+            if packet.is_data:
+                server.send(100, "reply")
+                responded.append(k.now)
+
+        server.on_receive = reply
+        client.send(100, "request")
+        k.run(until=seconds(0.01))
+        # No standalone ACK needed: the reply carried it.
+        assert server.piggybacked_acks == 1
+        assert server.delayed_acks_sent == 0
+        assert client.peer_acked_through == 1
+
+    def test_delayed_ack_is_200ms(self):
+        k, client, server, conn = make_pair(server_immediate=False)
+        ack_times = []
+        original = client.deliver
+
+        def spy(packet):
+            if not packet.is_data:
+                ack_times.append(k.now)
+            original(packet)
+
+        client.deliver = spy
+        client.send(100, "x")
+        k.run(until=seconds(0.5))
+        assert ack_times
+        assert ack_times[0] >= DELAYED_ACK_TIMEOUT
+
+
+class TestWhenAllAcked:
+    def test_callback_after_everything_acked(self):
+        k, client, server, conn = make_pair(server_immediate=True)
+        fired = []
+        client.send(100, "a")
+        client.send(100, "b")
+        client.when_all_acked(lambda: fired.append(k.now))
+        assert not fired
+        k.run(until=seconds(0.01))
+        assert fired
+
+    def test_callback_immediate_if_nothing_outstanding(self):
+        k, client, server, conn = make_pair()
+        fired = []
+        client.when_all_acked(lambda: fired.append(True))
+        assert fired == [True]
+
+
+class TestSnifferIntegration:
+    def test_packets_captured_on_delivery(self):
+        sniffer = Sniffer()
+        k, client, server, conn = make_pair(sniffer=sniffer)
+        client.send(100, "data")
+        k.run(until=seconds(0.5))
+        descriptions = [p.describe for p in sniffer.packets]
+        assert "data" in descriptions
+        assert any("ACK" in d for d in descriptions)
+
+    def test_stall_detection(self):
+        sniffer = Sniffer()
+        k, client, server, conn = make_pair(server_immediate=False,
+                                            sniffer=sniffer)
+        client.send(100, "x")  # delayed ACK: ~200ms gap
+        k.run(until=seconds(0.5))
+        stalls = sniffer.stalls(threshold_seconds=0.1)
+        assert len(stalls) == 1
+        assert stalls[0] == pytest.approx(0.2, rel=0.05)

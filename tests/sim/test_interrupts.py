@@ -1,0 +1,129 @@
+"""Tests for timer interrupts and periodic daemons."""
+
+import pytest
+
+from repro.sim.engine import seconds
+from repro.sim.interrupts import PeriodicDaemon, TimerInterrupt
+from repro.sim.process import CpuBurst, Sleep
+from repro.sim.scheduler import Kernel
+
+
+def make_kernel(cpus=1):
+    return Kernel(num_cpus=cpus, tsc_skew_seconds=0.0)
+
+
+class TestTimerInterrupt:
+    def test_fires_periodically(self):
+        k = make_kernel()
+        timer = TimerInterrupt(k, period=10_000, cost=0)
+        timer.start()
+        k.run(until=100_000)
+        assert timer.fired == pytest.approx(10, abs=1)
+
+    def test_delays_running_request(self):
+        k = make_kernel()
+        timer = TimerInterrupt(k, period=10_000, cost=1_000,
+                               jitter_sigma=0.0)
+
+        def body(proc):
+            yield CpuBurst(100_000)
+
+        p = k.spawn(body, "p")
+        timer.start()
+        k.run_until_done([p])
+        # 100k cycles of work hit by ~10 interrupts of 1k each.
+        assert k.now == pytest.approx(110_000, rel=0.1)
+        assert timer.delivered >= 8
+        # The process's own CPU accounting excludes interrupt time.
+        assert p.cpu_time == pytest.approx(100_000)
+
+    def test_idle_cpu_not_delayed(self):
+        k = make_kernel()
+        timer = TimerInterrupt(k, period=10_000, cost=1_000)
+        timer.start()
+        k.run(until=100_000)
+        assert timer.delivered == 0
+
+    def test_stop(self):
+        k = make_kernel()
+        timer = TimerInterrupt(k, period=10_000, cost=0)
+        timer.start()
+        k.run(until=25_000)
+        timer.stop()
+        fired = timer.fired
+        k.run(until=100_000)
+        assert timer.fired == fired
+
+    def test_staggered_across_cpus(self):
+        k = make_kernel(cpus=2)
+        timer = TimerInterrupt(k, period=30_000, cost=0)
+        timer.start()
+        k.run(until=29_999)
+        # Both CPUs ticked once, at different offsets.
+        assert timer.fired == 2
+
+    def test_validation(self):
+        k = make_kernel()
+        with pytest.raises(ValueError):
+            TimerInterrupt(k, period=0)
+        with pytest.raises(ValueError):
+            TimerInterrupt(k, period=100, cost=-1)
+
+
+class TestPeriodicDaemon:
+    def test_wakes_on_period(self):
+        k = make_kernel(cpus=2)
+        work = []
+
+        def body(proc):
+            work.append(k.now)
+            yield CpuBurst(100)
+
+        daemon = PeriodicDaemon(k, "d", period=50_000, body_factory=body)
+        daemon.start()
+        k.run(until=275_000)
+        # Wakeups at 50k, ~100k, ~150k, ~200k, ~250k.
+        assert daemon.wakeups == 5
+
+    def test_initial_delay_override(self):
+        k = make_kernel()
+        work = []
+
+        def body(proc):
+            work.append(k.now)
+            yield CpuBurst(1)
+
+        daemon = PeriodicDaemon(k, "d", period=100_000,
+                                body_factory=body, initial_delay=10)
+        daemon.start()
+        k.run(until=1000)
+        assert len(work) == 1
+
+    def test_stop_ends_daemon(self):
+        k = make_kernel()
+
+        def body(proc):
+            yield CpuBurst(1)
+
+        daemon = PeriodicDaemon(k, "d", period=10_000, body_factory=body)
+        proc = daemon.start()
+        k.run(until=15_000)
+        daemon.stop()
+        k.run(until=50_000)
+        assert proc.done
+
+    def test_start_idempotent(self):
+        k = make_kernel()
+
+        def body(proc):
+            yield CpuBurst(1)
+
+        daemon = PeriodicDaemon(k, "d", period=1000, body_factory=body)
+        p1 = daemon.start()
+        p2 = daemon.start()
+        assert p1 is p2
+
+    def test_validation(self):
+        k = make_kernel()
+        with pytest.raises(ValueError):
+            PeriodicDaemon(k, "d", period=0, body_factory=lambda p: None)

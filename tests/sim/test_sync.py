@@ -1,0 +1,263 @@
+"""Tests for semaphores, spinlocks, and RW locks."""
+
+import pytest
+
+from repro.sim.process import CpuBurst
+from repro.sim.scheduler import Kernel
+from repro.sim.sync import RWLock, Semaphore, SpinLock
+
+
+def make_kernel(cpus=2):
+    return Kernel(num_cpus=cpus, tsc_skew_seconds=0.0)
+
+
+def run_all(kernel, procs):
+    kernel.run_until_done(procs)
+
+
+class TestSemaphore:
+    def test_uncontended_acquire_is_fast_path(self):
+        k = make_kernel()
+        sem = Semaphore(k, "s")
+        results = []
+
+        def body(proc):
+            contended = yield from sem.acquire(proc)
+            results.append(contended)
+            yield from sem.release(proc)
+
+        run_all(k, [k.spawn(body, "p")])
+        assert results == [False]
+        assert sem.contention_rate() == 0.0
+
+    def test_mutual_exclusion(self):
+        k = make_kernel(cpus=4)
+        sem = Semaphore(k, "s")
+        active = []
+        max_active = []
+
+        def body(proc):
+            yield from sem.acquire(proc)
+            active.append(proc.pid)
+            max_active.append(len(active))
+            yield CpuBurst(1000)
+            active.remove(proc.pid)
+            yield from sem.release(proc)
+
+        procs = [k.spawn(body, f"p{i}") for i in range(6)]
+        run_all(k, procs)
+        assert max(max_active) == 1
+        assert sem.contentions > 0
+
+    def test_fifo_fairness(self):
+        k = make_kernel(cpus=1)
+        sem = Semaphore(k, "s")
+        order = []
+
+        def body(proc):
+            yield from sem.acquire(proc)
+            order.append(proc.name)
+            yield CpuBurst(500)
+            yield from sem.release(proc)
+
+        procs = [k.spawn(body, f"p{i}") for i in range(4)]
+        run_all(k, procs)
+        assert order == ["p0", "p1", "p2", "p3"]
+
+    def test_counting_semaphore(self):
+        k = make_kernel(cpus=4)
+        sem = Semaphore(k, "s", initial=2)
+        concurrent = []
+        active = [0]
+
+        def body(proc):
+            yield from sem.acquire(proc)
+            active[0] += 1
+            concurrent.append(active[0])
+            yield CpuBurst(1000)
+            active[0] -= 1
+            yield from sem.release(proc)
+
+        procs = [k.spawn(body, f"p{i}") for i in range(4)]
+        run_all(k, procs)
+        assert max(concurrent) == 2
+
+    def test_held_releases_on_exception(self):
+        k = make_kernel()
+        sem = Semaphore(k, "s")
+
+        def failing_body():
+            yield CpuBurst(10)
+            raise ValueError("inner")
+
+        def body(proc):
+            try:
+                yield from sem.held(proc, failing_body())
+            except ValueError:
+                pass
+            # Must be free again:
+            contended = yield from sem.acquire(proc)
+            yield from sem.release(proc)
+            return contended
+
+        p = k.spawn(body, "p")
+        run_all(k, [p])
+        assert p.exit_value is False
+
+    def test_unfair_semaphore_allows_barging(self):
+        k = make_kernel(cpus=1)
+        sem = Semaphore(k, "s", fair=False)
+
+        def body(proc, n):
+            for _ in range(n):
+                yield from sem.acquire(proc)
+                yield CpuBurst(100)
+                yield from sem.release(proc)
+                yield CpuBurst(100)
+
+        procs = [k.spawn(lambda p: body(p, 50), f"p{i}")
+                 for i in range(3)]
+        run_all(k, procs)
+        # All acquisitions completed despite barging.
+        assert sem.acquisitions == 150
+        assert sem.count == 1
+
+    def test_contention_rate_math(self):
+        k = make_kernel()
+        sem = Semaphore(k, "s")
+        assert sem.contention_rate() == 0.0
+        sem.acquisitions = 10
+        sem.contentions = 3
+        assert sem.contention_rate() == pytest.approx(0.3)
+
+
+class TestSpinLock:
+    def test_spinning_burns_cpu(self):
+        k = make_kernel(cpus=2)
+        lock = SpinLock(k, "l")
+
+        def body(proc):
+            contended = yield from lock.acquire(proc)
+            yield CpuBurst(10_000)
+            yield from lock.release(proc)
+            return contended
+
+        procs = [k.spawn(body, f"p{i}") for i in range(2)]
+        run_all(k, procs)
+        contended = [p.exit_value for p in procs]
+        assert contended.count(True) == 1
+        assert lock.total_spin_cycles > 0
+        # The spinner's wait shows up as CPU time, not wait time.
+        spinner = procs[1] if contended[1] else procs[0]
+        assert spinner.cpu_time > 10_000
+
+    def test_release_when_free_raises(self):
+        k = make_kernel()
+        lock = SpinLock(k, "l")
+
+        def body(proc):
+            yield from lock.release(proc)
+
+        k.spawn(body, "p")
+        with pytest.raises(RuntimeError):
+            k.run(max_events=100)
+
+    def test_mutual_exclusion(self):
+        k = make_kernel(cpus=4)
+        lock = SpinLock(k, "l")
+        active = [0]
+        peak = [0]
+
+        def body(proc):
+            yield from lock.acquire(proc)
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield CpuBurst(500)
+            active[0] -= 1
+            yield from lock.release(proc)
+
+        procs = [k.spawn(body, f"p{i}") for i in range(5)]
+        run_all(k, procs)
+        assert peak[0] == 1
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        k = make_kernel(cpus=4)
+        rw = RWLock(k, "rw")
+        concurrent_readers = []
+
+        def reader(proc):
+            yield from rw.acquire_read(proc)
+            concurrent_readers.append(rw.readers)
+            yield CpuBurst(2000)
+            yield from rw.release_read(proc)
+
+        procs = [k.spawn(reader, f"r{i}") for i in range(3)]
+        run_all(k, procs)
+        assert max(concurrent_readers) > 1
+
+    def test_writer_excludes_readers(self):
+        k = make_kernel(cpus=4)
+        rw = RWLock(k, "rw")
+        observations = []
+
+        def writer(proc):
+            yield from rw.acquire_write(proc)
+            observations.append(("w", rw.readers))
+            yield CpuBurst(5000)
+            yield from rw.release_write(proc)
+
+        def reader(proc):
+            yield from rw.acquire_read(proc)
+            observations.append(("r", rw.writer is None))
+            yield CpuBurst(1000)
+            yield from rw.release_read(proc)
+
+        procs = [k.spawn(writer, "w")] + \
+            [k.spawn(reader, f"r{i}") for i in range(3)]
+        run_all(k, procs)
+        for kind, value in observations:
+            if kind == "w":
+                assert value == 0  # no readers while writing
+            else:
+                assert value      # no writer while reading
+
+    def test_release_read_underflow(self):
+        k = make_kernel()
+        rw = RWLock(k, "rw")
+
+        def body(proc):
+            yield from rw.release_read(proc)
+
+        k.spawn(body, "p")
+        with pytest.raises(RuntimeError):
+            k.run(max_events=100)
+
+    def test_release_write_by_nonholder(self):
+        k = make_kernel()
+        rw = RWLock(k, "rw")
+
+        def body(proc):
+            yield from rw.release_write(proc)
+
+        k.spawn(body, "p")
+        with pytest.raises(RuntimeError):
+            k.run(max_events=100)
+
+    def test_write_held_helper(self):
+        k = make_kernel()
+        rw = RWLock(k, "rw")
+
+        def inner():
+            yield CpuBurst(10)
+            return "x"
+
+        def body(proc):
+            result = yield from rw.write_held(proc, inner())
+            return result
+
+        p = k.spawn(body, "p")
+        run_all(k, [p])
+        assert p.exit_value == "x"
+        assert rw.writer is None

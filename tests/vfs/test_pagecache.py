@@ -1,0 +1,129 @@
+"""Tests for the page cache."""
+
+import pytest
+
+from repro.disk.device import Disk
+from repro.sim.scheduler import Kernel
+from repro.vfs.pagecache import PageCache
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+
+
+@pytest.fixture
+def disk(kernel):
+    return Disk(kernel)
+
+
+@pytest.fixture
+def cache(kernel, disk):
+    pc = PageCache(kernel, capacity_pages=4)
+    pc.attach_disk(disk)
+    return pc
+
+
+class TestLookup:
+    def test_miss_then_resident_hit(self, kernel, disk, cache):
+        assert cache.lookup(1, 0) is None
+        request = disk.submit(100)
+        page = cache.install_inflight(1, 0, request)
+        assert not page.resident
+        kernel.run(max_events=100)
+        assert page.resident
+        assert cache.lookup(1, 0) is page
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peek_does_not_affect_stats(self, cache):
+        cache.peek(1, 0)
+        assert cache.misses == 0
+
+    def test_install_resident_direct(self, cache):
+        page = cache.install_resident(2, 3)
+        assert page.resident
+        assert cache.lookup(2, 3) is page
+
+
+class TestInflight:
+    def test_waiters_woken_on_fill(self, kernel, disk, cache):
+        request = disk.submit(100)
+        page = cache.install_inflight(1, 0, request)
+        woken = []
+
+        def waiter(proc):
+            p = yield from cache.wait(page)
+            woken.append(p.resident)
+
+        proc = kernel.spawn(waiter, "w")
+        kernel.run_until_done([proc])
+        assert woken == [True]
+
+    def test_wait_on_resident_returns_immediately(self, kernel, cache):
+        page = cache.install_resident(1, 0)
+
+        def waiter(proc):
+            p = yield from cache.wait(page)
+            return p
+
+        proc = kernel.spawn(waiter, "w")
+        kernel.run_until_done([proc])
+        assert proc.exit_value is page
+        assert proc.wait_time == 0
+
+    def test_duplicate_inflight_returns_existing(self, disk, cache):
+        r1 = disk.submit(100)
+        page1 = cache.install_inflight(1, 0, r1)
+        r2 = disk.submit(101)
+        page2 = cache.install_inflight(1, 0, r2)
+        assert page1 is page2
+
+    def test_unrelated_disk_completion_ignored(self, kernel, disk, cache):
+        disk.submit(500)  # no page attached
+        kernel.run(max_events=100)  # must not blow up
+
+
+class TestEviction:
+    def test_lru_eviction_of_clean_pages(self, cache):
+        for i in range(4):
+            cache.install_resident(1, i)
+        cache.lookup(1, 0)  # page 0 recently used
+        cache.install_resident(1, 99)
+        assert cache.evictions == 1
+        assert cache.peek(1, 1) is None  # LRU victim
+        assert cache.peek(1, 0) is not None
+
+    def test_dirty_pages_not_evicted(self, cache):
+        for i in range(4):
+            page = cache.install_resident(1, i)
+            page.dirty = True
+        cache.install_resident(1, 99)  # overcommit allowed
+        assert cache.evictions == 0
+        assert len(cache) == 5
+
+    def test_inflight_pages_not_evicted(self, disk, cache):
+        for i in range(4):
+            cache.install_inflight(1, i, disk.submit(i))
+        cache.install_resident(1, 99)
+        assert cache.evictions == 0
+
+
+class TestDirtyTracking:
+    def test_mark_and_clean(self, cache):
+        page = cache.mark_dirty(3, 1)
+        assert page.dirty
+        assert cache.dirty_pages() == [page]
+        cache.clean(page)
+        assert cache.dirty_pages() == []
+
+    def test_hit_rate(self, cache):
+        cache.lookup(1, 0)
+        cache.install_resident(1, 0)
+        cache.lookup(1, 0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+        assert cache.resident_count() == 1
+
+    def test_capacity_validation(self, kernel):
+        with pytest.raises(ValueError):
+            PageCache(kernel, capacity_pages=0)

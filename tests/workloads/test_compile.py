@@ -1,0 +1,86 @@
+"""Tests for the compile-like non-monotonic workload."""
+
+import pytest
+
+from repro.analysis.report import gnuplot_sampled_data
+from repro.sim.engine import seconds
+from repro.system import System
+from repro.workloads import (CompileConfig, build_source_tree,
+                             run_compile)
+
+
+@pytest.fixture
+def built():
+    system = System.build(with_timer=False,
+                          sample_interval=seconds(0.25))
+    root, stats = build_source_tree(system, scale=0.01)
+    result = run_compile(system, root)
+    return system, stats, result
+
+
+class TestCompile:
+    def test_compiles_every_c_file(self, built):
+        system, stats, result = built
+        c_files = sum(
+            1 for inode in system.inodes._inodes.values()
+            if not inode.is_dir)
+        # Objects were created during the build, so count sources by
+        # name through the tree walker instead.
+        sources = 0
+        stack = [system.root]
+        while stack:
+            d = stack.pop()
+            for e in d.entries:
+                node = system.inodes.get(e.ino)
+                if node.is_dir:
+                    stack.append(node)
+                elif e.name.endswith(".c"):
+                    sources += 1
+        assert result.compiled == sources
+        assert result.phases >= 1
+
+    def test_reads_and_writes_flow(self, built):
+        system, stats, result = built
+        assert result.bytes_read > 0
+        assert 0 < result.bytes_written < result.bytes_read
+        pset = system.user_profiles()
+        assert pset["read"].total_ops > 0
+        assert pset["write"].total_ops == result.compiled
+        assert pset["create"].total_ops == result.compiled
+
+    def test_user_cpu_dominates(self, built):
+        # A compiler is CPU-bound: user time >> system time.
+        system, _, _ = built
+        proc = next(p for p in system.kernel.processes
+                    if p.name == "make")
+        assert proc.user_time > 3 * proc.sys_time
+
+    def test_sampled_profile_nonmonotonic(self):
+        # Reads come and go between compile phases: at a fine sampling
+        # interval, some segments have reads and some have none.
+        # Segment shorter than one compile phase (batch of 8 at ~2.6 ms
+        # of CPU per average file ~= 20 ms), so CPU-only segments exist.
+        system = System.build(with_timer=False,
+                              sample_interval=seconds(0.01))
+        root, _ = build_source_tree(system, scale=0.01)
+        run_compile(system, root, CompileConfig(batch=8))
+        series = system.sampled.series()
+        read_activity = series.periodicity("read", 0, 64)
+        assert len(read_activity) > 3
+        assert any(c == 0 for c in read_activity[:-1])
+        assert any(c > 0 for c in read_activity)
+
+    def test_gnuplot_sampled_export(self, built):
+        system, _, _ = built
+        series = system.sampled.series()
+        data = gnuplot_sampled_data(series, "read",
+                                    interval_seconds=0.25)
+        lines = [l for l in data.splitlines()
+                 if l and not l.startswith("#")]
+        assert lines
+        assert all(len(l.split()) == 3 for l in lines)
+
+    def test_object_dir_created_per_process(self, built):
+        system, _, _ = built
+        names = [e.name for e in system.root.entries]
+        assert any(name.startswith(".objs") for name in names)

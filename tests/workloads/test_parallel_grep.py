@@ -1,0 +1,77 @@
+"""Tests for the parallel grep workload and differential rendering."""
+
+import pytest
+
+from repro.analysis.compare import count_difference
+from repro.analysis.report import render_profile_diff
+from repro.core.profile import Profile
+from repro.system import System
+from repro.workloads import build_source_tree, run_parallel_grep
+
+
+class TestParallelGrep:
+    def test_full_coverage_any_job_count(self):
+        for jobs in (1, 2, 5):
+            system = System.build(num_cpus=2, with_timer=False)
+            root, stats = build_source_tree(system, scale=0.015)
+            results = run_parallel_grep(system, root, jobs=jobs)
+            assert sum(r.files for r in results) == stats.files
+            assert sum(r.bytes_scanned
+                       for r in results) == stats.total_bytes
+
+    def test_jobs_validation(self):
+        system = System.build(with_timer=False)
+        root, _ = build_source_tree(system, scale=0.005)
+        with pytest.raises(ValueError):
+            run_parallel_grep(system, root, jobs=0)
+
+    def test_work_actually_distributed(self):
+        system = System.build(num_cpus=4, with_timer=False)
+        root, _ = build_source_tree(system, scale=0.02)
+        results = run_parallel_grep(system, root, jobs=4)
+        busy = [r for r in results if r.files > 0]
+        assert len(busy) >= 2
+
+    def test_more_jobs_not_slower(self):
+        def elapsed(jobs):
+            system = System.build(num_cpus=4, with_timer=False, seed=5)
+            root, _ = build_source_tree(system, scale=0.02)
+            run_parallel_grep(system, root, jobs=jobs)
+            return system.elapsed_seconds()
+
+        assert elapsed(4) <= elapsed(1) * 1.1
+
+    def test_tiny_tree_without_subdirs(self):
+        system = System.build(with_timer=False)
+        root = system.root
+        system.tree.mkfile(root, "only.c", 5000)
+        results = run_parallel_grep(system, root, jobs=3)
+        assert sum(r.files for r in results) == 1
+
+
+class TestDifferentialRendering:
+    def test_count_difference_signed(self):
+        a = Profile.from_counts("op", {8: 100, 9: 50})
+        b = Profile.from_counts("op", {8: 60, 14: 30})
+        deltas = count_difference(a, b)
+        assert deltas == {8: -40, 9: -50, 14: 30}
+
+    def test_identical_profiles_empty_diff(self):
+        a = Profile.from_counts("op", {8: 100})
+        assert count_difference(a, a) == {}
+        assert "<no change>" in render_profile_diff(a, a)
+
+    def test_render_shows_direction(self):
+        a = Profile.from_counts("llseek", {8: 3000})
+        b = Profile.from_counts("llseek", {8: 2200, 22: 800})
+        text = render_profile_diff(a, b)
+        assert "-800" in text or "-  800" in text.replace("+", "")
+        assert "+800" in text
+        assert text.splitlines()[1].strip().startswith("bucket")
+
+    def test_min_delta_suppresses_noise(self):
+        a = Profile.from_counts("op", {8: 100, 9: 100})
+        b = Profile.from_counts("op", {8: 101, 9: 200})
+        text = render_profile_diff(a, b, min_delta=50)
+        assert "+100" in text
+        assert "bucket   8" not in text  # the +1 noise is hidden

@@ -1,0 +1,120 @@
+"""Tests for VFS trace capture and replay."""
+
+import io
+
+import pytest
+
+from repro.system import System
+from repro.workloads import (RandomReadConfig, build_source_tree,
+                             run_grep, run_random_read)
+from repro.workloads.trace import (Trace, TraceRecord, TraceRecorder,
+                                   replay_trace)
+
+
+def record_random_read(iterations=60, **build_kwargs):
+    system = System.build(num_cpus=2, with_timer=False, **build_kwargs)
+    recorder = TraceRecorder(system)
+    run_random_read(system, RandomReadConfig(processes=1,
+                                             iterations=iterations))
+    return system, recorder.detach()
+
+
+class TestCapture:
+    def test_records_seek_read_pairs(self):
+        system, trace = record_random_read(iterations=40)
+        ops = [r.operation for r in trace.records]
+        assert ops.count("llseek") == 40
+        assert ops.count("read") == 40
+        # Alternating llseek/read, as the workload issues them.
+        assert ops[:4] == ["llseek", "read", "llseek", "read"]
+
+    def test_positions_and_counts_captured(self):
+        system, trace = record_random_read(iterations=10)
+        reads = [r for r in trace.records if r.operation == "read"]
+        assert all(r.count == 512 for r in reads)
+        seeks = [r for r in trace.records if r.operation == "llseek"]
+        assert all(0 <= r.count for r in seeks)
+
+    def test_think_time_nonnegative(self):
+        system, trace = record_random_read(iterations=20)
+        assert all(r.think >= 0 for r in trace.records)
+        assert any(r.think > 0 for r in trace.records)
+
+    def test_detach_stops_recording(self):
+        system = System.build(with_timer=False)
+        recorder = TraceRecorder(system)
+        inode = system.tree.mkfile(system.root, "f", 0)
+        trace = recorder.detach()
+
+        def body(proc):
+            f = system.vfs.open_inode(inode)
+            yield from system.syscalls.invoke(
+                proc, "read", system.vfs.read(proc, f, 10))
+
+        p = system.kernel.spawn(body, "p")
+        system.run([p])
+        assert len(trace) == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        system, trace = record_random_read(iterations=15)
+        trace.tree_seed = 42
+        trace.tree_scale = 0.01
+        buf = io.StringIO()
+        trace.dump(buf)
+        buf.seek(0)
+        loaded = Trace.load(buf)
+        assert len(loaded) == len(trace)
+        assert loaded.tree_seed == 42
+        assert loaded.records[0] == trace.records[0]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Trace.load(io.StringIO("not a trace\n"))
+        with pytest.raises(ValueError):
+            Trace.load(io.StringIO('# {"format": "other"}\n'))
+
+    def test_record_line_roundtrip(self):
+        record = TraceRecord("read", 5, 4096, 512, 123.4)
+        assert TraceRecord.from_line(record.to_line()) == record
+
+
+class TestReplay:
+    def test_replay_reproduces_request_counts(self):
+        system, trace = record_random_read(iterations=50)
+        target = System.build(num_cpus=2, with_timer=False)
+        target.tree.mkfile(target.root, "shared.dat", 64 << 20)
+        proc = replay_trace(target, trace)
+        assert proc.exit_value == len(trace)
+        pset = target.fs_profiles()
+        assert pset["llseek"].total_ops == 50
+        assert pset["read"].total_ops == 50
+
+    def test_replay_against_patched_kernel_shows_fix(self):
+        # The trace-replay use case: capture once, replay on the
+        # patched system, diff the profiles.
+        system, trace = record_random_read(iterations=50)
+        patched = System.build(num_cpus=2, with_timer=False,
+                               patched_llseek=True)
+        patched.tree.mkfile(patched.root, "shared.dat", 64 << 20)
+        replay_trace(patched, trace)
+        assert patched.fs_profiles()["llseek"].mean_latency() < 200
+
+    def test_replay_grep_trace(self):
+        source = System.build(with_timer=False)
+        root, stats = build_source_tree(source, scale=0.005, seed=9)
+        recorder = TraceRecorder(source, tree_seed=9, tree_scale=0.005)
+        run_grep(source, root)
+        trace = recorder.detach()
+
+        target = System.build(with_timer=False)
+        build_source_tree(target, scale=trace.tree_scale,
+                          seed=trace.tree_seed)
+        proc = replay_trace(target, trace)
+        assert proc.exit_value == len(trace)
+        # Same request mix on both sides.
+        assert (target.fs_profiles()["readdir"].total_ops ==
+                source.fs_profiles()["readdir"].total_ops)
+        assert (target.fs_profiles()["read"].total_ops ==
+                source.fs_profiles()["read"].total_ops)

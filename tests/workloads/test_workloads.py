@@ -1,0 +1,153 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.sim.engine import seconds
+from repro.system import System
+from repro.workloads.grep import run_grep
+from repro.workloads.microbench import CloneStress, run_zero_byte_reads
+from repro.workloads.postmark import PostmarkConfig, run_postmark
+from repro.workloads.randomread import RandomReadConfig, run_random_read
+from repro.workloads.sourcetree import build_source_tree
+
+
+class TestSourceTree:
+    def test_shape_scales(self):
+        s = System.build(with_timer=False)
+        root, stats = build_source_tree(s, scale=0.02)
+        assert stats.directories >= 3
+        assert stats.files > stats.directories
+        assert 1000 < stats.mean_file_size() < 40_000
+
+    def test_deterministic(self):
+        s1 = System.build(with_timer=False)
+        _, stats1 = build_source_tree(s1, scale=0.01, seed=9)
+        s2 = System.build(with_timer=False)
+        _, stats2 = build_source_tree(s2, scale=0.01, seed=9)
+        assert stats1 == stats2
+
+    def test_invalid_scale(self):
+        s = System.build(with_timer=False)
+        with pytest.raises(ValueError):
+            build_source_tree(s, scale=0)
+
+
+class TestGrep:
+    def test_visits_everything(self):
+        s = System.build(with_timer=False)
+        root, stats = build_source_tree(s, scale=0.01)
+        result = run_grep(s, root)
+        assert result.directories == stats.directories
+        assert result.files == stats.files
+        assert result.bytes_scanned == stats.total_bytes
+
+    def test_one_past_eof_readdir_per_directory(self):
+        s = System.build(with_timer=False)
+        root, stats = build_source_tree(s, scale=0.01)
+        result = run_grep(s, root)
+        prof = s.fs_profiles()["readdir"]
+        eof_calls = sum(c for b, c in prof.counts().items() if b <= 8)
+        assert eof_calls == stats.directories
+
+    def test_readpage_count_matches_slow_readdir_peaks(self):
+        # Figure 7's cross-check: third + fourth peak populations of
+        # readdir equal the readpage op count for directory pages.
+        s = System.build(with_timer=False)
+        root, _ = build_source_tree(s, scale=0.01)
+        run_grep(s, root)
+        pset = s.fs_profiles()
+        readdir = pset["readdir"].counts()
+        io_readdirs = sum(c for b, c in readdir.items() if b >= 15)
+        dir_pages = sum(
+            max(1, inode.num_pages())
+            for inode in s.inodes._inodes.values() if inode.is_dir)
+        assert io_readdirs <= pset["readpage"].total_ops
+        assert io_readdirs == dir_pages
+
+    def test_profiles_all_layers(self):
+        s = System.build(with_timer=False)
+        root, _ = build_source_tree(s, scale=0.005)
+        run_grep(s, root)
+        assert s.user_profiles().total_ops() > 0
+        assert s.fs_profiles().total_ops() > 0
+        assert s.driver_profiles().total_ops() > 0
+
+
+class TestRandomRead:
+    def test_runs_requested_iterations(self):
+        s = System.build(num_cpus=2, with_timer=False)
+        procs = run_random_read(
+            s, RandomReadConfig(processes=2, iterations=50))
+        assert all(p.exit_value == 50 for p in procs)
+        pset = s.fs_profiles()
+        assert pset["llseek"].total_ops == 100
+        assert pset["read"].total_ops == 100
+
+    def test_single_process_no_contention(self):
+        s = System.build(num_cpus=2, with_timer=False)
+        run_random_read(s, RandomReadConfig(processes=1, iterations=50))
+        shared = next(i for i in s.inodes._inodes.values()
+                      if not i.is_dir)
+        assert shared.i_sem.contentions == 0
+
+    def test_validation(self):
+        s = System.build(with_timer=False)
+        with pytest.raises(ValueError):
+            run_random_read(s, RandomReadConfig(processes=0))
+
+
+class TestZeroByteReads:
+    def test_all_reads_return_zero_fast(self):
+        s = System.build(with_timer=False)
+        run_zero_byte_reads(s, processes=1, iterations=500)
+        prof = s.user_profiles()["read"]
+        assert prof.total_ops == 500
+        lo, hi = prof.histogram.span()
+        assert hi <= 9  # every request is a fast path
+
+    def test_validation(self):
+        s = System.build(with_timer=False)
+        with pytest.raises(ValueError):
+            run_zero_byte_reads(s, processes=0)
+
+
+class TestCloneStress:
+    def test_single_process_unimodal(self):
+        s = System.build(num_cpus=2, with_timer=False)
+        stress = CloneStress(s)
+        stress.run(processes=1, iterations=300)
+        assert stress.proc_table_lock.contentions == 0
+        assert stress.clones == 300
+
+    def test_four_processes_contend(self):
+        s = System.build(num_cpus=2, with_timer=False)
+        stress = CloneStress(s)
+        stress.run(processes=4, iterations=300)
+        assert stress.proc_table_lock.contentions > 0
+        assert stress.clones == 1200
+
+    def test_validation(self):
+        s = System.build(with_timer=False)
+        with pytest.raises(ValueError):
+            CloneStress(s).run(processes=0)
+
+
+class TestPostmark:
+    def test_transaction_mix_and_accounting(self):
+        s = System.build(with_timer=False)
+        report = run_postmark(s, PostmarkConfig(files=30,
+                                                transactions=120))
+        assert report.transactions == 120
+        assert report.creates >= 30
+        assert report.reads + report.appends + report.deletes > 0
+        assert report.elapsed > 0
+        assert report.system > 0
+        # elapsed ~= user + system + wait for a single process.
+        assert report.elapsed == pytest.approx(
+            report.user + report.system + report.wait, rel=0.05)
+
+    def test_system_fraction(self):
+        s = System.build(with_timer=False)
+        report = run_postmark(s, PostmarkConfig(files=10,
+                                                transactions=30))
+        assert 0 < report.system_fraction() < 1
