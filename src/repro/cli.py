@@ -5,8 +5,10 @@ Gnuplot scripts" plus the automated comparison tool.  This module rolls
 them into one CLI over the library:
 
 * ``osprof run <workload>`` — run a workload on a simulated machine and
-  write the captured profile set (the /proc text format) to stdout or a
-  file.
+  write the captured profile set (text or binary format) to stdout or a
+  file; ``--shards``/``--workers`` split the run across worker
+  processes and merge the per-shard profiles.
+* ``osprof merge <dump>...`` — fold several saved profile sets into one.
 * ``osprof render <dump>`` — ASCII figures from a saved profile set.
 * ``osprof peaks <dump>`` — peak detection + characteristic-time
   attribution.
@@ -16,10 +18,15 @@ them into one CLI over the library:
   profiling and render the Figure 9-style density map.
 * ``osprof gnuplot <dump>`` — Gnuplot-ready data blocks.
 
+All dump-reading commands auto-detect the format, so text and binary
+profiles mix freely.
+
 Examples::
 
     osprof run grep --scale 0.02 -o before.prof
     osprof run grep --scale 0.02 --patched-llseek -o after.prof
+    osprof run randomread --shards 4 --workers 4 --format binary -o rr.ospb
+    osprof merge rr.ospb other.prof -o merged.prof
     osprof compare before.prof after.prof --metric emd
     osprof render after.prof --op readdir
 """
@@ -37,10 +44,9 @@ from .analysis.report import gnuplot_data, render_profile
 from .analysis.select import ProfileSelector, SelectionConfig
 from .core.profileset import ProfileSet
 from .system import System
+from .workloads.runner import WORKLOAD_NAMES as WORKLOADS
 
 __all__ = ["main", "build_parser"]
-
-WORKLOADS = ("grep", "randomread", "postmark", "zerobyte", "clone")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,8 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--kernel-preemption", action="store_true")
     run.add_argument("--layer", choices=("user", "fs", "driver"),
                      default="fs", help="which profile layer to dump")
+    run.add_argument("--shards", type=int, default=None,
+                     help="split the workload into N shards "
+                          "(default: --workers)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes collecting shards in parallel")
+    run.add_argument("--format", choices=("text", "binary"),
+                     default="text", help="output format")
     run.add_argument("-o", "--output", default="-",
                      help="output file ('-' = stdout)")
+
+    merge = sub.add_parser("merge",
+                           help="merge several profile dumps into one")
+    merge.add_argument("dumps", nargs="+",
+                       help="profile dumps (text or binary, auto-detected)")
+    merge.add_argument("--format", choices=("text", "binary"),
+                       default="text", help="output format")
+    merge.add_argument("-o", "--output", default="-",
+                       help="output file ('-' = stdout)")
 
     render = sub.add_parser("render", help="ASCII figures from a dump")
     render.add_argument("dump")
@@ -107,55 +129,50 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load(path: str) -> ProfileSet:
-    with open(path) as f:
-        return ProfileSet.load(f)
+    return ProfileSet.load_path(path)
 
 
-def _run_workload(args) -> System:
-    system = System.build(fs_type=args.fs, num_cpus=args.cpus,
-                          seed=args.seed,
-                          patched_llseek=args.patched_llseek,
-                          kernel_preemption=args.kernel_preemption,
-                          with_timer=False)
-    if args.workload == "grep":
-        from .workloads import build_source_tree, run_grep
-        root, _ = build_source_tree(system, scale=args.scale,
-                                    seed=args.seed)
-        run_grep(system, root)
-    elif args.workload == "randomread":
-        from .workloads import RandomReadConfig, run_random_read
-        run_random_read(system, RandomReadConfig(
-            processes=args.processes, iterations=args.iterations))
-    elif args.workload == "postmark":
-        from .workloads import PostmarkConfig, run_postmark
-        run_postmark(system, PostmarkConfig(
-            files=max(10, args.iterations // 10),
-            transactions=args.iterations))
-    elif args.workload == "zerobyte":
-        from .workloads import run_zero_byte_reads
-        run_zero_byte_reads(system, processes=args.processes,
-                            iterations=args.iterations)
-    elif args.workload == "clone":
-        from .workloads import CloneStress
-        CloneStress(system).run(processes=args.processes,
-                                iterations=args.iterations)
-    return system
+def _write_pset(pset: ProfileSet, output: str, format: str) -> None:
+    if output == "-":
+        if format == "binary":
+            sys.stdout.buffer.write(pset.to_bytes())
+        else:
+            sys.stdout.write(pset.dumps())
+        return
+    pset.save(output, format=format)
+    print(f"wrote {len(pset)} operation profiles "
+          f"({pset.total_ops()} requests) to {output}",
+          file=sys.stderr)
 
 
 def cmd_run(args) -> int:
-    system = _run_workload(args)
-    pset = {"user": system.user_profiles,
-            "fs": system.fs_profiles,
-            "driver": system.driver_profiles}[args.layer]()
-    text = pset.dumps()
-    if args.output == "-":
-        sys.stdout.write(text)
-    else:
-        with open(args.output, "w") as f:
-            f.write(text)
-        print(f"wrote {len(pset)} operation profiles "
-              f"({pset.total_ops()} requests) to {args.output}",
-              file=sys.stderr)
+    from .core.shard import collect_sharded
+    shards = args.shards if args.shards is not None else max(args.workers, 1)
+    pset = collect_sharded(
+        args.workload, shards=shards, workers=args.workers,
+        seed=args.seed, layer=args.layer, fs_type=args.fs,
+        num_cpus=args.cpus, scale=args.scale,
+        processes=args.processes, iterations=args.iterations,
+        patched_llseek=args.patched_llseek,
+        kernel_preemption=args.kernel_preemption)
+    _write_pset(pset, args.output, args.format)
+    return 0
+
+
+def cmd_merge(args) -> int:
+    merged = _load(args.dumps[0])
+    for path in args.dumps[1:]:
+        other = _load(path)
+        if other.spec != merged.spec:
+            print(f"{path}: resolution {other.spec.resolution} differs "
+                  f"from {merged.spec.resolution}", file=sys.stderr)
+            return 1
+        merged.merge(other)
+    bad = merged.verify_checksums()
+    if bad:
+        print(f"merged profile fails checksum for: {bad}", file=sys.stderr)
+        return 1
+    _write_pset(merged, args.output, args.format)
     return 0
 
 
@@ -266,13 +283,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "run": cmd_run,
+        "merge": cmd_merge,
         "render": cmd_render,
         "peaks": cmd_peaks,
         "compare": cmd_compare,
         "gnuplot": cmd_gnuplot,
         "sampled": cmd_sampled,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except (ValueError, OSError) as exc:
+        # Corrupt dumps, impossible shard plans, unreadable paths: one
+        # clear line, not a traceback.
+        print(f"osprof: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

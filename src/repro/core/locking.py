@@ -21,6 +21,7 @@ import threading
 from typing import Callable, Dict, List, Optional
 
 from .buckets import BucketSpec, LatencyBuckets
+from .profile import Layer, Profile
 
 __all__ = ["LossySharedBuckets", "PerThreadBuckets", "locked_reference_count"]
 
@@ -82,6 +83,18 @@ class LossySharedBuckets:
         """The (possibly lossy) accumulated histogram."""
         return LatencyBuckets.from_counts(self._counts, self.spec)
 
+    def as_profile(self, operation: str,
+                   layer: str = Layer.FILESYSTEM) -> Profile:
+        """Lift the accumulated buckets into a mergeable :class:`Profile`.
+
+        The bridge between the SMP update strategies and the collection
+        path: a shard records through a strategy, then hands the result
+        to :meth:`ProfileSet.insert` / ``merge`` like any other profile.
+        """
+        prof = Profile(operation, layer, self.spec)
+        prof.histogram.merge(self.histogram())
+        return prof
+
 
 class PerThreadBuckets:
     """Strategy 2: each thread owns a private histogram; merge on demand.
@@ -125,6 +138,20 @@ class PerThreadBuckets:
     def thread_count(self) -> int:
         with self._registry_lock:
             return len(self._all)
+
+    def as_profile(self, operation: str,
+                   layer: str = Layer.FILESYSTEM) -> Profile:
+        """Merge every thread's buckets into one :class:`Profile`.
+
+        Collection-time merge of Section 3.4: the per-thread histograms
+        fold into a single profile that ``ProfileSet.merge`` can then
+        combine across shards — the same histogram addition at both
+        levels, so (thread-merge then shard-merge) equals one global
+        count.
+        """
+        prof = Profile(operation, layer, self.spec)
+        prof.histogram.merge(self.histogram())
+        return prof
 
 
 def locked_reference_count(workers: int, updates_per_worker: int,

@@ -85,6 +85,18 @@ class Profile:
     def verify_checksum(self) -> bool:
         return self.histogram.verify_checksum()
 
+    def __eq__(self, other: object) -> bool:
+        """Bucket-for-bucket equality (same operation, layer, histogram).
+
+        This is the acceptance test for shard merging: a merged parallel
+        profile must compare equal to its serial counterpart.
+        """
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return (self.operation == other.operation
+                and self.layer == other.layer
+                and self.histogram == other.histogram)
+
     def __repr__(self) -> str:
         return (f"<Profile {self.operation}@{self.layer} "
                 f"ops={self.total_ops}>")

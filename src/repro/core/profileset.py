@@ -1,4 +1,4 @@
-"""Complete profiles: one histogram per OS operation, plus text I/O.
+"""Complete profiles: one histogram per OS operation, plus text and binary I/O.
 
 "A complete profile may consist of dozens of profiles of individual
 operations" (Section 3.1).  :class:`ProfileSet` is that container; it
@@ -15,18 +15,74 @@ Text format (one profile per block)::
     end
 
 Bucket lines are ``<bucket-index> <count>``.
+
+Binary format (``to_bytes``/``from_bytes``): the wire codec used by the
+shard engine to stream per-worker profiles back to the collector.  It
+mirrors the paper's "≈1 KB per operation" checksummed profiles: a
+struct-packed little-endian stream, sparse ``(bucket, count)`` pairs
+only, exact totals, and a CRC-32 trailer over the whole payload so a
+corrupted shard result is rejected rather than silently merged::
+
+    magic    8s  b"OSPROFB1"
+    header   u8 resolution, str name, u16 nattrs, nattrs x (str k, str v),
+             u32 nprofiles
+    profile  str operation, str layer, u64 total_ops, f64 total_latency,
+             u8 flags (bit0 has-min, bit1 has-max), [f64 min], [f64 max],
+             u32 nbuckets, nbuckets x (u16 bucket, u64 count)
+    trailer  u32 crc32 of everything after the magic
+
+where ``str`` is ``u16 length + UTF-8 bytes``.  Profiles and attributes
+are written in sorted order, so encoding is canonical: equal sets encode
+to identical bytes, and decode→encode round-trips are byte-identical.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
-from .buckets import BucketSpec
+from .buckets import BucketSpec, LatencyBuckets
 from .profile import Layer, Profile
 
 __all__ = ["ProfileSet"]
 
 _HEADER_PREFIX = "# osprof 1"
+
+#: Magic prefix of the binary profile codec (version 1).
+_BINARY_MAGIC = b"OSPROFB1"
+
+
+class _Reader:
+    """Bounds-checked cursor over a binary profile payload."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def take(self, n: int) -> bytes:
+        if self.offset + n > len(self.data):
+            raise ValueError(
+                f"truncated binary profile: wanted {n} bytes at offset "
+                f"{self.offset}, only {len(self.data) - self.offset} left")
+        chunk = self.data[self.offset:self.offset + n]
+        self.offset += n
+        return chunk
+
+    def unpack(self, fmt: str) -> Tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def string(self) -> str:
+        (length,) = self.unpack("<H")
+        return self.take(length).decode("utf-8")
+
+
+def _pack_str(out: List[bytes], text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ValueError(f"string too long for binary profile: {text[:40]!r}...")
+    out.append(struct.pack("<H", len(raw)))
+    out.append(raw)
 
 
 class ProfileSet:
@@ -107,6 +163,15 @@ class ProfileSet:
         """Names of operations whose histograms fail the checksum test."""
         return [p.operation for p in self if not p.verify_checksum()]
 
+    def __eq__(self, other: object) -> bool:
+        """Bucket-for-bucket equality across every operation profile."""
+        if not isinstance(other, ProfileSet):
+            return NotImplemented
+        return (self.spec == other.spec
+                and self.operations() == other.operations()
+                and all(self._profiles[op] == other._profiles[op]
+                        for op in self._profiles))
+
     def __repr__(self) -> str:
         return (f"<ProfileSet {self.name!r} ops={len(self)} "
                 f"requests={self.total_ops()}>")
@@ -137,39 +202,239 @@ class ProfileSet:
 
     @classmethod
     def load(cls, inp: TextIO) -> "ProfileSet":
-        """Parse the text format written by :meth:`dump`."""
+        """Parse the text format written by :meth:`dump`.
+
+        Malformed input — a bad header, a truncated ``op`` block, a
+        bucket line that is not ``<bucket> <count>``, or totals that
+        disagree with the bucket counts — raises :class:`ValueError`
+        naming the offending line, never a silent misparse.
+        """
         header = inp.readline().strip()
         if not header.startswith(_HEADER_PREFIX):
             raise ValueError(f"not an osprof profile dump: {header!r}")
         fields = dict(
             kv.split("=", 1) for kv in header[len(_HEADER_PREFIX):].split()
             if "=" in kv)
-        spec = BucketSpec(int(fields.get("resolution", "1")))
+        try:
+            spec = BucketSpec(int(fields.get("resolution", "1")))
+        except ValueError as exc:
+            raise ValueError(f"bad profile header {header!r}: {exc}") from None
         pset = cls(name=fields.get("name", ""), spec=spec)
         current: Optional[Profile] = None
+        declared: Optional[Tuple[Optional[int], Optional[float]]] = None
+
+        def finish_block() -> None:
+            # Restore the declared totals so dump(load(dump(x))) is
+            # byte-identical, enforcing the Section 4 checksum on the way.
+            nonlocal current, declared
+            assert current is not None and declared is not None
+            total_ops, total_latency = declared
+            hist = current.histogram
+            if total_ops is not None and hist.total_ops != total_ops:
+                raise ValueError(
+                    f"checksum mismatch in op {current.operation!r}: bucket "
+                    f"counts sum to {hist.total_ops}, header declares "
+                    f"total_ops={total_ops}")
+            if total_latency is not None:
+                hist.total_latency = total_latency
+            current = None
+            declared = None
+
         for raw in inp:
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             if line.startswith("op "):
+                if current is not None:
+                    raise ValueError(
+                        f"op block {current.operation!r} not closed before "
+                        f"next op line (missing 'end')")
                 parts = line.split()
                 opname = parts[1]
+                if opname in pset._profiles:
+                    raise ValueError(f"duplicate op block {opname!r}")
                 opts = dict(kv.split("=", 1) for kv in parts[2:] if "=" in kv)
+                try:
+                    declared = (
+                        int(opts["total_ops"]) if "total_ops" in opts
+                        else None,
+                        float(opts["total_latency"])
+                        if "total_latency" in opts else None)
+                except ValueError:
+                    raise ValueError(f"bad op line: {line!r}") from None
                 current = Profile(opname, opts.get("layer", Layer.FILESYSTEM),
                                   spec)
                 pset._profiles[opname] = current
             elif line == "end":
-                current = None
+                if current is None:
+                    raise ValueError("'end' outside an op block")
+                finish_block()
             else:
                 if current is None:
                     raise ValueError(f"bucket line outside op block: {line!r}")
-                bucket_str, count_str = line.split()
-                current.histogram.add_to_bucket(int(bucket_str),
-                                                int(count_str))
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ValueError(f"malformed bucket line: {line!r}")
+                try:
+                    bucket, count = int(parts[0]), int(parts[1])
+                except ValueError:
+                    raise ValueError(
+                        f"malformed bucket line: {line!r}") from None
+                try:
+                    current.histogram.add_to_bucket(bucket, count)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad bucket line {line!r}: {exc}") from None
+        if current is not None:
+            raise ValueError(
+                f"truncated dump: op block {current.operation!r} has no 'end'")
         return pset
 
     @classmethod
     def loads(cls, text: str) -> "ProfileSet":
+        import io
+        return cls.load(io.StringIO(text))
+
+    # -- binary serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Encode the set in the compact checksummed binary format.
+
+        The encoding is canonical (profiles, buckets and attributes are
+        sorted), so two equal sets always produce identical bytes and a
+        merged-shard profile can be compared byte-for-byte against its
+        serial counterpart.
+        """
+        out: List[bytes] = []
+        out.append(struct.pack("<B", self.spec.resolution))
+        _pack_str(out, self.name)
+        attrs = sorted(self.attributes.items())
+        out.append(struct.pack("<H", len(attrs)))
+        for key, value in attrs:
+            _pack_str(out, key)
+            _pack_str(out, value)
+        out.append(struct.pack("<I", len(self._profiles)))
+        for op in self.operations():
+            prof = self._profiles[op]
+            hist = prof.histogram
+            _pack_str(out, prof.operation)
+            _pack_str(out, prof.layer)
+            out.append(struct.pack("<Qd", hist.total_ops,
+                                   hist.total_latency))
+            flags = ((1 if hist.min_latency is not None else 0)
+                     | (2 if hist.max_latency is not None else 0))
+            out.append(struct.pack("<B", flags))
+            if hist.min_latency is not None:
+                out.append(struct.pack("<d", hist.min_latency))
+            if hist.max_latency is not None:
+                out.append(struct.pack("<d", hist.max_latency))
+            counts = hist.counts()
+            out.append(struct.pack("<I", len(counts)))
+            for bucket in sorted(counts):
+                out.append(struct.pack("<HQ", bucket, counts[bucket]))
+        payload = b"".join(out)
+        return (_BINARY_MAGIC + payload
+                + struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProfileSet":
+        """Decode :meth:`to_bytes` output, verifying the CRC-32 trailer.
+
+        Raises :class:`ValueError` on a bad magic, a truncated payload,
+        a checksum mismatch, or any structurally invalid field.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ValueError("binary profile must be a bytes-like object")
+        data = bytes(data)
+        if not data.startswith(_BINARY_MAGIC):
+            raise ValueError(
+                f"not a binary osprof profile: magic {data[:8]!r}")
+        if len(data) < len(_BINARY_MAGIC) + 4:
+            raise ValueError("truncated binary profile: missing trailer")
+        payload = data[len(_BINARY_MAGIC):-4]
+        (declared_crc,) = struct.unpack("<I", data[-4:])
+        actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if declared_crc != actual_crc:
+            raise ValueError(
+                f"binary profile CRC mismatch: trailer says "
+                f"{declared_crc:#010x}, payload hashes to {actual_crc:#010x}")
+        reader = _Reader(payload)
+        (resolution,) = reader.unpack("<B")
+        try:
+            spec = BucketSpec(resolution)
+        except ValueError as exc:
+            raise ValueError(f"bad binary profile header: {exc}") from None
+        name = reader.string()
+        (nattrs,) = reader.unpack("<H")
+        attributes = {}
+        for _ in range(nattrs):
+            key = reader.string()
+            attributes[key] = reader.string()
+        pset = cls(name=name, spec=spec, attributes=attributes)
+        (nprofiles,) = reader.unpack("<I")
+        for _ in range(nprofiles):
+            operation = reader.string()
+            layer = reader.string()
+            total_ops, total_latency = reader.unpack("<Qd")
+            (flags,) = reader.unpack("<B")
+            min_latency = reader.unpack("<d")[0] if flags & 1 else None
+            max_latency = reader.unpack("<d")[0] if flags & 2 else None
+            (nbuckets,) = reader.unpack("<I")
+            counts: Dict[int, int] = {}
+            for _ in range(nbuckets):
+                bucket, count = reader.unpack("<HQ")
+                if bucket in counts:
+                    raise ValueError(
+                        f"duplicate bucket {bucket} in op {operation!r}")
+                counts[bucket] = count
+            if operation in pset._profiles:
+                raise ValueError(f"duplicate op block {operation!r}")
+            prof = Profile(operation, layer, spec)
+            try:
+                prof.histogram = LatencyBuckets.restore(
+                    counts, total_ops, total_latency,
+                    min_latency, max_latency, spec)
+            except ValueError as exc:
+                raise ValueError(f"bad op {operation!r}: {exc}") from None
+            pset._profiles[operation] = prof
+        if reader.offset != len(payload):
+            raise ValueError(
+                f"{len(payload) - reader.offset} trailing bytes after the "
+                f"last profile")
+        return pset
+
+    # -- file helpers -------------------------------------------------------------
+
+    def save(self, path: str, format: str = "text") -> None:
+        """Write the set to *path* in the given format (``text``/``binary``)."""
+        if format == "text":
+            with open(path, "w") as f:
+                self.dump(f)
+        elif format == "binary":
+            with open(path, "wb") as f:
+                f.write(self.to_bytes())
+        else:
+            raise ValueError(f"unknown profile format {format!r}")
+
+    @classmethod
+    def load_path(cls, path: str, format: str = "auto") -> "ProfileSet":
+        """Read a profile set from *path*.
+
+        ``format="auto"`` sniffs the binary magic, so callers (and the
+        CLI) accept either representation transparently.
+        """
+        if format not in ("auto", "text", "binary"):
+            raise ValueError(f"unknown profile format {format!r}")
+        with open(path, "rb") as f:
+            data = f.read()
+        is_binary = data.startswith(_BINARY_MAGIC)
+        if format == "binary" or (format == "auto" and is_binary):
+            return cls.from_bytes(data)
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ValueError(
+                f"{path}: neither a binary osprof profile nor utf-8 text")
         import io
         return cls.load(io.StringIO(text))
 

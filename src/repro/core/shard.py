@@ -1,0 +1,164 @@
+"""Sharded parallel profile collection.
+
+The paper's aggregate-stats library is built for SMP scale: per-CPU
+bucket sets updated without locks and merged at collection time
+(Section 3.4), with profiles small and checksummed so they are cheap to
+ship around.  This module applies the same design one level up: a
+workload is split into N *shards*, each shard runs on its own simulated
+machine in its own worker process, and the per-shard profile sets are
+streamed back through the binary codec
+(:meth:`~repro.core.profileset.ProfileSet.to_bytes`) and folded together
+with :meth:`~repro.core.profileset.ProfileSet.merge` — the same
+histogram addition that merges per-thread buckets inside one machine.
+
+Determinism is the whole point of the seed plumbing: shard *i* of a run
+seeded ``s`` always simulates with ``derive_seed(s, "shard:i")``
+(:func:`repro.sim.rng.derive_seed`), so the merged result depends only
+on ``(workload, seed, shards)`` — never on the worker count, scheduling,
+or whether the shards ran in parallel at all.  ``workers=1`` therefore
+*is* the serial reference: the same shard plan executed in-process, and
+the acceptance check ``collect_sharded(..., workers=N) ==
+collect_sharded(..., workers=1)`` holds bucket-for-bucket.
+
+Shard semantics per workload: the request-driven workloads
+(``randomread``, ``postmark``, ``zerobyte``, ``clone``) divide their
+``iterations`` across shards (remainder to the earliest shards); the
+trace-shaped ``grep`` workload replicates — each shard greps a full
+source tree generated from its own derived seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.rng import derive_seed
+from ..workloads.runner import (PROFILE_LAYERS, WORKLOAD_NAMES,
+                                collect_profiles)
+from .profileset import ProfileSet
+
+__all__ = ["ShardTask", "plan_shards", "run_shard", "collect_sharded"]
+
+#: Workloads whose ``iterations`` are divided across shards; the rest
+#: replicate the full workload per shard (with a derived seed).
+ITERATION_SHARDED = ("randomread", "postmark", "zerobyte", "clone")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to produce one shard's profile set.
+
+    Frozen and built from plain scalars so it pickles cheaply into a
+    worker process regardless of start method.
+    """
+
+    workload: str
+    index: int
+    shards: int
+    seed: int                 # derived: derive_seed(base, f"shard:{index}")
+    layer: str = "fs"
+    fs_type: str = "ext2"
+    num_cpus: int = 1
+    scale: float = 0.02
+    processes: int = 2
+    iterations: int = 1000
+    patched_llseek: bool = False
+    kernel_preemption: bool = False
+
+
+def plan_shards(workload: str, *, shards: int = 1, seed: int = 2006,
+                layer: str = "fs", fs_type: str = "ext2",
+                num_cpus: int = 1, scale: float = 0.02,
+                processes: int = 2, iterations: int = 1000,
+                patched_llseek: bool = False,
+                kernel_preemption: bool = False) -> List[ShardTask]:
+    """Deterministically split a workload into per-shard tasks."""
+    if workload not in WORKLOAD_NAMES:
+        raise ValueError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{', '.join(WORKLOAD_NAMES)}")
+    if layer not in PROFILE_LAYERS:
+        raise ValueError(
+            f"unknown layer {layer!r}; expected one of "
+            f"{', '.join(PROFILE_LAYERS)}")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if workload in ITERATION_SHARDED and iterations < shards:
+        raise ValueError(
+            f"cannot split {iterations} iterations across {shards} shards")
+    tasks = []
+    base, remainder = divmod(iterations, shards)
+    for index in range(shards):
+        if workload in ITERATION_SHARDED:
+            share = base + (1 if index < remainder else 0)
+        else:
+            share = iterations
+        tasks.append(ShardTask(
+            workload=workload, index=index, shards=shards,
+            seed=derive_seed(seed, f"shard:{index}"), layer=layer,
+            fs_type=fs_type, num_cpus=num_cpus, scale=scale,
+            processes=processes, iterations=share,
+            patched_llseek=patched_llseek,
+            kernel_preemption=kernel_preemption))
+    return tasks
+
+
+def run_shard(task: ShardTask) -> bytes:
+    """Execute one shard on a fresh simulated machine.
+
+    Returns the shard's profile set in the checksummed binary wire
+    format — this is what crosses the process boundary, exercising the
+    same codec whether the shard ran remotely or in-process.
+    """
+    pset = collect_profiles(
+        task.workload, layer=task.layer, fs_type=task.fs_type,
+        num_cpus=task.num_cpus, seed=task.seed, scale=task.scale,
+        processes=task.processes, iterations=task.iterations,
+        patched_llseek=task.patched_llseek,
+        kernel_preemption=task.kernel_preemption)
+    return pset.to_bytes()
+
+
+def _pool_context():
+    # fork skips re-importing the package in workers; fall back to the
+    # platform default (spawn) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def collect_sharded(workload: str, *, shards: int = 1,
+                    workers: Optional[int] = None, seed: int = 2006,
+                    layer: str = "fs", fs_type: str = "ext2",
+                    num_cpus: int = 1, scale: float = 0.02,
+                    processes: int = 2, iterations: int = 1000,
+                    patched_llseek: bool = False,
+                    kernel_preemption: bool = False) -> ProfileSet:
+    """Run a workload as *shards* independent shards and merge the profiles.
+
+    ``workers`` bounds process-level parallelism (default: one per
+    shard); it never changes the result.  Every shard payload passes the
+    binary codec's CRC check before merging, so a corrupted worker
+    result fails loudly instead of skewing the merged histogram.
+    """
+    tasks = plan_shards(
+        workload, shards=shards, seed=seed, layer=layer, fs_type=fs_type,
+        num_cpus=num_cpus, scale=scale, processes=processes,
+        iterations=iterations, patched_llseek=patched_llseek,
+        kernel_preemption=kernel_preemption)
+    workers = len(tasks) if workers is None else workers
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(tasks) == 1:
+        payloads = [run_shard(task) for task in tasks]
+    else:
+        with _pool_context().Pool(min(workers, len(tasks))) as pool:
+            payloads = pool.map(run_shard, tasks, chunksize=1)
+    merged = ProfileSet.from_bytes(payloads[0])
+    for payload in payloads[1:]:
+        merged.merge(ProfileSet.from_bytes(payload))
+    bad = merged.verify_checksums()
+    if bad:
+        raise ValueError(f"merged profile fails checksum for: {bad}")
+    return merged

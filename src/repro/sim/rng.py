@@ -16,9 +16,23 @@ import math
 import random
 from typing import List, Optional, Sequence, TypeVar
 
-__all__ = ["SimRandom"]
+__all__ = ["SimRandom", "derive_seed"]
 
 T = TypeVar("T")
+
+
+def derive_seed(base_seed: int, salt: str) -> int:
+    """Deterministic child seed for ``(base_seed, salt)``.
+
+    This is the seed-derivation rule behind :meth:`SimRandom.fork`,
+    exposed separately so components that ship seeds across process
+    boundaries (the shard engine) can derive them without constructing
+    a generator.  Stable across interpreters and hash randomization
+    (zlib.crc32, not ``hash()``).
+    """
+    import zlib
+
+    return zlib.crc32(f"{base_seed}:{salt}".encode()) & 0x7FFFFFFF
 
 
 class SimRandom:
@@ -35,10 +49,7 @@ class SimRandom:
         stream regardless of draw order elsewhere — and regardless of
         the interpreter's hash randomization (zlib.crc32, not hash()).
         """
-        import zlib
-
-        derived = zlib.crc32(f"{self.seed}:{salt}".encode()) & 0x7FFFFFFF
-        return SimRandom(derived)
+        return SimRandom(derive_seed(self.seed, salt))
 
     # -- core draws ----------------------------------------------------------
 

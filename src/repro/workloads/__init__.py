@@ -8,6 +8,8 @@ from .microbench import (CLONE_BODY_COST, CLONE_LOCKED_COST, CloneStress,
 from .postmark import PostmarkConfig, PostmarkReport, run_postmark
 from .randomread import (RandomReadConfig, random_read_body,
                          run_random_read)
+from .runner import (PROFILE_LAYERS, WORKLOAD_NAMES, collect_profiles,
+                     run_named_workload)
 from .sourcetree import TreeStats, build_source_tree
 from .trace import Trace, TraceRecord, TraceRecorder, replay_trace
 from .webserver import (WebServerConfig, WebServerResult,
@@ -20,6 +22,8 @@ __all__ = [
     "run_zero_byte_reads", "zero_byte_read_body",
     "PostmarkConfig", "PostmarkReport", "run_postmark",
     "RandomReadConfig", "random_read_body", "run_random_read",
+    "PROFILE_LAYERS", "WORKLOAD_NAMES", "collect_profiles",
+    "run_named_workload",
     "TreeStats", "build_source_tree",
     "Trace", "TraceRecord", "TraceRecorder", "replay_trace",
     "WebServerConfig", "WebServerResult", "build_document_set",

@@ -1,0 +1,80 @@
+"""Run a named workload on a freshly built machine.
+
+One registry shared by the ``osprof run`` CLI path and the shard engine
+(:mod:`repro.core.shard`), so a serial run and every parallel shard
+execute exactly the same code with exactly the same parameters — the
+precondition for merged shard profiles matching serial ones
+bucket-for-bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.profileset import ProfileSet
+from ..system import System
+
+__all__ = ["WORKLOAD_NAMES", "PROFILE_LAYERS", "run_named_workload",
+           "collect_profiles"]
+
+#: Workloads the runner (and therefore ``osprof run``) knows how to drive.
+WORKLOAD_NAMES = ("grep", "randomread", "postmark", "zerobyte", "clone")
+
+#: Profiling layers a collection can be read from (Figure 2).
+PROFILE_LAYERS = ("user", "fs", "driver")
+
+
+def run_named_workload(system: System, workload: str, *,
+                       seed: int = 2006, scale: float = 0.02,
+                       processes: int = 2, iterations: int = 1000) -> None:
+    """Drive *workload* to completion on an already-built *system*.
+
+    ``scale``/``seed`` shape the grep source tree; ``processes`` and
+    ``iterations`` parameterize the request-driven workloads.
+    """
+    if workload == "grep":
+        from .grep import run_grep
+        from .sourcetree import build_source_tree
+        root, _ = build_source_tree(system, scale=scale, seed=seed)
+        run_grep(system, root)
+    elif workload == "randomread":
+        from .randomread import RandomReadConfig, run_random_read
+        run_random_read(system, RandomReadConfig(
+            processes=processes, iterations=iterations))
+    elif workload == "postmark":
+        from .postmark import PostmarkConfig, run_postmark
+        run_postmark(system, PostmarkConfig(
+            files=max(10, iterations // 10), transactions=iterations))
+    elif workload == "zerobyte":
+        from .microbench import run_zero_byte_reads
+        run_zero_byte_reads(system, processes=processes,
+                            iterations=iterations)
+    elif workload == "clone":
+        from .microbench import CloneStress
+        CloneStress(system).run(processes=processes, iterations=iterations)
+    else:
+        raise ValueError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{', '.join(WORKLOAD_NAMES)}")
+
+
+def collect_profiles(workload: str, *, layer: str = "fs",
+                     fs_type: str = "ext2", num_cpus: int = 1,
+                     seed: int = 2006, scale: float = 0.02,
+                     processes: int = 2, iterations: int = 1000,
+                     patched_llseek: bool = False,
+                     kernel_preemption: bool = False) -> ProfileSet:
+    """Build a machine, run *workload*, return one layer's profile set."""
+    if layer not in PROFILE_LAYERS:
+        raise ValueError(
+            f"unknown layer {layer!r}; expected one of "
+            f"{', '.join(PROFILE_LAYERS)}")
+    system = System.build(fs_type=fs_type, num_cpus=num_cpus, seed=seed,
+                          patched_llseek=patched_llseek,
+                          kernel_preemption=kernel_preemption,
+                          with_timer=False)
+    run_named_workload(system, workload, seed=seed, scale=scale,
+                       processes=processes, iterations=iterations)
+    return {"user": system.user_profiles,
+            "fs": system.fs_profiles,
+            "driver": system.driver_profiles}[layer]()

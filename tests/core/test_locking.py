@@ -1,9 +1,13 @@
 """Tests for the SMP bucket-update strategies (Section 3.4)."""
 
+import sys
+
 import pytest
 
+from repro.core.buckets import LatencyBuckets
 from repro.core.locking import (LossySharedBuckets, PerThreadBuckets,
                                 locked_reference_count)
+from repro.core.profile import Layer
 
 
 class TestLossyShared:
@@ -68,6 +72,81 @@ class TestPerThread:
         assert hist.count(6) == 100
         assert hist.count(16) == 100
         assert hist.verify_checksum()
+
+
+class TestConcurrencyEquivalence:
+    """The merged result must equal a single-threaded reference count."""
+
+    def make_latency(self, worker: int, i: int) -> float:
+        # A deterministic stream spanning several buckets, so the
+        # equivalence check is per-bucket, not just a grand total.
+        return float(10 + (worker * 7919 + i * 104729) % 100_000)
+
+    def reference(self, workers: int, updates: int) -> LatencyBuckets:
+        hist = LatencyBuckets()
+        for w in range(workers):
+            for i in range(updates):
+                hist.add(self.make_latency(w, i))
+        return hist
+
+    def test_per_thread_merge_equals_single_threaded_reference(self):
+        strategy = PerThreadBuckets()
+        locked_reference_count(
+            workers=4, updates_per_worker=2_000,
+            make_latency=self.make_latency, strategy=strategy)
+        merged = strategy.histogram()
+        expected = self.reference(4, 2_000)
+        assert merged.counts() == expected.counts()
+        assert merged.total_ops == expected.total_ops
+        assert merged.verify_checksum()
+
+    def test_lossy_shared_loss_bounded_under_contention(self):
+        # The paper measured <1% lost updates on 2 CPUs.  Python's GIL
+        # deschedules a thread mid read-modify-write only at switch
+        # boundaries, so the loss rate scales with the preemption rate;
+        # with a 100 ms switch interval a sub-100 ms hammering run sees
+        # at most a handful of preemptions and the loss stays below the
+        # 5% bound we document for this configuration.  (At the default
+        # 5 ms interval the rate is timing-dependent — see
+        # TestLossyShared above and the tbl-locking bench.)
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(0.1)
+        try:
+            shared = LossySharedBuckets()
+            locked_reference_count(
+                workers=4, updates_per_worker=20_000,
+                make_latency=lambda w, i: 100.0, strategy=shared)
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert shared.attempted() == 80_000
+        assert shared.loss_rate() < 0.05
+
+    def test_lossy_shared_never_invents_updates(self):
+        shared = LossySharedBuckets()
+        locked_reference_count(
+            workers=4, updates_per_worker=5_000,
+            make_latency=self.make_latency, strategy=shared)
+        assert shared.recorded() <= shared.attempted()
+
+
+class TestAsProfile:
+    def test_per_thread_as_profile_carries_all_updates(self):
+        strategy = PerThreadBuckets()
+        locked_reference_count(
+            workers=3, updates_per_worker=100,
+            make_latency=lambda w, i: 500.0, strategy=strategy)
+        prof = strategy.as_profile("read", Layer.FILESYSTEM)
+        assert prof.operation == "read"
+        assert prof.layer == Layer.FILESYSTEM
+        assert prof.total_ops == 300
+        assert prof.verify_checksum()
+
+    def test_lossy_as_profile_matches_surviving_histogram(self):
+        shared = LossySharedBuckets()
+        shared.add(100.0)
+        shared.add(100.0)
+        prof = shared.as_profile("write")
+        assert prof.counts() == shared.histogram().counts()
 
 
 class TestDriver:

@@ -1,0 +1,265 @@
+"""Round-trip and corruption tests for the profile codecs.
+
+Property 1 (inverse codecs): for any ProfileSet, ``save -> load ->
+save`` is byte-identical, in both the `/proc`-style text format and the
+checksummed binary format.
+
+Property 2 (loud failure): malformed input of every corruption mode —
+bad header, truncated block, mangled bucket line, checksum mismatch,
+flipped payload byte — raises ``ValueError``, never a silent misparse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import BucketSpec
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+
+op_names = st.text(alphabet="abcdefgh_", min_size=1, max_size=10)
+latency_lists = st.lists(st.floats(min_value=0, max_value=1e14),
+                         min_size=1, max_size=50)
+layers = st.sampled_from([Layer.USER, Layer.FILESYSTEM, Layer.DRIVER,
+                          Layer.NETWORK])
+
+
+@st.composite
+def profile_sets(draw):
+    resolution = draw(st.integers(min_value=1, max_value=4))
+    pset = ProfileSet(name=draw(st.text(alphabet="abcxyz", max_size=8)),
+                      spec=BucketSpec(resolution),
+                      attributes=draw(st.dictionaries(
+                          st.text(alphabet="kv_", min_size=1, max_size=6),
+                          st.text(alphabet="kv_", max_size=6),
+                          max_size=3)))
+    samples = draw(st.dictionaries(op_names, latency_lists, max_size=6))
+    for (op, latencies), layer in zip(
+            samples.items(), (draw(layers) for _ in samples)):
+        for lat in latencies:
+            pset.profile(op, layer).add(lat)
+    return pset
+
+
+class TestBinaryRoundTrip:
+    @given(profile_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_encode_is_byte_identical(self, pset):
+        blob = pset.to_bytes()
+        decoded = ProfileSet.from_bytes(blob)
+        assert decoded == pset
+        assert decoded.to_bytes() == blob
+
+    @given(profile_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_decode_preserves_exact_state(self, pset):
+        decoded = ProfileSet.from_bytes(pset.to_bytes())
+        assert decoded.name == pset.name
+        assert decoded.attributes == pset.attributes
+        assert decoded.spec == pset.spec
+        for op in pset.operations():
+            assert decoded[op].layer == pset[op].layer
+            assert decoded[op].counts() == pset[op].counts()
+            assert decoded[op].total_ops == pset[op].total_ops
+            # Exact float totals and extrema survive, unlike the text
+            # format which rounds total_latency to whole cycles.
+            assert decoded[op].total_latency == pset[op].total_latency
+            assert (decoded[op].histogram.min_latency
+                    == pset[op].histogram.min_latency)
+            assert (decoded[op].histogram.max_latency
+                    == pset[op].histogram.max_latency)
+        assert not decoded.verify_checksums()
+
+    def test_profiles_are_compact(self):
+        # The paper: "a profile of an operation usually occupies about
+        # 1 KB in its source (text) form" — the binary form stays below
+        # that even for a fully populated histogram.
+        prof = ProfileSet()
+        for b in range(64):
+            prof.profile("read").histogram.add_to_bucket(b, 10 ** 9)
+        per_op = len(prof.to_bytes())
+        assert per_op < 1024
+
+
+class TestTextRoundTrip:
+    @given(profile_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_dump_load_dump_is_byte_identical(self, pset):
+        text = pset.dumps()
+        reloaded = ProfileSet.loads(text)
+        assert reloaded.dumps() == text
+
+    @given(profile_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_text_and_binary_agree_on_buckets(self, pset):
+        via_text = ProfileSet.loads(pset.dumps())
+        via_binary = ProfileSet.from_bytes(pset.to_bytes())
+        assert via_text.operations() == via_binary.operations()
+        for op in via_text.operations():
+            assert via_text[op].counts() == via_binary[op].counts()
+            assert via_text[op].total_ops == via_binary[op].total_ops
+
+
+def sample_set() -> ProfileSet:
+    pset = ProfileSet(name="sample")
+    pset.add("read", 100)
+    pset.add("read", 2000)
+    pset.add("llseek", 400, layer=Layer.USER)
+    return pset
+
+
+class TestBinaryCorruption:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            ProfileSet.from_bytes(b"NOTPROFS" + b"\x00" * 32)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileSet.from_bytes(b"")
+
+    def test_truncation_rejected_at_every_length(self):
+        blob = sample_set().to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(ValueError):
+                ProfileSet.from_bytes(blob[:cut])
+
+    def test_any_flipped_payload_byte_fails_crc(self):
+        blob = sample_set().to_bytes()
+        for pos in range(8, len(blob) - 4, 7):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0x5A
+            with pytest.raises(ValueError):
+                ProfileSet.from_bytes(bytes(mutated))
+
+    def test_trailing_garbage_rejected(self):
+        blob = sample_set().to_bytes()
+        with pytest.raises(ValueError):
+            ProfileSet.from_bytes(blob + b"extra")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileSet.from_bytes("a string")  # type: ignore[arg-type]
+
+
+class TestTextCorruption:
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="not an osprof"):
+            ProfileSet.loads("bogus\n")
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError, match="header"):
+            ProfileSet.loads("# osprof 1 resolution=zero\n")
+
+    def test_bucket_line_outside_block(self):
+        with pytest.raises(ValueError, match="outside op block"):
+            ProfileSet.loads("# osprof 1 resolution=1\n5 10\n")
+
+    def test_malformed_bucket_line_extra_fields(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem\n5 10 99\nend\n")
+        with pytest.raises(ValueError, match="malformed bucket line"):
+            ProfileSet.loads(bad)
+
+    def test_malformed_bucket_line_non_integer(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem\nfive ten\nend\n")
+        with pytest.raises(ValueError, match="malformed bucket line"):
+            ProfileSet.loads(bad)
+
+    def test_negative_bucket_rejected(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem\n-1 10\nend\n")
+        with pytest.raises(ValueError, match="bad bucket line"):
+            ProfileSet.loads(bad)
+
+    def test_truncated_block_rejected(self):
+        bad = "# osprof 1 resolution=1\nop read layer=filesystem\n5 10\n"
+        with pytest.raises(ValueError, match="truncated"):
+            ProfileSet.loads(bad)
+
+    def test_unclosed_block_before_next_op_rejected(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem\n5 10\n"
+               "op write layer=filesystem\n6 1\nend\n")
+        with pytest.raises(ValueError, match="not closed"):
+            ProfileSet.loads(bad)
+
+    def test_stray_end_rejected(self):
+        with pytest.raises(ValueError, match="outside an op block"):
+            ProfileSet.loads("# osprof 1 resolution=1\nend\n")
+
+    def test_duplicate_op_rejected(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem\n5 1\nend\n"
+               "op read layer=filesystem\n6 1\nend\n")
+        with pytest.raises(ValueError, match="duplicate op"):
+            ProfileSet.loads(bad)
+
+    def test_total_ops_checksum_enforced(self):
+        bad = ("# osprof 1 resolution=1\n"
+               "op read layer=filesystem total_ops=99 total_latency=100\n"
+               "5 1\nend\n")
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            ProfileSet.loads(bad)
+
+    def test_corrupt_count_caught_by_checksum(self):
+        # Flip one bucket count in an otherwise valid dump: the declared
+        # total_ops no longer matches, so the load fails loudly.
+        good = sample_set().dumps()
+        lines = good.splitlines()
+        idx = next(i for i, l in enumerate(lines)
+                   if l and l[0].isdigit())
+        bucket, count = lines[idx].split()
+        lines[idx] = f"{bucket} {int(count) + 3}"
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            ProfileSet.loads("\n".join(lines) + "\n")
+
+
+class TestFileHelpers:
+    def test_save_load_path_text(self, tmp_path):
+        pset = sample_set()
+        path = str(tmp_path / "p.prof")
+        pset.save(path, format="text")
+        assert ProfileSet.load_path(path) == pset
+
+    def test_save_load_path_binary_autodetect(self, tmp_path):
+        pset = sample_set()
+        path = str(tmp_path / "p.ospb")
+        pset.save(path, format="binary")
+        assert ProfileSet.load_path(path) == pset
+        assert ProfileSet.load_path(path, format="binary") == pset
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown profile format"):
+            sample_set().save(str(tmp_path / "x"), format="xml")
+        with pytest.raises(ValueError, match="unknown profile format"):
+            ProfileSet.load_path(str(tmp_path / "x"), format="xml")
+
+    def test_load_path_on_garbage_binary(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"\xff\xfe\x00junk")
+        with pytest.raises(ValueError):
+            ProfileSet.load_path(str(path))
+
+
+class TestEquality:
+    def test_equal_sets_compare_equal(self):
+        assert sample_set() == sample_set()
+
+    def test_bucket_difference_detected(self):
+        a, b = sample_set(), sample_set()
+        b.add("read", 100)
+        assert a != b
+
+    def test_layer_difference_detected(self):
+        a = ProfileSet()
+        a.profile("read", Layer.USER).add(10)
+        b = ProfileSet()
+        b.profile("read", Layer.DRIVER).add(10)
+        assert a != b
+
+    def test_profile_equality_requires_same_histogram(self):
+        assert (Profile.from_latencies("read", [10, 20])
+                == Profile.from_latencies("read", [10, 20]))
+        assert (Profile.from_latencies("read", [10])
+                != Profile.from_latencies("read", [40]))

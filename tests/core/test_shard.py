@@ -1,0 +1,131 @@
+"""Tests for the sharded parallel collection engine.
+
+The invariant under test is the acceptance criterion of the shard
+design: the merged N-shard profile depends only on ``(workload, seed,
+shards)`` — running the shards in parallel worker processes yields a
+profile set byte-identical to running them serially in-process.
+"""
+
+import pytest
+
+from repro.core.locking import PerThreadBuckets, locked_reference_count
+from repro.core.profile import Layer
+from repro.core.profileset import ProfileSet
+from repro.core.shard import ShardTask, collect_sharded, plan_shards, run_shard
+from repro.sim.rng import SimRandom, derive_seed
+
+
+class TestSeedDerivation:
+    def test_matches_simrandom_fork(self):
+        assert derive_seed(2006, "shard:0") == SimRandom(2006).fork("shard:0").seed
+
+    def test_distinct_per_shard(self):
+        seeds = [derive_seed(7, f"shard:{i}") for i in range(16)]
+        assert len(set(seeds)) == 16
+
+    def test_stable_values(self):
+        # Pinned: a change here silently invalidates every saved shard
+        # profile, so it must be deliberate.
+        assert derive_seed(2006, "shard:0") == 446016895
+
+
+class TestPlanning:
+    def test_iterations_split_with_remainder_first(self):
+        tasks = plan_shards("randomread", shards=3, iterations=100)
+        assert [t.iterations for t in tasks] == [34, 33, 33]
+        assert sum(t.iterations for t in tasks) == 100
+
+    def test_grep_replicates_instead_of_splitting(self):
+        tasks = plan_shards("grep", shards=3, iterations=100)
+        assert [t.iterations for t in tasks] == [100, 100, 100]
+
+    def test_each_shard_gets_derived_seed(self):
+        tasks = plan_shards("zerobyte", shards=2, seed=42, iterations=10)
+        assert tasks[0].seed == derive_seed(42, "shard:0")
+        assert tasks[1].seed == derive_seed(42, "shard:1")
+
+    def test_plan_is_deterministic(self):
+        assert (plan_shards("postmark", shards=4, seed=9, iterations=200)
+                == plan_shards("postmark", shards=4, seed=9, iterations=200))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards("bogus", shards=1)
+        with pytest.raises(ValueError):
+            plan_shards("grep", shards=0)
+        with pytest.raises(ValueError):
+            plan_shards("grep", shards=1, layer="bogus")
+        with pytest.raises(ValueError):
+            plan_shards("randomread", shards=8, iterations=4)
+
+
+class TestRunShard:
+    def test_returns_valid_binary_payload(self):
+        task = plan_shards("zerobyte", shards=1, iterations=40)[0]
+        pset = ProfileSet.from_bytes(run_shard(task))
+        assert "read" in pset
+        assert pset.total_ops() > 0
+        assert not pset.verify_checksums()
+
+    def test_task_is_picklable(self):
+        import pickle
+        task = plan_shards("randomread", shards=2, iterations=50)[1]
+        assert pickle.loads(pickle.dumps(task)) == task
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_merge_matches_serial_bucket_for_bucket(self):
+        kwargs = dict(shards=2, seed=7, iterations=120)
+        serial = collect_sharded("randomread", workers=1, **kwargs)
+        parallel = collect_sharded("randomread", workers=2, **kwargs)
+        assert parallel == serial
+        assert parallel.to_bytes() == serial.to_bytes()
+
+    def test_total_iterations_conserved(self):
+        merged = collect_sharded("zerobyte", shards=3, workers=1,
+                                 iterations=90, processes=1)
+        assert merged["read"].total_ops == 90
+
+    def test_worker_count_never_changes_result(self):
+        kwargs = dict(shards=3, seed=11, iterations=60, processes=1)
+        results = [collect_sharded("zerobyte", workers=w, **kwargs)
+                   for w in (1, 2, 3)]
+        assert results[0].to_bytes() == results[1].to_bytes()
+        assert results[1].to_bytes() == results[2].to_bytes()
+
+    def test_shard_count_changes_sampling_but_conserves_ops(self):
+        one = collect_sharded("zerobyte", shards=1, workers=1,
+                              iterations=80, processes=1)
+        four = collect_sharded("zerobyte", shards=4, workers=1,
+                               iterations=80, processes=1)
+        assert one["read"].total_ops == four["read"].total_ops == 80
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            collect_sharded("zerobyte", shards=1, workers=0, iterations=10)
+
+
+class TestLockingComposition:
+    def test_per_thread_buckets_lift_into_profileset_merge(self):
+        # The full Section 3.4 pipeline: threads update private buckets,
+        # the strategy merges them into one Profile per shard, and
+        # ProfileSet.merge folds shards together — with no updates lost
+        # at either level.
+        merged = ProfileSet()
+        for shard in range(3):
+            strategy = PerThreadBuckets()
+            locked_reference_count(
+                workers=2, updates_per_worker=500,
+                make_latency=lambda w, i: 100.0 * (1 + w), strategy=strategy)
+            merged.insert(strategy.as_profile("read", Layer.FILESYSTEM))
+        assert merged["read"].total_ops == 3 * 2 * 500
+        assert merged["read"].verify_checksum()
+
+    def test_as_profile_round_trips_through_codec(self):
+        strategy = PerThreadBuckets()
+        locked_reference_count(
+            workers=2, updates_per_worker=100,
+            make_latency=lambda w, i: 250.0, strategy=strategy)
+        pset = ProfileSet()
+        pset.insert(strategy.as_profile("llseek"))
+        assert ProfileSet.from_bytes(pset.to_bytes()) == pset

@@ -107,6 +107,126 @@ class TestPeaksCompareGnuplot:
         assert all(len(l.split()) == 2 for l in data_lines)
 
 
+class TestShardedRun:
+    def test_run_with_workers_writes_parseable_dump(self, tmp_path):
+        from repro.core.profileset import ProfileSet
+        path = tmp_path / "sharded.prof"
+        rc = main(["run", "randomread", "--iterations", "100",
+                   "--workers", "2", "--seed", "5", "-o", str(path)])
+        assert rc == 0
+        pset = ProfileSet.load_path(str(path))
+        assert pset.total_ops() > 0
+        assert not pset.verify_checksums()
+
+    def test_same_seed_and_shards_is_deterministic(self, tmp_path):
+        # Same seed + shard/worker count => byte-identical merged profile.
+        paths = [tmp_path / "a.prof", tmp_path / "b.prof"]
+        for path in paths:
+            rc = main(["run", "zerobyte", "--iterations", "60",
+                       "--workers", "2", "--seed", "9", "-o", str(path)])
+            assert rc == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_workers_do_not_change_merged_profile(self, tmp_path):
+        serial = tmp_path / "serial.prof"
+        parallel = tmp_path / "parallel.prof"
+        base = ["run", "randomread", "--iterations", "100", "--seed", "3",
+                "--shards", "2"]
+        assert main(base + ["--workers", "1", "-o", str(serial)]) == 0
+        assert main(base + ["--workers", "2", "-o", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_binary_format_round_trips(self, tmp_path):
+        from repro.core.profileset import ProfileSet
+        binary = tmp_path / "p.ospb"
+        text = tmp_path / "p.prof"
+        common = ["run", "zerobyte", "--iterations", "50", "--seed", "4"]
+        assert main(common + ["--format", "binary", "-o", str(binary)]) == 0
+        assert main(common + ["--format", "text", "-o", str(text)]) == 0
+        assert binary.read_bytes().startswith(b"OSPROFB1")
+        from_binary = ProfileSet.load_path(str(binary))
+        from_text = ProfileSet.load_path(str(text))
+        assert from_binary == from_text
+
+    def test_binary_to_stdout(self, capsysbinary):
+        rc = main(["run", "zerobyte", "--iterations", "30",
+                   "--format", "binary"])
+        assert rc == 0
+        out = capsysbinary.readouterr().out
+        from repro.core.profileset import ProfileSet
+        assert ProfileSet.from_bytes(out).total_ops() > 0
+
+
+class TestMerge:
+    def test_merge_two_dumps(self, tmp_path, dump_a):
+        from repro.core.profileset import ProfileSet
+        other = tmp_path / "other.prof"
+        assert main(["run", "zerobyte", "--iterations", "40",
+                     "-o", str(other)]) == 0
+        merged_path = tmp_path / "merged.prof"
+        assert main(["merge", dump_a, str(other),
+                     "-o", str(merged_path)]) == 0
+        merged = ProfileSet.load_path(str(merged_path))
+        a = ProfileSet.load_path(dump_a)
+        b = ProfileSet.load_path(str(other))
+        assert merged.total_ops() == a.total_ops() + b.total_ops()
+
+    def test_merge_mixed_text_and_binary(self, tmp_path):
+        from repro.core.profileset import ProfileSet
+        text = tmp_path / "t.prof"
+        binary = tmp_path / "b.ospb"
+        assert main(["run", "zerobyte", "--iterations", "30", "--seed",
+                     "1", "-o", str(text)]) == 0
+        assert main(["run", "zerobyte", "--iterations", "30", "--seed",
+                     "2", "--format", "binary", "-o", str(binary)]) == 0
+        out = tmp_path / "m.ospb"
+        assert main(["merge", str(text), str(binary), "--format",
+                     "binary", "-o", str(out)]) == 0
+        assert ProfileSet.load_path(str(out))["read"].total_ops == 120
+
+    def test_merge_of_shards_equals_single_run(self, tmp_path):
+        # osprof merge over individually collected shard dumps must
+        # reproduce what run --shards produces in one step.
+        from repro.core.shard import plan_shards, run_shard
+        one_step = tmp_path / "one.prof"
+        assert main(["run", "zerobyte", "--iterations", "80",
+                     "--shards", "2", "--seed", "6",
+                     "-o", str(one_step)]) == 0
+        shard_paths = []
+        for task in plan_shards("zerobyte", shards=2, seed=6,
+                                iterations=80):
+            path = tmp_path / f"shard{task.index}.ospb"
+            path.write_bytes(run_shard(task))
+            shard_paths.append(str(path))
+        merged = tmp_path / "merged.prof"
+        assert main(["merge", *shard_paths, "-o", str(merged)]) == 0
+        assert merged.read_bytes() == one_step.read_bytes()
+
+    def test_merge_rejects_resolution_mismatch(self, tmp_path, capsys):
+        from repro.core.buckets import BucketSpec
+        from repro.core.profileset import ProfileSet
+        a = ProfileSet(spec=BucketSpec(1))
+        a.add("read", 10)
+        b = ProfileSet(spec=BucketSpec(2))
+        b.add("read", 10)
+        pa, pb = tmp_path / "a.prof", tmp_path / "b.prof"
+        a.save(str(pa))
+        b.save(str(pb))
+        assert main(["merge", str(pa), str(pb),
+                     "-o", str(tmp_path / "out")]) == 1
+        assert "resolution" in capsys.readouterr().err
+
+    def test_merge_rejects_corrupt_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ospb"
+        bad.write_bytes(b"OSPROFB1" + b"\x00" * 16)
+        assert main(["merge", str(bad), "-o", str(tmp_path / "out")]) == 1
+        assert "CRC mismatch" in capsys.readouterr().err
+
+    def test_missing_dump_reports_cleanly(self, tmp_path, capsys):
+        assert main(["render", str(tmp_path / "nope.prof")]) == 1
+        assert "osprof: error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -115,6 +235,14 @@ class TestParser:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "bogus"])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "grep", "--format", "xml"])
+
+    def test_merge_requires_at_least_one_dump(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge"])
 
 
 class TestSampled:
