@@ -89,6 +89,8 @@ def minkowski(a, b, order: int = 2) -> float:
 def intersection_distance(a, b) -> float:
     """1 - histogram intersection (Swain & Ballard), on normalized mass."""
     va, vb = aligned_counts(a, b)
+    if sum(va) <= 0 and sum(vb) <= 0:
+        return 0.0  # two empty profiles are identical, not disjoint
     pa, pb = _normalize(va), _normalize(vb)
     return 1.0 - sum(min(x, y) for x, y in zip(pa, pb))
 

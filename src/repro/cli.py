@@ -17,6 +17,13 @@ them into one CLI over the library:
 * ``osprof sampled <workload>`` — run with time-segmented (3-D)
   profiling and render the Figure 9-style density map.
 * ``osprof gnuplot <dump>`` — Gnuplot-ready data blocks.
+* ``osprof serve`` — run the continuous profiling service: TCP
+  ingestion of binary profiles, a rolling time-segmented store, and
+  online differential alerting.
+* ``osprof push <host:port>`` — stream saved dumps, or live workload
+  segments (``--workload``), to a running service.
+* ``osprof watch <host:port>`` — follow the service's alert log (and
+  optionally its plaintext metrics page).
 
 All dump-reading commands auto-detect the format, so text and binary
 profiles mix freely.
@@ -29,6 +36,9 @@ Examples::
     osprof merge rr.ospb other.prof -o merged.prof
     osprof compare before.prof after.prof --metric emd
     osprof render after.prof --op readdir
+    osprof serve --port 7461 --segment-seconds 5 &
+    osprof push 127.0.0.1:7461 --workload randomread --segments 3
+    osprof watch 127.0.0.1:7461 --once --metrics
 """
 
 from __future__ import annotations
@@ -125,6 +135,54 @@ def build_parser() -> argparse.ArgumentParser:
                          help="operation(s) to render")
     sampled.add_argument("--splot", action="store_true",
                          help="emit gnuplot splot data instead of ASCII")
+
+    serve = sub.add_parser(
+        "serve", help="run the continuous profiling service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7461,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--segment-seconds", type=float, default=10.0,
+                       help="rolling store segment length")
+    serve.add_argument("--retention", type=int, default=360,
+                       help="closed segments kept in the ring")
+    serve.add_argument("--baseline", type=int, default=4,
+                       help="segments merged into the alert baseline")
+    serve.add_argument("--metric", choices=sorted(METRICS), default="emd")
+    serve.add_argument("--threshold", type=float, default=0.5,
+                       help="metric score that raises an alert")
+    serve.add_argument("--min-ops", type=int, default=50,
+                       help="operations sparser than this never alert")
+
+    push = sub.add_parser(
+        "push", help="stream profiles to a running service")
+    push.add_argument("endpoint", help="service address, host:port")
+    push.add_argument("dumps", nargs="*",
+                      help="saved profile dumps to push "
+                           "(text or binary, auto-detected)")
+    push.add_argument("--workload", choices=WORKLOADS, default=None,
+                      help="collect live segments instead of "
+                           "pushing saved dumps")
+    push.add_argument("--segments", type=int, default=1,
+                      help="live segments to collect and push")
+    push.add_argument("--fs", choices=("ext2", "reiserfs"), default="ext2")
+    push.add_argument("--cpus", type=int, default=1)
+    push.add_argument("--seed", type=int, default=2006)
+    push.add_argument("--scale", type=float, default=0.02)
+    push.add_argument("--processes", type=int, default=2)
+    push.add_argument("--iterations", type=int, default=1000)
+    push.add_argument("--layer", choices=("user", "fs", "driver"),
+                      default="fs")
+    push.add_argument("--patched-llseek", action="store_true")
+
+    watch = sub.add_parser(
+        "watch", help="follow a service's alert log")
+    watch.add_argument("endpoint", help="service address, host:port")
+    watch.add_argument("--poll", type=float, default=2.0,
+                       help="seconds between polls")
+    watch.add_argument("--once", action="store_true",
+                       help="print the current state and exit")
+    watch.add_argument("--metrics", action="store_true",
+                       help="also print the plaintext metrics page")
     return parser
 
 
@@ -270,6 +328,76 @@ def cmd_sampled(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service.server import ProfileServer, ProfileService, ServiceConfig
+    config = ServiceConfig(
+        segment_seconds=args.segment_seconds, retention=args.retention,
+        baseline_segments=args.baseline, metric=args.metric,
+        threshold=args.threshold, min_ops=args.min_ops)
+    server = ProfileServer(ProfileService(config),
+                           host=args.host, port=args.port)
+    host, port = server.address
+    print(f"osprof service listening on {host}:{port} "
+          f"(segment={config.segment_seconds:g}s "
+          f"retention={config.retention} metric={config.metric})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def cmd_push(args) -> int:
+    from .service.client import ServiceClient, parse_endpoint
+    from .workloads.runner import iter_segment_profiles
+    if bool(args.dumps) == bool(args.workload):
+        print("osprof push: give either saved dumps or --workload, "
+              "not both / neither", file=sys.stderr)
+        return 2
+    host, port = parse_endpoint(args.endpoint)
+    with ServiceClient(host, port) as client:
+        if args.dumps:
+            for path in args.dumps:
+                status = client.push(_load(path))
+                print(f"{path}: {status}", file=sys.stderr)
+        else:
+            stream = iter_segment_profiles(
+                args.workload, segments=args.segments, seed=args.seed,
+                layer=args.layer, fs_type=args.fs, num_cpus=args.cpus,
+                scale=args.scale, processes=args.processes,
+                iterations=args.iterations,
+                patched_llseek=args.patched_llseek)
+            for index, pset in enumerate(stream):
+                status = client.push(pset)
+                print(f"segment {index}: {status}", file=sys.stderr)
+    return 0
+
+
+def cmd_watch(args) -> int:
+    import time as _time
+
+    from .service.client import ServiceClient, parse_endpoint
+    host, port = parse_endpoint(args.endpoint)
+    cursor = 0
+    with ServiceClient(host, port) as client:
+        while True:
+            cursor, alerts = client.alerts(cursor)
+            for alert in alerts:
+                print(alert.describe())
+            if args.metrics:
+                sys.stdout.write(client.metrics())
+            if args.once:
+                if not alerts:
+                    print("no alerts")
+                return 0
+            sys.stdout.flush()
+            _time.sleep(args.poll)
+
+
 def cmd_gnuplot(args) -> int:
     pset = _load(args.dump)
     for prof in pset.by_total_latency():
@@ -289,9 +417,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "gnuplot": cmd_gnuplot,
         "sampled": cmd_sampled,
+        "serve": cmd_serve,
+        "push": cmd_push,
+        "watch": cmd_watch,
     }[args.command]
     try:
         return handler(args)
+    except KeyboardInterrupt:
+        return 130
     except (ValueError, OSError) as exc:
         # Corrupt dumps, impossible shard plans, unreadable paths: one
         # clear line, not a traceback.

@@ -123,6 +123,29 @@ def format_seconds(seconds: float) -> str:
     return f"{seconds:.1f}s"
 
 
+def _grow_expansion(partials: List[float], x: float) -> None:
+    """Add *x* to a Shewchuk expansion, keeping the sum exact.
+
+    ``partials`` is a list of non-overlapping floats whose mathematical
+    sum equals the true (infinitely precise) running total.  Growing it
+    with two-sums is error-free, so the represented total does not
+    depend on the order values arrive in — the property that makes
+    merged profiles byte-identical no matter how many concurrent
+    collectors contributed (same trick as ``math.fsum``).
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
 @dataclass
 class BucketStats:
     """Summary of one bucket: index, count and the spec-derived bounds."""
@@ -143,16 +166,31 @@ class LatencyBuckets:
     time measurements").
     """
 
-    __slots__ = ("spec", "_counts", "total_ops", "total_latency",
+    __slots__ = ("spec", "_counts", "total_ops", "_latency_partials",
                  "min_latency", "max_latency")
 
     def __init__(self, spec: Optional[BucketSpec] = None):
         self.spec = spec if spec is not None else BucketSpec()
         self._counts: Dict[int, int] = {}
         self.total_ops = 0
-        self.total_latency = 0.0
+        self._latency_partials: List[float] = []
         self.min_latency: Optional[float] = None
         self.max_latency: Optional[float] = None
+
+    @property
+    def total_latency(self) -> float:
+        """Exact sum of all recorded latencies, in cycles.
+
+        Internally an error-free float expansion, so the value is
+        independent of the order in which samples were added or
+        histograms were merged — two profiles holding the same samples
+        always serialize to identical bytes.
+        """
+        return math.fsum(self._latency_partials)
+
+    @total_latency.setter
+    def total_latency(self, value: float) -> None:
+        self._latency_partials = [float(value)]
 
     # -- recording ---------------------------------------------------------
 
@@ -165,7 +203,7 @@ class LatencyBuckets:
         b = self.spec.bucket(latency)
         self._counts[b] = self._counts.get(b, 0) + count
         self.total_ops += count
-        self.total_latency += latency * count
+        _grow_expansion(self._latency_partials, latency * count)
         if self.min_latency is None or latency < self.min_latency:
             self.min_latency = latency
         if self.max_latency is None or latency > self.max_latency:
@@ -184,7 +222,7 @@ class LatencyBuckets:
             raise ValueError("count must be >= 1")
         self._counts[bucket] = self._counts.get(bucket, 0) + count
         self.total_ops += count
-        self.total_latency += self.spec.mid(bucket) * count
+        _grow_expansion(self._latency_partials, self.spec.mid(bucket) * count)
 
     def merge(self, other: "LatencyBuckets") -> None:
         """Fold another histogram into this one (used by per-CPU profiles)."""
@@ -193,7 +231,11 @@ class LatencyBuckets:
         for b, c in other._counts.items():
             self._counts[b] = self._counts.get(b, 0) + c
         self.total_ops += other.total_ops
-        self.total_latency += other.total_latency
+        # Concatenating two exact expansions keeps the sum exact, so
+        # merge order (serial, sharded, concurrent pushes) cannot change
+        # the reported total by even an ulp.
+        for partial in other._latency_partials:
+            _grow_expansion(self._latency_partials, partial)
         if other.min_latency is not None:
             if self.min_latency is None or other.min_latency < self.min_latency:
                 self.min_latency = other.min_latency

@@ -144,6 +144,27 @@ class ProfileSet:
         for prof in other:
             self.insert(prof.copy())
 
+    @classmethod
+    def merged(cls, sets: Iterable["ProfileSet"], name: str = "",
+               spec: Optional[BucketSpec] = None) -> "ProfileSet":
+        """Union of several sets into a fresh one (order-independent).
+
+        The result carries only *name* and no attributes, so equal
+        inputs merged in any order — serially, or interleaved across
+        concurrent collectors — encode to identical bytes.  The spec
+        defaults to the first input's; a mismatched input raises
+        :class:`ValueError`.
+        """
+        out: Optional[ProfileSet] = None
+        for pset in sets:
+            if out is None:
+                out = cls(name=name,
+                          spec=spec if spec is not None else pset.spec)
+            out.merge(pset)
+        if out is None:
+            out = cls(name=name, spec=spec)
+        return out
+
     # -- aggregate queries ---------------------------------------------------
 
     def total_ops(self) -> int:

@@ -1,0 +1,158 @@
+"""Online differential analysis: score each segment against a baseline.
+
+The paper's automated comparison tool (Section 3.2) rates successive
+profile pairs; its case studies show what the interesting differences
+look like — the §6.1 ``llseek`` profile grows a *second peak* when a
+second process contends on the ``i_sem`` inode semaphore.  This module
+runs that comparison continuously: every closed store segment is scored
+against a rolling baseline (the merge of the previous few segments),
+and a structured :class:`Alert` fires when
+
+* an operation's histogram grew **new peaks** relative to the baseline
+  (the lock-contention signature: phase 2 of the paper's tool),
+* the **EMD** (or any configured metric) between baseline and segment
+  exceeds a threshold (phase 3), or
+* an operation with real volume appears that the baseline never saw.
+
+The baseline is a deque of recent segment profiles merged on demand, so
+slow drift is absorbed while one-segment breaks stand out — the same
+reasoning as :func:`repro.analysis.anomaly.change_points`, but online
+and per-operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..analysis.compare import METRICS, compare
+from ..analysis.peaks import find_peaks
+from ..core.profileset import ProfileSet
+
+__all__ = ["Alert", "DifferentialAlerter"]
+
+#: Alert kinds, in decreasing order of specificity.
+NEW_PEAK = "new-peak"
+DISTRIBUTION_SHIFT = "distribution-shift"
+NEW_OPERATION = "new-operation"
+
+
+@dataclass
+class Alert:
+    """One behaviour change, attributed to a segment and an operation."""
+
+    segment: int        #: index of the segment that broke from baseline
+    operation: str      #: the affected operation
+    kind: str           #: NEW_PEAK, DISTRIBUTION_SHIFT or NEW_OPERATION
+    score: float        #: metric score vs. the baseline
+    threshold: float    #: the configured cutoff the score is judged by
+    detail: str         #: human-readable specifics (peak locations etc.)
+
+    def describe(self) -> str:
+        return (f"segment {self.segment}: {self.operation} [{self.kind}] "
+                f"score={self.score:.4f} (threshold {self.threshold:.4f}) "
+                f"{self.detail}")
+
+    def to_dict(self) -> Dict:
+        return {"segment": self.segment, "operation": self.operation,
+                "kind": self.kind, "score": self.score,
+                "threshold": self.threshold, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Alert":
+        try:
+            return cls(segment=int(data["segment"]),
+                       operation=str(data["operation"]),
+                       kind=str(data["kind"]),
+                       score=float(data["score"]),
+                       threshold=float(data["threshold"]),
+                       detail=str(data.get("detail", "")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad alert record {data!r}: {exc}") from None
+
+
+class DifferentialAlerter:
+    """Scores closed segments against a rolling baseline, emits alerts.
+
+    ``baseline_segments`` sets the memory: a new segment is compared
+    with the merge of up to that many preceding (non-empty) segments.
+    ``min_ops`` suppresses operations too sparse to have a meaningful
+    distribution in either the segment or the baseline; ``peak_min_ops``
+    is the noise floor for peak detection, as in the offline tools.
+    """
+
+    def __init__(self, baseline_segments: int = 4, metric: str = "emd",
+                 threshold: float = 0.5, min_ops: int = 50,
+                 peak_min_ops: int = 5,
+                 peak_location_tolerance: int = 1):
+        if baseline_segments < 1:
+            raise ValueError("baseline_segments must be >= 1")
+        if metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.baseline_segments = baseline_segments
+        self.metric = metric
+        self.threshold = threshold
+        self.min_ops = min_ops
+        self.peak_min_ops = peak_min_ops
+        self.peak_location_tolerance = peak_location_tolerance
+        self._recent: Deque[ProfileSet] = deque(maxlen=baseline_segments)
+
+    def baseline(self) -> Optional[ProfileSet]:
+        """The current rolling baseline (None before any segment closed)."""
+        if not self._recent:
+            return None
+        return ProfileSet.merged(self._recent)
+
+    def observe(self, segment_index: int, pset: ProfileSet) -> List[Alert]:
+        """Score one closed segment, then absorb it into the baseline.
+
+        The first segment ever seen produces no alerts (there is nothing
+        to compare against); it seeds the baseline instead.
+        """
+        baseline = self.baseline()
+        alerts: List[Alert] = []
+        if baseline is not None:
+            for prof in pset.by_total_latency():
+                if prof.total_ops < self.min_ops:
+                    continue
+                alert = self._score(segment_index, baseline, prof)
+                if alert is not None:
+                    alerts.append(alert)
+        if len(pset):
+            self._recent.append(pset)
+        return alerts
+
+    def _score(self, segment_index: int, baseline: ProfileSet,
+               prof) -> Optional[Alert]:
+        base = baseline.get(prof.operation)
+        if base is None or base.total_ops < self.min_ops:
+            return Alert(
+                segment=segment_index, operation=prof.operation,
+                kind=NEW_OPERATION, score=float("inf"),
+                threshold=self.threshold,
+                detail=f"{prof.total_ops} ops, unseen in baseline")
+        score = compare(base, prof, self.metric)
+        base_peaks = find_peaks(base, min_ops=self.peak_min_ops)
+        seg_peaks = find_peaks(prof, min_ops=self.peak_min_ops)
+        if len(seg_peaks) > len(base_peaks):
+            base_apexes = [p.apex for p in base_peaks]
+            fresh = [p.apex for p in seg_peaks
+                     if not any(abs(p.apex - a)
+                                <= self.peak_location_tolerance
+                                for a in base_apexes)]
+            return Alert(
+                segment=segment_index, operation=prof.operation,
+                kind=NEW_PEAK, score=score, threshold=self.threshold,
+                detail=(f"peaks {len(base_peaks)} -> {len(seg_peaks)}, "
+                        f"new apex at bucket(s) {fresh or '?'}") )
+        if score > self.threshold:
+            return Alert(
+                segment=segment_index, operation=prof.operation,
+                kind=DISTRIBUTION_SHIFT, score=score,
+                threshold=self.threshold,
+                detail=f"{self.metric} above threshold")
+        return None

@@ -1,0 +1,114 @@
+"""Collector-side client of the continuous profiling service.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` framing
+over one persistent TCP connection — the cheap, streaming path a
+long-lived collector wants — and maps the reply frames back to Python
+objects (status strings, :class:`~repro.core.profileset.ProfileSet`,
+:class:`~repro.service.alerts.Alert`).  An ``ERROR`` frame raises
+:class:`ServiceError`; a framing violation raises
+:class:`~repro.service.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple
+
+from ..core.profileset import ProfileSet
+from .alerts import Alert
+from .protocol import (FrameType, ProtocolError, decode_json, encode_json,
+                       recv_frame, send_frame)
+
+__all__ = ["ServiceClient", "ServiceError", "parse_endpoint"]
+
+
+class ServiceError(ValueError):
+    """The server answered with an ERROR frame (its message is carried)."""
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (the CLI's service address argument)."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"bad service endpoint {endpoint!r}; expected host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"bad service endpoint {endpoint!r}: port {port!r} is not "
+            f"an integer") from None
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.ProfileServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _roundtrip(self, ftype: int, payload: bytes,
+                   expect: int) -> bytes:
+        send_frame(self._sock, ftype, payload)
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid-request")
+        rtype, rpayload = frame
+        if rtype == FrameType.ERROR:
+            raise ServiceError(rpayload.decode("utf-8", "replace"))
+        if rtype != expect:
+            raise ProtocolError(
+                f"expected {FrameType.name(expect)} reply, got "
+                f"{FrameType.name(rtype)}")
+        return rpayload
+
+    # -- requests ----------------------------------------------------------
+
+    def push(self, pset: ProfileSet) -> str:
+        """Stream one profile set to the server; returns its status line."""
+        reply = self._roundtrip(FrameType.PUSH, pset.to_bytes(),
+                                FrameType.OK)
+        return reply.decode("utf-8", "replace")
+
+    def push_payload(self, payload: bytes) -> str:
+        """Push an already-encoded binary profile (e.g. a saved .ospb)."""
+        reply = self._roundtrip(FrameType.PUSH, payload, FrameType.OK)
+        return reply.decode("utf-8", "replace")
+
+    def metrics(self) -> str:
+        """The server's plaintext metrics page."""
+        return self._roundtrip(FrameType.METRICS, b"",
+                               FrameType.TEXT).decode("utf-8", "replace")
+
+    def snapshot(self) -> ProfileSet:
+        """The merged rolling profile, decoded and CRC-verified."""
+        return ProfileSet.from_bytes(
+            self._roundtrip(FrameType.SNAPSHOT, b"", FrameType.PROFILE))
+
+    def alerts(self, cursor: int = 0) -> Tuple[int, List[Alert]]:
+        """Alerts at or after *cursor*; returns ``(next_cursor, alerts)``."""
+        reply = decode_json(self._roundtrip(
+            FrameType.ALERTS, encode_json({"cursor": cursor}),
+            FrameType.ALERT_LOG))
+        try:
+            records = reply["alerts"]
+            next_cursor = int(reply["cursor"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad alert log reply: {exc}") from None
+        return next_cursor, [Alert.from_dict(r) for r in records]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,139 @@
+"""Length-prefixed TCP framing for the continuous profiling service.
+
+Profiles cross the wire in the checksummed binary codec
+(:meth:`~repro.core.profileset.ProfileSet.to_bytes`), wrapped in a thin
+frame so that a stream socket carries discrete messages.  The framing
+follows the conventions of the simulated stack in :mod:`repro.net.tcp`:
+fixed little-endian headers, explicit sizes, and no silent resync — a
+malformed frame kills the connection rather than guessing where the
+next message starts (the payload itself is already CRC-protected by the
+codec, so the frame layer only needs lengths and types).
+
+Frame layout::
+
+    magic   4s   b"OSPS"
+    type    u8   one of :class:`FrameType`
+    length  u32  payload byte count
+    payload length bytes
+
+Conversations are strict request/response: a client sends ``PUSH``,
+``METRICS``, ``SNAPSHOT`` or ``ALERTS`` and reads exactly one frame
+back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``, or ``ERROR`` carrying
+a UTF-8 message).  Multiple requests may reuse one connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+__all__ = [
+    "FrameType",
+    "ProtocolError",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "send_frame",
+    "recv_frame",
+    "encode_json",
+    "decode_json",
+]
+
+#: First four bytes of every frame.
+MAGIC = b"OSPS"
+
+#: Upper bound on one frame's payload; a complete profile set is ~1 KB
+#: per operation, so even a year of segments merges far below this.
+MAX_PAYLOAD = 64 << 20
+
+_HEADER = struct.Struct("<4sBI")
+
+
+class FrameType:
+    """Wire frame types (u8).  Requests are client→server, the rest replies."""
+
+    PUSH = 0x01       #: request: payload is ``ProfileSet.to_bytes()``
+    OK = 0x02         #: reply: UTF-8 status text (may be empty)
+    ERROR = 0x03      #: reply: UTF-8 error message
+    METRICS = 0x04    #: request: empty payload
+    TEXT = 0x05       #: reply: UTF-8 plaintext (the metrics page)
+    SNAPSHOT = 0x06   #: request: empty payload
+    PROFILE = 0x07    #: reply: merged rolling profile, binary codec
+    ALERTS = 0x08     #: request: JSON ``{"cursor": n}``
+    ALERT_LOG = 0x09  #: reply: JSON ``{"cursor": n, "alerts": [...]}``
+
+    _NAMES = {
+        0x01: "PUSH", 0x02: "OK", 0x03: "ERROR", 0x04: "METRICS",
+        0x05: "TEXT", 0x06: "SNAPSHOT", 0x07: "PROFILE", 0x08: "ALERTS",
+        0x09: "ALERT_LOG",
+    }
+
+    @classmethod
+    def name(cls, ftype: int) -> str:
+        return cls._NAMES.get(ftype, f"0x{ftype:02x}")
+
+
+class ProtocolError(ValueError):
+    """The byte stream is not a valid frame sequence (desync: close it)."""
+
+
+def send_frame(sock: socket.socket, ftype: int,
+               payload: bytes = b"") -> None:
+    """Write one frame to a connected stream socket."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte limit")
+    sock.sendall(_HEADER.pack(MAGIC, ftype, len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; None on EOF before the first byte."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame: wanted {n} bytes, "
+                f"got {n - remaining}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` on a bad magic, an oversized length,
+    or a connection that dies mid-frame.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    magic, ftype, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte limit")
+    payload = _recv_exact(sock, length) if length else b""
+    if length and payload is None:
+        raise ProtocolError("connection closed before frame payload")
+    return ftype, payload or b""
+
+
+def encode_json(obj) -> bytes:
+    """Canonical JSON payload encoding (sorted keys, UTF-8)."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode_json(payload: bytes):
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON payload: {exc}") from None

@@ -1,0 +1,262 @@
+"""The continuous profiling server: ingest, store, alert, report.
+
+:class:`ProfileService` is the transport-agnostic core — a thread-safe
+facade over the rolling :class:`~repro.service.store.SegmentStore` and
+the :class:`~repro.service.alerts.DifferentialAlerter` — and
+:class:`ProfileServer` exposes it over TCP with the
+:mod:`repro.service.protocol` framing.  One thread per connection
+(collectors hold connections open and stream ``PUSH`` frames); all
+shared state is guarded by a single lock, which is ample because a
+profile merge is microseconds of histogram addition.
+
+The service is itself observable: the ``METRICS`` request returns a
+plaintext page (Prometheus exposition style) of segment counts, ingest
+totals and latencies, and per-operation alert counters.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.buckets import BucketSpec
+from ..core.profileset import ProfileSet
+from .alerts import Alert, DifferentialAlerter
+from .protocol import (FrameType, ProtocolError, decode_json, encode_json,
+                       recv_frame, send_frame)
+from .store import SegmentStore
+
+__all__ = ["ServiceConfig", "ProfileService", "ProfileServer"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``segment_seconds`` and ``retention`` shape the rolling store;
+    ``baseline_segments``/``metric``/``threshold``/``min_ops`` shape the
+    online differential analysis (see
+    :class:`~repro.service.alerts.DifferentialAlerter`).
+    """
+
+    segment_seconds: float = 10.0
+    retention: int = 360
+    baseline_segments: int = 4
+    metric: str = "emd"
+    threshold: float = 0.5
+    min_ops: int = 50
+    resolution: int = 1
+    max_alerts: int = 10_000
+
+
+class ProfileService:
+    """Thread-safe ingestion + rolling store + online alerting."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config if config is not None else ServiceConfig()
+        spec = BucketSpec(self.config.resolution)
+        self.store = SegmentStore(self.config.segment_seconds,
+                                  self.config.retention,
+                                  spec=spec, clock=clock)
+        self.alerter = DifferentialAlerter(
+            baseline_segments=self.config.baseline_segments,
+            metric=self.config.metric,
+            threshold=self.config.threshold,
+            min_ops=self.config.min_ops)
+        self._lock = threading.Lock()
+        self._alerts: List[Alert] = []
+        self._alerts_dropped = 0
+        # Ingest counters (all guarded by the lock).
+        self.ingest_requests = 0
+        self.ingest_errors = 0
+        self.ingest_bytes = 0
+        self.ingest_ops = 0
+        self.ingest_seconds_sum = 0.0
+        self.ingest_seconds_max = 0.0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_payload(self, payload: bytes) -> ProfileSet:
+        """Decode one binary profile payload and fold it into the store.
+
+        Raises :class:`ValueError` (propagated to the client as an
+        ``ERROR`` frame) on a corrupt payload or a resolution mismatch;
+        the store is untouched in that case.
+        """
+        started = time.perf_counter()
+        try:
+            pset = ProfileSet.from_bytes(payload)
+        except ValueError:
+            with self._lock:
+                self.ingest_errors += 1
+            raise
+        with self._lock:
+            try:
+                closed = self.store.ingest(pset)
+            except ValueError:
+                self.ingest_errors += 1
+                raise
+            self._observe_closed(closed)
+            elapsed = time.perf_counter() - started
+            self.ingest_requests += 1
+            self.ingest_bytes += len(payload)
+            self.ingest_ops += pset.total_ops()
+            self.ingest_seconds_sum += elapsed
+            if elapsed > self.ingest_seconds_max:
+                self.ingest_seconds_max = elapsed
+        return pset
+
+    def tick(self, now: Optional[float] = None) -> List[Alert]:
+        """Rotate the store on the clock alone (no push needed).
+
+        Lets a quiet service still close segments and alert on e.g. an
+        operation's disappearance being followed by a changed profile
+        when traffic resumes.  Returns any alerts the rotation raised.
+        """
+        with self._lock:
+            before = len(self._alerts) + self._alerts_dropped
+            self._observe_closed(self.store.advance(now))
+            return self._alerts[max(before - self._alerts_dropped, 0):]
+
+    def _observe_closed(self, closed) -> None:
+        # Lock held.  Empty segments neither alert nor enter the
+        # baseline: an idle gap must not dilute the reference.
+        for segment in closed:
+            if segment.is_empty():
+                continue
+            for alert in self.alerter.observe(segment.index, segment.pset):
+                self._alerts.append(alert)
+            overflow = len(self._alerts) - self.config.max_alerts
+            if overflow > 0:
+                del self._alerts[:overflow]
+                self._alerts_dropped += overflow
+
+    # -- queries -----------------------------------------------------------
+
+    def snapshot(self) -> ProfileSet:
+        """The merge of every retained segment (canonical encoding)."""
+        with self._lock:
+            return self.store.merged()
+
+    def alerts_since(self, cursor: int) -> Tuple[int, List[Alert]]:
+        """Alerts with log position >= *cursor*, plus the next cursor.
+
+        Cursors are absolute log positions, monotone across eviction of
+        old entries, so a ``watch`` client polls with the cursor the
+        previous reply returned and never sees an alert twice.
+        """
+        with self._lock:
+            base = self._alerts_dropped
+            start = max(cursor - base, 0)
+            fresh = self._alerts[start:]
+            return base + len(self._alerts), list(fresh)
+
+    def metrics_text(self) -> str:
+        """The plaintext metrics page (Prometheus exposition style)."""
+        with self._lock:
+            lines = [
+                "# OSprof continuous profiling service",
+                f"osprof_segment_seconds {self.store.segment_length:g}",
+                f"osprof_segment_retention {self.store.retention}",
+                f"osprof_segments_current {len(self.store)}",
+                f"osprof_segments_closed_total {self.store.segments_closed}",
+                f"osprof_segments_evicted_total "
+                f"{self.store.segments_evicted}",
+                f"osprof_ingest_requests_total {self.ingest_requests}",
+                f"osprof_ingest_errors_total {self.ingest_errors}",
+                f"osprof_ingest_bytes_total {self.ingest_bytes}",
+                f"osprof_ingest_ops_total {self.ingest_ops}",
+                f"osprof_ingest_seconds_sum {self.ingest_seconds_sum:.9f}",
+                f"osprof_ingest_seconds_max {self.ingest_seconds_max:.9f}",
+                f"osprof_store_operations {len(self.store.merged())}",
+                f"osprof_alerts_total "
+                f"{len(self._alerts) + self._alerts_dropped}",
+            ]
+            per_op: dict = {}
+            for alert in self._alerts:
+                key = (alert.operation, alert.kind)
+                per_op[key] = per_op.get(key, 0) + 1
+            for (op, kind), count in sorted(per_op.items()):
+                lines.append(
+                    f'osprof_alerts{{operation="{op}",kind="{kind}"}} '
+                    f"{count}")
+            return "\n".join(lines) + "\n"
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One collector connection: a loop of request/response frames."""
+
+    def handle(self) -> None:
+        service: ProfileService = self.server.service  # type: ignore
+        while True:
+            try:
+                frame = recv_frame(self.request)
+            except ProtocolError:
+                return  # desynchronized stream: drop the connection
+            if frame is None:
+                return
+            ftype, payload = frame
+            try:
+                self._dispatch(service, ftype, payload)
+            except ProtocolError:
+                return
+            except ValueError as exc:
+                send_frame(self.request, FrameType.ERROR,
+                           str(exc).encode("utf-8"))
+            except OSError:
+                return  # peer went away mid-reply
+
+    def _dispatch(self, service: ProfileService, ftype: int,
+                  payload: bytes) -> None:
+        if ftype == FrameType.PUSH:
+            pset = service.ingest_payload(payload)
+            send_frame(self.request, FrameType.OK,
+                       f"merged {pset.total_ops()} ops over "
+                       f"{len(pset)} operations".encode("utf-8"))
+        elif ftype == FrameType.METRICS:
+            service.tick()
+            send_frame(self.request, FrameType.TEXT,
+                       service.metrics_text().encode("utf-8"))
+        elif ftype == FrameType.SNAPSHOT:
+            send_frame(self.request, FrameType.PROFILE,
+                       service.snapshot().to_bytes())
+        elif ftype == FrameType.ALERTS:
+            request = decode_json(payload) if payload else {}
+            cursor = int(request.get("cursor", 0))
+            service.tick()
+            next_cursor, alerts = service.alerts_since(cursor)
+            send_frame(self.request, FrameType.ALERT_LOG, encode_json(
+                {"cursor": next_cursor,
+                 "alerts": [a.to_dict() for a in alerts]}))
+        else:
+            send_frame(self.request, FrameType.ERROR,
+                       f"unsupported frame type "
+                       f"{FrameType.name(ftype)}".encode("utf-8"))
+
+
+class ProfileServer(socketserver.ThreadingTCPServer):
+    """TCP front end; ``port=0`` picks a free port (see ``address``)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: Optional[ProfileService] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service if service is not None else ProfileService()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — the port is real even if 0 was asked."""
+        return self.socket.getsockname()[:2]
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests and embedded use)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="osprof-serve", daemon=True)
+        thread.start()
+        return thread

@@ -1,0 +1,158 @@
+"""Rolling time-segmented (3-D) profile store.
+
+"OSprof is capable of taking successive snapshots by using new sets of
+buckets to capture latency at predefined time intervals" (Section 3.1).
+:class:`SegmentStore` keeps that idea running indefinitely: wall time is
+divided into fixed-length segments, every pushed
+:class:`~repro.core.profileset.ProfileSet` is merged into the segment
+containing its arrival time, and only the most recent ``retention``
+closed segments are kept — a ring buffer of complete profiles, each as
+cheap as the paper's "≈1 KB per operation" dumps.
+
+Because profile merging is plain histogram addition (commutative and
+associative), the merge of everything retained is byte-identical to a
+serial merge of the same pushes, no matter how many collectors pushed
+concurrently or in what order the segments rotated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.buckets import BucketSpec
+from ..core.profileset import ProfileSet
+
+__all__ = ["Segment", "SegmentStore"]
+
+
+@dataclass
+class Segment:
+    """One closed (or still-filling) time slice of the rolling store."""
+
+    index: int            #: segment number since the store's epoch
+    started: float        #: clock value at the segment's lower edge
+    pset: ProfileSet = field(default_factory=ProfileSet)
+    ingests: int = 0      #: pushes merged into this segment
+
+    def is_empty(self) -> bool:
+        return len(self.pset) == 0
+
+
+class SegmentStore:
+    """Ring buffer of per-interval profile sets.
+
+    ``segment_length`` is the slice width in clock units (seconds for
+    the default ``time.monotonic`` clock); ``retention`` bounds how many
+    *closed* segments are kept.  The clock is injectable, so tests (and
+    simulated deployments) drive rotation deterministically.
+    """
+
+    def __init__(self, segment_length: float, retention: int,
+                 spec: Optional[BucketSpec] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if segment_length <= 0:
+            raise ValueError("segment_length must be positive")
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        self.segment_length = segment_length
+        self.retention = retention
+        self.spec = spec if spec is not None else BucketSpec()
+        self.clock = clock
+        self._epoch = clock()
+        self._closed: List[Segment] = []
+        self._current = Segment(index=0, started=self._epoch,
+                                pset=self._new_pset(0))
+        self.segments_closed = 0
+        self.segments_evicted = 0
+
+    def _new_pset(self, index: int) -> ProfileSet:
+        return ProfileSet(name="", spec=self.spec)
+
+    def _index_for(self, now: float) -> int:
+        elapsed = now - self._epoch
+        if elapsed <= 0:
+            return 0
+        return int(elapsed // self.segment_length)
+
+    # -- rotation ----------------------------------------------------------
+
+    def advance(self, now: Optional[float] = None) -> List[Segment]:
+        """Close segments whose window has passed; return the closed ones.
+
+        Idle gaps do not materialize empty segments — the next segment
+        simply starts at the index the clock dictates, so a quiet hour
+        costs nothing.
+        """
+        now = self.clock() if now is None else now
+        target = self._index_for(now)
+        closed: List[Segment] = []
+        if target > self._current.index:
+            closed.append(self._current)
+            self._closed.append(self._current)
+            self.segments_closed += 1
+            while len(self._closed) > self.retention:
+                self._closed.pop(0)
+                self.segments_evicted += 1
+            self._current = Segment(
+                index=target,
+                started=self._epoch + target * self.segment_length,
+                pset=self._new_pset(target))
+        return closed
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, pset: ProfileSet,
+               now: Optional[float] = None) -> List[Segment]:
+        """Merge one pushed profile set into the current segment.
+
+        Returns whatever segments this push's arrival time closed, so
+        the caller can run differential analysis on them immediately.
+        A resolution mismatch raises :class:`ValueError` — collectors
+        must agree on the bucket spec.
+        """
+        if pset.spec != self.spec:
+            raise ValueError(
+                f"pushed profile resolution {pset.spec.resolution} differs "
+                f"from the store's {self.spec.resolution}")
+        now = self.clock() if now is None else now
+        closed = self.advance(now)
+        self._current.pset.merge(pset)
+        self._current.ingests += 1
+        return closed
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def current(self) -> Segment:
+        return self._current
+
+    def closed_segments(self) -> List[Segment]:
+        """The retained closed segments, oldest first."""
+        return list(self._closed)
+
+    def segments(self) -> List[Segment]:
+        """Retained closed segments plus the currently filling one."""
+        return list(self._closed) + [self._current]
+
+    def __len__(self) -> int:
+        return len(self._closed) + 1
+
+    def merged(self) -> ProfileSet:
+        """Everything retained, folded into one complete profile.
+
+        Canonical output: the result has an empty name and no
+        attributes, so it is byte-comparable (via ``to_bytes``) with a
+        serial merge of the same inputs.
+        """
+        return ProfileSet.merged((seg.pset for seg in self.segments()),
+                                 spec=self.spec)
+
+    def total_ops(self) -> int:
+        return sum(seg.pset.total_ops() for seg in self.segments())
+
+    def __repr__(self) -> str:
+        return (f"<SegmentStore segments={len(self)} "
+                f"retention={self.retention} "
+                f"length={self.segment_length}s ops={self.total_ops()}>")

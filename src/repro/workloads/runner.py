@@ -9,13 +9,13 @@ bucket-for-bucket.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..core.profileset import ProfileSet
 from ..system import System
 
 __all__ = ["WORKLOAD_NAMES", "PROFILE_LAYERS", "run_named_workload",
-           "collect_profiles"]
+           "collect_profiles", "iter_segment_profiles"]
 
 #: Workloads the runner (and therefore ``osprof run``) knows how to drive.
 WORKLOAD_NAMES = ("grep", "randomread", "postmark", "zerobyte", "clone")
@@ -78,3 +78,24 @@ def collect_profiles(workload: str, *, layer: str = "fs",
     return {"user": system.user_profiles,
             "fs": system.fs_profiles,
             "driver": system.driver_profiles}[layer]()
+
+
+def iter_segment_profiles(workload: str, *, segments: int = 1,
+                          seed: int = 2006,
+                          **kwargs) -> Iterator[ProfileSet]:
+    """Yield *segments* independent profile sets of one workload.
+
+    Segment *i* runs on a fresh machine seeded
+    ``derive_seed(seed, "segment:i")`` — the same derivation discipline
+    as the shard engine, so a segment stream is reproducible from
+    ``(workload, seed)`` alone.  This is the collector loop behind
+    ``osprof push --workload``: each yielded set is one push to the
+    continuous profiling service.
+    """
+    from ..sim.rng import derive_seed
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    for index in range(segments):
+        yield collect_profiles(workload,
+                               seed=derive_seed(seed, f"segment:{index}"),
+                               **kwargs)

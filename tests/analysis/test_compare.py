@@ -150,3 +150,76 @@ class TestRegistry:
                      "kullback_leibler", "jeffrey", "emd", "total_ops",
                      "total_latency"):
             assert name in METRICS
+
+
+class TestEdgeCases:
+    """Degenerate inputs every metric must handle without surprises."""
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_empty_vs_empty_is_zero(self, name):
+        assert compare(LatencyBuckets(), LatencyBuckets(),
+                       name) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_empty_vs_nonempty_is_finite_and_nonnegative(self, name):
+        import math
+        h = hist({5: 10})
+        for pair in ((LatencyBuckets(), h), (h, LatencyBuckets())):
+            score = compare(*pair, method=name)
+            assert score >= 0.0
+            assert math.isfinite(score)
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_single_bucket_identical_is_zero(self, name):
+        a, b = hist({7: 42}), hist({7: 42})
+        assert compare(a, b, name) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_bucket_shift_scores_shape_metrics(self):
+        # Same mass, different location: shape metrics see it, the
+        # op-count scalar cannot.
+        a, b = hist({7: 42}), hist({9: 42})
+        assert earth_movers_distance(a, b) == pytest.approx(2.0)
+        assert intersection_distance(a, b) == pytest.approx(1.0)
+        assert compare(a, b, "total_ops") == 0.0
+
+    def test_mismatched_bucket_ranges_align_on_joint_range(self):
+        # Disjoint ranges: alignment must pad, not truncate, and the
+        # distributions are then fully disjoint.
+        low, high = hist({0: 5, 1: 5}), hist({30: 5, 31: 5})
+        va, vb = aligned_counts(low, high)
+        assert len(va) == len(vb) == 32
+        assert sum(va) == sum(vb) == 10
+        assert intersection_distance(low, high) == pytest.approx(1.0)
+        assert chi_squared(low, high) == pytest.approx(2.0)
+
+    def test_partial_overlap_alignment(self):
+        a, b = hist({4: 1, 8: 1}), hist({6: 2})
+        va, vb = aligned_counts(a, b)
+        assert len(va) == len(vb) == 5  # joint range 4..8
+        assert va == [1.0, 0.0, 0.0, 0.0, 1.0]
+        assert vb == [0.0, 0.0, 2.0, 0.0, 0.0]
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n in METRICS if n != "kullback_leibler"))
+    @given(a=histograms, b=histograms)
+    def test_symmetry_of_all_metrics_but_kl(self, name, a, b):
+        assert compare(a, b, name) == pytest.approx(
+            compare(b, a, name), rel=1e-9, abs=1e-9)
+
+    def test_kl_is_genuinely_asymmetric(self):
+        # The reason KL is excluded above: a one-sided missing bucket
+        # is free in one direction and expensive in the other.
+        a, b = hist({5: 99, 6: 1}), hist({5: 100})
+        assert kullback_leibler(b, a) != pytest.approx(
+            kullback_leibler(a, b))
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_scale_invariance_of_distribution_metrics(self, name):
+        # Everything except the scalar metrics normalizes mass first:
+        # 10x the ops with the same shape must score 0.
+        a, b = hist({5: 10, 9: 30}), hist({5: 100, 9: 300})
+        score = compare(a, b, name)
+        if name in ("total_ops", "total_latency"):
+            assert score > 0
+        else:
+            assert score == pytest.approx(0.0, abs=1e-9)

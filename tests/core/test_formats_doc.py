@@ -1,0 +1,79 @@
+"""docs/FORMATS.md stays in sync with the codec implementation.
+
+The spec's worked hex example is extracted from the document itself and
+decoded with ``ProfileSet.from_bytes``; the documented field values must
+come out, and re-encoding must reproduce the documented bytes. If the
+codec ever changes shape, this fails until the spec is updated.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+
+FORMATS_MD = Path(__file__).resolve().parents[2] / "docs" / "FORMATS.md"
+
+
+def worked_example_bytes() -> bytes:
+    text = FORMATS_MD.read_text()
+    match = re.search(
+        r"<!-- worked-example-hex -->\s*```\n(.*?)```", text, re.DOTALL)
+    assert match, "worked-example-hex block missing from FORMATS.md"
+    return bytes.fromhex("".join(match.group(1).split()))
+
+
+def test_worked_example_is_113_bytes():
+    assert len(worked_example_bytes()) == 113
+
+
+def test_worked_example_decodes_to_documented_profile():
+    pset = ProfileSet.from_bytes(worked_example_bytes())
+    assert pset.name == "demo"
+    assert pset.attributes == {"host": "web01"}
+    assert pset.spec.resolution == 1
+    assert pset.operations() == ["read"]
+
+    prof = pset["read"]
+    assert prof.layer == "filesystem"
+    hist = prof.histogram
+    assert hist.total_ops == 4
+    assert hist.total_latency == 9300.0
+    assert hist.min_latency == 100.0
+    assert hist.max_latency == 9000.0
+    assert hist.counts() == {6: 3, 13: 1}
+    assert pset.verify_checksums() == []
+
+
+def test_worked_example_reencodes_byte_identically():
+    blob = worked_example_bytes()
+    assert ProfileSet.from_bytes(blob).to_bytes() == blob
+
+
+def test_worked_example_matches_documented_text_form():
+    """The text example in the spec describes the same profile."""
+    text = (
+        "# osprof 1 resolution=1 name=demo\n"
+        "op read layer=filesystem total_ops=4 total_latency=9300\n"
+        "6 3\n"
+        "13 1\n"
+        "end\n"
+    )
+    from_text = ProfileSet.loads(text)
+    from_binary = ProfileSet.from_bytes(worked_example_bytes())
+    assert from_text.operations() == from_binary.operations()
+    ta, tb = from_text["read"].histogram, from_binary["read"].histogram
+    assert ta.counts() == tb.counts()
+    assert ta.total_ops == tb.total_ops
+    assert ta.total_latency == tb.total_latency
+
+
+def test_documented_corruption_rules_enforced():
+    """Spec: flipped bit -> CRC error; truncation -> error."""
+    blob = bytearray(worked_example_bytes())
+    blob[20] ^= 0x01
+    with pytest.raises(ValueError):
+        ProfileSet.from_bytes(bytes(blob))
+    with pytest.raises(ValueError):
+        ProfileSet.from_bytes(worked_example_bytes()[:-10])

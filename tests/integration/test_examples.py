@@ -1,0 +1,71 @@
+"""Every script in examples/ must actually run.
+
+Each example is imported as a module, its workload-size constants are
+shrunk so the whole parametrized set stays in tier-1 time budget, and
+its ``main()`` is executed for real — a broken import, a renamed API,
+or an example drifting from the library fails here, not in a user's
+terminal.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+# Per-module overrides applied after import, before main(): the same
+# code paths at a fraction of the simulated (or real) work. Only
+# constants the example actually defines may be listed; a callable
+# value is invoked with the imported module (for unit helpers like
+# seconds()).
+TINY = {
+    # anomaly_watch's reporting assumes 0.5 s segments, so only the
+    # duration shrinks; cluster_outliers' sick node is "node3", so at
+    # least 4 nodes must exist.
+    "anomaly_watch": {"DURATION": lambda m: m.seconds(3.0),
+                      "DEGRADE_AT": lambda m: m.seconds(1.5)},
+    "cluster_outliers": {"NODES": 4},
+    "find_lock_contention": {"ITERATIONS": 300},
+    "network_profiling": {"SCALE": 0.01},
+    "profile_host_os": {"FILE_SIZE": 64 << 10, "READS": 100},
+    "timeline_profile": {"DURATION_SECONDS": 2.0, "SAMPLE_INTERVAL": 0.5},
+}
+
+
+def load_example(path: Path):
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    """A new example must either run at full size or get a TINY entry."""
+    assert EXAMPLE_SCRIPTS, "examples/ directory is empty?"
+    unknown = set(TINY) - {p.stem for p in EXAMPLE_SCRIPTS}
+    assert not unknown, f"TINY lists missing examples: {unknown}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=[p.stem for p in EXAMPLE_SCRIPTS])
+def test_example_runs(script, capsys):
+    module = load_example(script)
+    assert hasattr(module, "main"), f"{script.name} has no main()"
+
+    for name, value in TINY.get(script.stem, {}).items():
+        assert hasattr(module, name), (
+            f"{script.name} no longer defines {name}; update TINY")
+        setattr(module, name, value(module) if callable(value) else value)
+
+    module.main()
+
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,114 @@
+"""Tests for online differential alerting."""
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.service.alerts import (DISTRIBUTION_SHIFT, NEW_OPERATION,
+                                  NEW_PEAK, Alert, DifferentialAlerter)
+
+
+def pset(samples):
+    return ProfileSet.from_operation_latencies(samples)
+
+
+STEADY = {"read": [100.0] * 100}
+
+
+class TestConfig:
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            DifferentialAlerter(metric="nope")
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            DifferentialAlerter(baseline_segments=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DifferentialAlerter(threshold=0)
+
+
+class TestObserve:
+    def test_first_segment_never_alerts(self):
+        alerter = DifferentialAlerter(min_ops=10)
+        assert alerter.observe(0, pset(STEADY)) == []
+
+    def test_steady_traffic_stays_silent(self):
+        alerter = DifferentialAlerter(min_ops=10)
+        for i in range(5):
+            assert alerter.observe(i, pset(STEADY)) == []
+
+    def test_new_peak_alert_names_operation_and_location(self):
+        alerter = DifferentialAlerter(min_ops=10, threshold=0.5)
+        alerter.observe(0, pset({"llseek": [100.0] * 100}))
+        alerts = alerter.observe(
+            1, pset({"llseek": [100.0] * 80 + [60000.0] * 20}))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind == NEW_PEAK
+        assert alert.operation == "llseek"
+        assert alert.segment == 1
+        assert "15" in alert.detail  # floor(log2(60000)) = 15
+
+    def test_distribution_shift_alert(self):
+        alerter = DifferentialAlerter(min_ops=10, threshold=0.5)
+        alerter.observe(0, pset(STEADY))
+        alerts = alerter.observe(1, pset({"read": [500.0] * 100}))
+        assert [a.kind for a in alerts] == [DISTRIBUTION_SHIFT]
+        assert alerts[0].score > alerts[0].threshold
+
+    def test_new_operation_alert(self):
+        alerter = DifferentialAlerter(min_ops=10)
+        alerter.observe(0, pset(STEADY))
+        alerts = alerter.observe(
+            1, pset({"read": [100.0] * 100, "fsync": [900.0] * 50}))
+        assert [(a.kind, a.operation) for a in alerts] == [
+            (NEW_OPERATION, "fsync")]
+
+    def test_sparse_operations_ignored(self):
+        alerter = DifferentialAlerter(min_ops=50)
+        alerter.observe(0, pset(STEADY))
+        # Only 10 ops: too sparse to judge, whatever its shape.
+        alerts = alerter.observe(
+            1, pset({"read": [100.0] * 100, "fsync": [900.0] * 10}))
+        assert alerts == []
+
+    def test_baseline_is_rolling(self):
+        alerter = DifferentialAlerter(baseline_segments=2, min_ops=10,
+                                      threshold=0.5)
+        alerter.observe(0, pset(STEADY))
+        # A sustained shift alerts once, then becomes the new normal.
+        shifted = {"read": [800.0] * 100}
+        assert len(alerter.observe(1, pset(shifted))) == 1
+        assert len(alerter.observe(2, pset(shifted))) in (0, 1)
+        assert alerter.observe(3, pset(shifted)) == []
+
+    def test_empty_segment_does_not_enter_baseline(self):
+        alerter = DifferentialAlerter(baseline_segments=1, min_ops=10,
+                                      threshold=0.5)
+        alerter.observe(0, pset(STEADY))
+        alerter.observe(1, ProfileSet())
+        baseline = alerter.baseline()
+        assert baseline is not None
+        assert baseline["read"].total_ops == 100
+
+    def test_baseline_none_before_any_segment(self):
+        assert DifferentialAlerter().baseline() is None
+
+
+class TestAlertRecord:
+    def test_dict_round_trip(self):
+        alert = Alert(segment=3, operation="read", kind=NEW_PEAK,
+                      score=1.25, threshold=0.5, detail="peaks 1 -> 2")
+        assert Alert.from_dict(alert.to_dict()) == alert
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Alert.from_dict({"segment": "x"})
+
+    def test_describe_mentions_everything(self):
+        alert = Alert(segment=3, operation="read", kind=NEW_PEAK,
+                      score=1.25, threshold=0.5, detail="peaks 1 -> 2")
+        text = alert.describe()
+        for token in ("segment 3", "read", NEW_PEAK, "1.25", "peaks"):
+            assert token in text

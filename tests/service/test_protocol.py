@@ -1,0 +1,139 @@
+"""Tests for the service wire framing."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (MAGIC, MAX_PAYLOAD, FrameType,
+                                    ProtocolError, decode_json, encode_json,
+                                    recv_frame, send_frame)
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, FrameType.PUSH, b"payload bytes")
+            ftype, payload = recv_frame(b)
+            assert ftype == FrameType.PUSH
+            assert payload == b"payload bytes"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, FrameType.METRICS)
+            assert recv_frame(b) == (FrameType.METRICS, b"")
+        finally:
+            a.close()
+            b.close()
+
+    def test_several_frames_on_one_stream(self):
+        a, b = socket_pair()
+        try:
+            for i in range(5):
+                send_frame(a, FrameType.OK, bytes([i]) * i)
+            for i in range(5):
+                assert recv_frame(b) == (FrameType.OK, bytes([i]) * i)
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, FrameType.OK, b"x")
+            a.close()
+            assert recv_frame(b) == (FrameType.OK, b"x")
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_bad_magic_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(b"XXXX" + struct.pack("<BI", 1, 0))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_declared_length_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(MAGIC + struct.pack("<BI", 1, MAX_PAYLOAD + 1))
+            with pytest.raises(ProtocolError, match="limit"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(MAGIC + struct.pack("<BI", 1, 100) + b"short")
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_send_rejected_locally(self):
+        a, b = socket_pair()
+        try:
+            class Huge(bytes):
+                def __len__(self):
+                    return MAX_PAYLOAD + 1
+            with pytest.raises(ProtocolError):
+                send_frame(a, FrameType.PUSH, Huge())
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame_crosses_recv_chunks(self):
+        a, b = socket_pair()
+        payload = bytes(range(256)) * 2048  # 512 KiB
+        received = {}
+
+        def reader():
+            received["frame"] = recv_frame(b)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            send_frame(a, FrameType.PROFILE, payload)
+            thread.join(timeout=10)
+            assert received["frame"] == (FrameType.PROFILE, payload)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestJson:
+    def test_round_trip(self):
+        blob = encode_json({"cursor": 3, "alerts": []})
+        assert decode_json(blob) == {"cursor": 3, "alerts": []}
+
+    def test_canonical_key_order(self):
+        assert encode_json({"b": 1, "a": 2}) == b'{"a": 2, "b": 1}'
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_json(b"{nope")
+
+    def test_bad_utf8_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_json(b"\xff\xfe")
+
+    def test_frame_type_names(self):
+        assert FrameType.name(FrameType.PUSH) == "PUSH"
+        assert FrameType.name(0x7F) == "0x7f"

@@ -1,0 +1,156 @@
+"""Tests for the profiling service core and its TCP front end."""
+
+import socket
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.service.client import ServiceClient, ServiceError, parse_endpoint
+from repro.service.protocol import FrameType, recv_frame, send_frame
+from repro.service.server import ProfileServer, ProfileService, ServiceConfig
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def pset(samples):
+    return ProfileSet.from_operation_latencies(samples)
+
+
+STEADY = {"read": [100.0] * 100}
+
+
+@pytest.fixture
+def service():
+    clock = FakeClock()
+    svc = ProfileService(
+        ServiceConfig(segment_seconds=5.0, retention=16,
+                      baseline_segments=4, threshold=0.5, min_ops=10),
+        clock=clock)
+    svc.test_clock = clock
+    return svc
+
+
+@pytest.fixture
+def server(service):
+    srv = ProfileServer(service)
+    srv.serve_in_thread()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port) as c:
+        yield c
+
+
+class TestProfileService:
+    def test_ingest_and_snapshot(self, service):
+        service.ingest_payload(pset(STEADY).to_bytes())
+        snap = service.snapshot()
+        assert snap["read"].total_ops == 100
+
+    def test_corrupt_payload_counted_and_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.ingest_payload(b"not a profile")
+        assert service.ingest_errors == 1
+        assert service.ingest_requests == 0
+
+    def test_alert_flow_across_segments(self, service):
+        service.ingest_payload(pset(STEADY).to_bytes())
+        service.test_clock.now = 6.0
+        service.ingest_payload(pset({"read": [500.0] * 100}).to_bytes())
+        service.test_clock.now = 12.0
+        service.tick()
+        cursor, alerts = service.alerts_since(0)
+        assert cursor == len(alerts) > 0
+        assert alerts[0].operation == "read"
+        # Cursor semantics: nothing new when polling from the end.
+        cursor2, fresh = service.alerts_since(cursor)
+        assert cursor2 == cursor
+        assert fresh == []
+
+    def test_metrics_text(self, service):
+        service.ingest_payload(pset(STEADY).to_bytes())
+        text = service.metrics_text()
+        assert "osprof_ingest_requests_total 1" in text
+        assert "osprof_ingest_ops_total 100" in text
+        assert "osprof_segment_seconds 5" in text
+        assert "osprof_ingest_seconds_sum" in text
+
+    def test_alert_log_bounded(self):
+        clock = FakeClock()
+        svc = ProfileService(
+            ServiceConfig(segment_seconds=1.0, retention=4,
+                          baseline_segments=1, threshold=0.1, min_ops=10,
+                          max_alerts=3),
+            clock=clock)
+        for i in range(8):
+            latency = 100.0 * (4 ** i % 997 + 1)
+            svc.ingest_payload(
+                pset({"read": [latency] * 50}).to_bytes())
+            clock.now += 1.0
+        svc.tick()
+        cursor, alerts = svc.alerts_since(0)
+        assert len(alerts) <= 3
+        # Absolute positions survive trimming.
+        assert cursor >= len(alerts)
+
+
+class TestTcpFrontEnd:
+    def test_push_metrics_snapshot_alerts(self, client, service):
+        status = client.push(pset(STEADY))
+        assert "100 ops" in status
+        service.test_clock.now = 6.0
+        client.push(pset({"read": [500.0] * 100}))
+        service.test_clock.now = 12.0
+        cursor, alerts = client.alerts(0)
+        assert [a.operation for a in alerts] == ["read"]
+        assert "osprof_ingest_requests_total 2" in client.metrics()
+        snap = client.snapshot()
+        assert snap["read"].total_ops == 200
+
+    def test_corrupt_push_gets_error_frame_and_connection_survives(
+            self, client):
+        with pytest.raises(ServiceError):
+            client.push_payload(b"OSPROFB1garbage")
+        # Same connection still works.
+        assert "ops" in client.push(pset(STEADY))
+
+    def test_unknown_frame_type_reports_error(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            send_frame(sock, 0x5A, b"")
+            ftype, payload = recv_frame(sock)
+            assert ftype == FrameType.ERROR
+            assert "unsupported" in payload.decode()
+
+    def test_bad_magic_drops_connection(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GARBAGE->" * 3)
+            assert sock.recv(1024) == b""  # server hung up
+
+    def test_port_zero_picks_a_real_port(self, server):
+        assert server.address[1] > 0
+
+
+class TestParseEndpoint:
+    def test_parses(self):
+        assert parse_endpoint("127.0.0.1:7461") == ("127.0.0.1", 7461)
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("localhost")
+
+    def test_rejects_non_integer_port(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("host:http")
