@@ -13,6 +13,8 @@ import time
 
 from repro.analysis.compare import earth_movers_distance
 from repro.core.buckets import BucketSpec, LatencyBuckets
+from repro.core.pipeline import Pipeline, wire_probe
+from repro.core.profile import Layer
 from repro.core.profiler import Profiler
 from repro.core.profileset import ProfileSet
 from repro.core.shard import collect_sharded
@@ -138,3 +140,65 @@ def test_perf_scheduler_switches(benchmark):
         return kernel.engine.events_processed
 
     assert benchmark(run_switches) > 0
+
+
+def test_perf_record_path_batched_vs_per_sample(benchmark):
+    """The pipeline's batched record path against the seed per-sample path.
+
+    Acceptance bar for the probe/event refactor: routing samples through
+    per-CPU batch buffers with ``add_many``'s ``bit_length`` bucketing
+    must be at least 1.3x faster than the pre-refactor
+    ``Profiler.record`` loop over the same latencies, while producing a
+    byte-identical ProfileSet.  The byte-identity half is always
+    asserted; the throughput ratio is recorded in extra_info and only
+    enforced outside CI (shared runners time too noisily to gate on).
+    """
+    n = 100_000
+    # Deterministic pseudo-random latencies spanning the bucket range.
+    state = 0x9E3779B9
+    latencies = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        latencies.append(float(state % 10_000_000 + 1))
+    operations = ("read", "write", "llseek")
+
+    def per_sample():
+        profiler = Profiler(name="seed", layer=Layer.USER)
+        record = profiler.record
+        for i, lat in enumerate(latencies):
+            record(operations[i % 3], lat)
+        return profiler.profile_set()
+
+    def batched():
+        pipeline = Pipeline()
+        profiler = Profiler(name="seed", layer=Layer.USER)
+        probe = wire_probe(pipeline, Layer.USER, profiler=profiler)
+        record = probe.record
+        for i, lat in enumerate(latencies):
+            record(operations[i % 3], lat)
+        return profiler.profile_set()
+
+    # Best-of-3 interleaved timings: a single pair is at the mercy of
+    # whatever else the box is doing, and the ratio is what's gated.
+    per_sample_elapsed = batched_elapsed = float("inf")
+    baseline_set = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        baseline_set = per_sample()
+        per_sample_elapsed = min(per_sample_elapsed,
+                                 time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched()
+        batched_elapsed = min(batched_elapsed, time.perf_counter() - t0)
+
+    batched_set = benchmark.pedantic(batched, rounds=3, iterations=1)
+    assert batched_set.to_bytes() == baseline_set.to_bytes()
+    speedup = per_sample_elapsed / batched_elapsed
+    benchmark.extra_info["samples"] = n
+    benchmark.extra_info["per_sample_seconds"] = round(per_sample_elapsed, 4)
+    benchmark.extra_info["batched_seconds"] = round(batched_elapsed, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    if not os.environ.get("CI"):
+        assert speedup >= 1.3, (
+            f"batched record path only {speedup:.2f}x faster "
+            f"({batched_elapsed:.3f}s vs {per_sample_elapsed:.3f}s)")

@@ -83,3 +83,12 @@ def test_tbl_overhead(benchmark, artifacts):
     assert store > tsc                        # storing dominates reads
     assert wait_delta < 0.05
     assert min(floors) >= 3
+
+    # The off variant is measured-zero at the hooked layers, not merely
+    # cheap: disabled probes never emit, so the user and FS profile
+    # sets gain no buckets at all.  (The driver layer sits outside the
+    # paper's variant ladder and profiles under every variant.)
+    off_system = results["off"][0]
+    for pset in (off_system.user_profiles(), off_system.fs_profiles()):
+        assert pset.total_ops() == 0
+        assert all(not prof.histogram.counts() for prof in pset)

@@ -24,6 +24,8 @@ them into one CLI over the library:
   segments (``--workload``), to a running service.
 * ``osprof watch <host:port>`` — follow the service's alert log (and
   optionally its plaintext metrics page).
+* ``osprof trace <workload>`` — per-request cross-layer event slices
+  from the probe pipeline's unified stream.
 
 All dump-reading commands auto-detect the format, so text and binary
 profiles mix freely.
@@ -173,6 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--layer", choices=("user", "fs", "driver"),
                       default="fs")
     push.add_argument("--patched-llseek", action="store_true")
+
+    trace = sub.add_parser(
+        "trace", help="cross-layer request traces of a workload")
+    trace.add_argument("workload", choices=WORKLOADS)
+    trace.add_argument("--fs", choices=("ext2", "reiserfs"),
+                       default="ext2")
+    trace.add_argument("--cpus", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=2006)
+    trace.add_argument("--scale", type=float, default=0.02)
+    trace.add_argument("--processes", type=int, default=2)
+    trace.add_argument("--iterations", type=int, default=1000)
+    trace.add_argument("--requests", type=int, default=10,
+                       help="print the N slowest requests")
+    trace.add_argument("--limit", type=int, default=200_000,
+                       help="cap on retained trace events")
 
     watch = sub.add_parser(
         "watch", help="follow a service's alert log")
@@ -398,6 +415,46 @@ def cmd_watch(args) -> int:
             _time.sleep(args.poll)
 
 
+def cmd_trace(args) -> int:
+    """Per-request slices of the unified probe event stream.
+
+    A global :class:`~repro.core.pipeline.TraceSink` sees every layer's
+    events with their shared request ids, so each printed request shows
+    its syscall, file-system, and driver activity as one tree.
+    """
+    from .core.pipeline import TraceSink
+    from .workloads.runner import run_named_workload
+
+    system = System.build(fs_type=args.fs, num_cpus=args.cpus,
+                          seed=args.seed, with_timer=False)
+    sink = TraceSink(limit=args.limit)
+    system.pipeline.add_global_sink(sink)
+    run_named_workload(system, args.workload, seed=args.seed,
+                       scale=args.scale, processes=args.processes,
+                       iterations=args.iterations)
+    system.pipeline.flush(final=True)
+
+    def root_latency(events) -> float:
+        return max((e.latency for e in events if e.depth == 0),
+                   default=0.0)
+
+    ranked = sorted(sink.requests().items(),
+                    key=lambda kv: root_latency(kv[1]), reverse=True)
+    for rid, events in ranked[:args.requests]:
+        root = next((e for e in events if e.depth == 0), events[0])
+        print(f"request #{rid}: {root.layer}:{root.operation} "
+              f"{root.latency:.0f} cycles, {len(events)} events")
+        for event in events:
+            indent = "  " * (event.depth + 1)
+            print(f"{indent}{event.layer}:{event.operation} "
+                  f"{event.latency:.0f}")
+        print()
+    if sink.dropped:
+        print(f"(dropped {sink.dropped} events past --limit "
+              f"{args.limit})", file=sys.stderr)
+    return 0
+
+
 def cmd_gnuplot(args) -> int:
     pset = _load(args.dump)
     for prof in pset.by_total_latency():
@@ -420,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "push": cmd_push,
         "watch": cmd_watch,
+        "trace": cmd_trace,
     }[args.command]
     try:
         return handler(args)

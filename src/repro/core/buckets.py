@@ -210,6 +210,63 @@ class LatencyBuckets:
             self.max_latency = latency
         return b
 
+    def add_many(self, latencies: Iterable[float]) -> None:
+        """Record a batch of latencies: the pipeline's flush hot path.
+
+        Exactly equivalent to calling :meth:`add` once per latency — the
+        same buckets, totals, extrema, and (because the running total is
+        an exact expansion) the same serialized bytes — but considerably
+        faster: bucketing is done inline with ``int.bit_length`` (the
+        Python spelling of the C library's ``bsr``) and the expansion
+        growth is unrolled into the loop, so each sample costs zero
+        function calls instead of the per-sample path's several.
+        """
+        if not isinstance(latencies, list):
+            latencies = list(latencies)
+        if not latencies:
+            return
+        counts = self._counts
+        partials = self._latency_partials
+        counts_get = counts.get
+        fast = self.spec.resolution == 1
+        bucket_of = self.spec.bucket
+        for lat in latencies:
+            if lat < 1.0:
+                if lat < 0.0:
+                    raise ValueError("latency must be non-negative")
+                b = 0
+            elif fast:
+                # floor(log2): truncation to int never crosses a power
+                # of two downward, so bit_length-1 equals the frexp
+                # exponent used by the per-sample path.
+                b = int(lat).bit_length() - 1
+                if b > MAX_BUCKET:
+                    b = MAX_BUCKET
+            else:
+                b = bucket_of(lat)
+            counts[b] = counts_get(b, 0) + 1
+            # _grow_expansion, unrolled: error-free two-sums keep the
+            # running total exact, hence order-independent.
+            x = lat
+            i = 0
+            for y in partials:
+                if abs(x) < abs(y):
+                    x, y = y, x
+                hi = x + y
+                lo = y - (hi - x)
+                if lo:
+                    partials[i] = lo
+                    i += 1
+                x = hi
+            partials[i:] = [x]
+        self.total_ops += len(latencies)
+        lo = min(latencies)
+        hi = max(latencies)
+        if self.min_latency is None or lo < self.min_latency:
+            self.min_latency = lo
+        if self.max_latency is None or hi > self.max_latency:
+            self.max_latency = hi
+
     def add_to_bucket(self, bucket: int, count: int = 1) -> None:
         """Record directly into a bucket (used for value-correlation profiles).
 

@@ -25,10 +25,22 @@ from .buckets import BucketSpec
 from .profile import Layer
 from .profileset import ProfileSet
 
-__all__ = ["Profiler", "RequestToken", "tsc_clock", "NOMINAL_HZ"]
+__all__ = ["Profiler", "RequestToken", "TokenFinishedError", "tsc_clock",
+           "NOMINAL_HZ"]
 
 #: Nominal frequency of the paper's test machine (1.7 GHz Pentium 4).
 NOMINAL_HZ = 1.7e9
+
+
+class TokenFinishedError(RuntimeError):
+    """A request/probe token was finished twice.
+
+    Each token represents exactly one in-flight request; a double finish
+    means the instrumentation's entry/exit pairing is broken (the
+    C library's equivalent would be a mismatched FSPROF_POST).  Subclass
+    of :class:`RuntimeError` for backward compatibility with callers
+    that caught the old generic error.
+    """
 
 
 def tsc_clock(hz: float = NOMINAL_HZ) -> Callable[[], float]:
@@ -84,6 +96,7 @@ class Profiler:
         self.enabled = enabled
         #: Overhead accounting: number of begin/end pairs processed.
         self.requests_profiled = 0
+        self._flush_hooks = []
 
     # -- core instrumentation ---------------------------------------------
 
@@ -100,7 +113,7 @@ class Profiler:
         """
         now = self.clock()
         if token._done:
-            raise RuntimeError(
+            raise TokenFinishedError(
                 f"request token for {token.operation!r} finished twice")
         token._done = True
         if not self.enabled:
@@ -157,12 +170,27 @@ class Profiler:
 
     # -- results -------------------------------------------------------------
 
+    def attach_flush(self, hook: Callable[[], None]) -> None:
+        """Register a hook run before results are read or reset.
+
+        The probe/event pipeline defers histogram insertion into per-CPU
+        batch buffers; its flush is attached here so ``profile_set()``
+        and ``reset()`` always observe a fully drained profile.
+        """
+        self._flush_hooks.append(hook)
+
+    def _flush(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
     def profile_set(self) -> ProfileSet:
         """The accumulated complete profile."""
+        self._flush()
         return self.profiles
 
     def reset(self) -> None:
         """Drop accumulated profiles, keeping clock and configuration."""
+        self._flush()
         self.profiles = ProfileSet(name=self.profiles.name,
                                    spec=self.profiles.spec)
         self.requests_profiled = 0

@@ -105,6 +105,7 @@ class SampledProfiler:
         self.name = name
         self._epoch = clock()
         self._segments: List[ProfileSet] = []
+        self._flush_hooks: List[Callable[[], None]] = []
 
     def _segment_for(self, timestamp: float) -> ProfileSet:
         index = int((timestamp - self._epoch) / self.interval)
@@ -132,6 +133,16 @@ class SampledProfiler:
         now = self.clock()
         self.record(operation, now - latency, latency)
 
+    def attach_flush(self, hook: Callable[[], None]) -> None:
+        """Register a hook run before :meth:`series` reads results.
+
+        Lets the probe/event pipeline drain its deferred batch buffers
+        so the segment matrix is complete at read time.
+        """
+        self._flush_hooks.append(hook)
+
     def series(self) -> SampledProfileSeries:
         """The accumulated time-segmented profiles."""
+        for hook in self._flush_hooks:
+            hook()
         return SampledProfileSeries(self.interval, list(self._segments))

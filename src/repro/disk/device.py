@@ -42,7 +42,7 @@ class DiskRequest:
 
     __slots__ = ("block", "is_write", "submitted_at", "started_at",
                  "completed_at", "condition", "cache_hit", "seek_cycles",
-                 "retries", "failed", "_attempt_failed")
+                 "retries", "failed", "_attempt_failed", "context")
 
     def __init__(self, block: int, is_write: bool):
         self.block = block
@@ -57,6 +57,9 @@ class DiskRequest:
         self.retries = 0
         self.failed = False
         self._attempt_failed = False
+        #: RequestContext of the submitting request, stamped by the
+        #: driver so completion events keep their cross-layer identity.
+        self.context = None
 
     @property
     def latency(self) -> float:

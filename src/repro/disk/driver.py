@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.pipeline import Pipeline, ProbePoint, wire_probe
 from ..core.profile import Layer
 from ..core.profiler import Profiler
 from ..sim.process import ProcBody
@@ -36,28 +37,49 @@ class ScsiDriver:
     WRITE_OP = "disk_write"
 
     def __init__(self, kernel: Kernel, disk: Disk,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 pipeline: Optional[Pipeline] = None,
+                 probe: Optional[ProbePoint] = None):
         self.kernel = kernel
         self.disk = disk
         if profiler is None:
             profiler = Profiler(name="scsi", layer=Layer.DRIVER,
                                 clock=lambda: kernel.now)
         self.profiler = profiler
+        if probe is None:
+            owner = pipeline if pipeline is not None \
+                else Pipeline(num_cpus=len(kernel.cpus))
+            probe = wire_probe(owner, profiler.layer, profiler=profiler,
+                               name="driver")
+        self.probe_point = probe
+        self.pipeline = probe.pipeline
         disk.on_complete.append(self._completed)
 
     def _completed(self, request: DiskRequest) -> None:
         operation = self.WRITE_OP if request.is_write else self.READ_OP
-        self.profiler.record(operation, request.latency)
+        self.probe_point.record(operation, request.latency,
+                          start=request.submitted_at,
+                          context=request.context)
 
     # -- submission API mirroring the device ----------------------------------
 
+    def _submit(self, block: int, is_write: bool) -> DiskRequest:
+        request = self.disk.submit(block, is_write=is_write)
+        # Attribute the I/O to the request whose generator is being
+        # advanced right now: completion fires in a later event, when
+        # the submitter (for async writes) may be long gone.
+        proc = self.kernel.stepping
+        if proc is not None:
+            request.context = proc.request_context
+        return request
+
     def submit_read(self, block: int) -> DiskRequest:
         """Dispatch a read without waiting (readahead-style)."""
-        return self.disk.submit(block, is_write=False)
+        return self._submit(block, is_write=False)
 
     def submit_write(self, block: int) -> DiskRequest:
         """Dispatch an asynchronous write; profiled at completion."""
-        return self.disk.submit(block, is_write=True)
+        return self._submit(block, is_write=True)
 
     def read(self, block: int) -> ProcBody:
         """Generator: synchronous profiled read."""

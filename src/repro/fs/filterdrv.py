@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.pipeline import Pipeline, ProbePoint, wire_probe
 from ..core.profile import Layer
 from ..core.profiler import Profiler
 from ..sim.process import ProcBody, Process
@@ -43,13 +44,22 @@ class FilterDriver:
     """Profiled interception of all I/O destined for one file system."""
 
     def __init__(self, kernel: Kernel, fs: FileSystem,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 pipeline: Optional[Pipeline] = None,
+                 probe: Optional[ProbePoint] = None):
         self.kernel = kernel
         self.fs = fs
         if profiler is None:
             profiler = Profiler(name="filter", layer=Layer.FILESYSTEM,
                                 clock=lambda: kernel.now)
         self.profiler = profiler
+        if probe is None:
+            owner = pipeline if pipeline is not None \
+                else Pipeline(num_cpus=len(kernel.cpus))
+            probe = wire_probe(owner, profiler.layer, profiler=profiler,
+                               name="filter")
+        self.probe_point = probe
+        self.pipeline = probe.pipeline
         self.irps_seen = 0
         self.fastio_seen = 0
 
@@ -61,20 +71,30 @@ class FilterDriver:
             return "FASTIO"
         return "IRP"
 
-    def _record(self, kind: str, major: str, latency: float) -> None:
+    def _record(self, kind: str, major: str, latency: float,
+                start: float = 0.0, context=None, cpu: int = 0) -> None:
         if kind == "FASTIO":
             self.fastio_seen += 1
         else:
             self.irps_seen += 1
-        self.profiler.record(f"{kind}_{major}", latency)
+        self.probe_point.record(f"{kind}_{major}", latency, start=start,
+                          context=context, cpu=cpu)
 
     def _intercept(self, proc: Process, kind: str, major: str,
                    body: ProcBody) -> ProcBody:
+        probe = self.probe_point
+        context = probe.push_context(proc, f"{kind}_{major}") \
+            if probe.active else None
         start = self.kernel.read_tsc(proc)
         try:
             result = yield from body
         finally:
-            self._record(kind, major, self.kernel.read_tsc(proc) - start)
+            self._record(kind, major,
+                         self.kernel.read_tsc(proc) - start,
+                         start=start, context=context,
+                         cpu=proc.cpu if proc.cpu is not None else 0)
+            if context is not None:
+                ProbePoint.pop_context(proc, context)
         return result
 
     # -- the intercepted operations ------------------------------------------------

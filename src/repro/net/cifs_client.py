@@ -47,6 +47,13 @@ CACHED_READ_COST = 1_800.0
 #: readdir past end of listing.
 EOF_COST = 100.0
 
+#: SMB request class -> network-level probe operation name.
+_SMB_OPS = {
+    "FindFirstRequest": "smb_find_first",
+    "FindNextRequest": "smb_find_next",
+    "ReadRequest": "smb_read",
+}
+
 
 class _Listing:
     """Client-side state of one directory enumeration (per open file)."""
@@ -66,7 +73,8 @@ class CifsClient(FileSystem):
 
     def __init__(self, kernel: Kernel, endpoint: TcpEndpoint,
                  inodes: InodeTable, flavor: str = FLAVOR_WINDOWS,
-                 readdir_chunk: int = 16):
+                 readdir_chunk: int = 16,
+                 probe=None):
         super().__init__()
         if flavor not in (FLAVOR_WINDOWS, FLAVOR_LINUX):
             raise ValueError(f"unknown client flavor {flavor!r}")
@@ -82,6 +90,14 @@ class CifsClient(FileSystem):
         self._next_mid = 1
         self._pending: Dict[int, Dict[str, Any]] = {}
         self.transactions = 0
+        #: Network-level ProbePoint measuring each SMB transaction
+        #: send->reply under ``smb_<request>`` — the layer whose far
+        #: peaks expose the delayed-ACK pathology directly.
+        self.probe_point = probe
+
+    def attach_probe(self, probe) -> None:
+        """Wire the network-level probe (see ``net.mount``)."""
+        self.probe_point = probe
 
     # -- transport ----------------------------------------------------------
 
@@ -100,11 +116,19 @@ class CifsClient(FileSystem):
         yield CpuBurst(self.kernel.rng.jitter(MARSHAL_COST, sigma=0.3))
         condition = Condition(f"smb:mid{request.mid}")
         self._pending[request.mid] = {"condition": condition}
+        start = self.kernel.now
         self.endpoint.send(request.wire_size(),
                            type(request).__name__ + " request (SMB)",
                            request)
         reply = yield WaitCondition(condition)
         self.transactions += 1
+        probe = self.probe_point
+        if probe is not None and probe.active:
+            name = type(request).__name__
+            probe.record(_SMB_OPS.get(name, "smb_" + name.lower()),
+                         self.kernel.now - start, start=start,
+                         context=proc.request_context,
+                         cpu=proc.cpu if proc.cpu is not None else 0)
         return reply
 
     def _mid(self) -> int:

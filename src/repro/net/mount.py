@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.pipeline import wire_probe
+from ..core.profile import Layer
+from ..core.profiler import Profiler
 from ..system import System
 from ..vfs.inode import Inode
 from ..workloads.sourcetree import TreeStats, build_source_tree
@@ -38,6 +41,28 @@ class CifsMount:
     sniffer: Sniffer
     root: Inode
     tree: TreeStats
+    #: Network-level profiler fed by the client's ``rpc_*``/``smb_*``
+    #: probe; None when the mount is built uninstrumented.
+    net_profiler: Optional[Profiler] = None
+
+    def net_profiles(self):
+        """The network-level ProfileSet (empty if uninstrumented)."""
+        if self.net_profiler is None:
+            raise ValueError("mount was built with instrumentation off")
+        return self.net_profiler.profile_set()
+
+
+def _wire_net_probe(client: System, instrumentation: str):
+    """A NETWORK-layer probe on the client's machine-wide pipeline."""
+    if instrumentation == "off":
+        return None, None
+    kernel = client.kernel
+    profiler = Profiler(name="net", layer=Layer.NETWORK,
+                        clock=lambda: kernel.engine.now)
+    probe = wire_probe(client.pipeline, Layer.NETWORK,
+                       profiler=profiler, name="net")
+    client.procfs.register("net", profiler)
+    return probe, profiler
 
 
 def build_cifs_mount(scale: float = 0.02,
@@ -71,8 +96,10 @@ def build_cifs_mount(scale: float = 0.02,
                                   ack_immediately=True)
     connection = TcpConnection(client.kernel, client_endpoint,
                                server_endpoint, sniffer=sniffer)
+    net_probe, net_profiler = _wire_net_probe(client, instrumentation)
     cifs = CifsClient(client.kernel, client_endpoint,
-                      server_host.inodes, flavor=flavor)
+                      server_host.inodes, flavor=flavor,
+                      probe=net_probe)
     client.fs = cifs
     client.vfs.fs = cifs
     cifs.bind(client.vfs)
@@ -81,7 +108,8 @@ def build_cifs_mount(scale: float = 0.02,
     # Workloads resolve entry inos through the client system.
     client.inodes = server_host.inodes
     return CifsMount(client=client, server=server, connection=connection,
-                     sniffer=sniffer, root=root, tree=stats)
+                     sniffer=sniffer, root=root, tree=stats,
+                     net_profiler=net_profiler)
 
 
 def build_nfs_mount(scale: float = 0.02,
@@ -110,8 +138,9 @@ def build_nfs_mount(scale: float = 0.02,
                                   ack_immediately=True)
     connection = TcpConnection(client.kernel, client_endpoint,
                                server_endpoint, sniffer=sniffer)
+    net_probe, net_profiler = _wire_net_probe(client, instrumentation)
     nfs = NfsClient(client.kernel, client_endpoint,
-                    server_host.inodes)
+                    server_host.inodes, probe=net_probe)
     client.fs = nfs
     client.vfs.fs = nfs
     nfs.bind(client.vfs)
@@ -119,4 +148,5 @@ def build_nfs_mount(scale: float = 0.02,
                        server_endpoint)
     client.inodes = server_host.inodes
     return CifsMount(client=client, server=server, connection=connection,
-                     sniffer=sniffer, root=root, tree=stats)
+                     sniffer=sniffer, root=root, tree=stats,
+                     net_profiler=net_profiler)

@@ -181,7 +181,8 @@ class NfsClient(FileSystem):
     def __init__(self, kernel: Kernel, endpoint: TcpEndpoint,
                  inodes: InodeTable,
                  attr_ttl: float = ATTR_CACHE_TTL,
-                 readdir_chunk: int = 16):
+                 readdir_chunk: int = 16,
+                 probe=None):
         super().__init__()
         self.kernel = kernel
         self.endpoint = endpoint
@@ -194,6 +195,13 @@ class NfsClient(FileSystem):
         self._attr_cache: Dict[int, Tuple[float, DirEntryInfo]] = {}
         self.rpcs_sent = 0
         self.attr_hits = 0
+        #: Network-level ProbePoint measuring each RPC send->reply under
+        #: ``rpc_<procedure>`` — Figure 2's NIC-adjacent layer.
+        self.probe_point = probe
+
+    def attach_probe(self, probe) -> None:
+        """Wire the network-level probe (see ``net.mount``)."""
+        self.probe_point = probe
 
     # -- RPC plumbing --------------------------------------------------------
 
@@ -214,10 +222,17 @@ class NfsClient(FileSystem):
         request = _NfsRequest(xid=xid, procedure=procedure, args=args)
         condition = Condition(f"nfs:xid{xid}")
         self._pending[xid] = condition
+        start = self.kernel.now
         self.endpoint.send(request.wire_size(),
                            f"NFS {procedure} call", request)
         self.rpcs_sent += 1
         reply = yield WaitCondition(condition)
+        probe = self.probe_point
+        if probe is not None and probe.active:
+            probe.record(f"rpc_{procedure.lower()}",
+                         self.kernel.now - start, start=start,
+                         context=proc.request_context,
+                         cpu=proc.cpu if proc.cpu is not None else 0)
         return reply.result
 
     # -- attribute cache ---------------------------------------------------------

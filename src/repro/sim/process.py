@@ -135,7 +135,8 @@ class Process:
                  "in_kernel", "quantum_left", "send_value", "cpu_time",
                  "sys_time", "user_time", "wait_time", "last_blocked_at",
                  "preempt_pending", "preemptions", "voluntary_switches",
-                 "exit_value", "started_at", "finished_at")
+                 "exit_value", "started_at", "finished_at",
+                 "request_context")
 
     def __init__(self, pid: int, name: str, gen: ProcBody):
         self.pid = pid
@@ -158,6 +159,9 @@ class Process:
         self.exit_value: Any = None
         self.started_at = 0.0
         self.finished_at: Optional[float] = None
+        #: Innermost pipeline RequestContext frame of the request this
+        #: process is currently executing (cross-layer request ids).
+        self.request_context: Any = None
 
     @property
     def done(self) -> bool:

@@ -90,6 +90,10 @@ class Kernel:
         self.processes: List[Process] = []
         self._exit_conditions: Dict[int, Condition] = {}
         self.context_switches = 0
+        #: The process whose generator is currently being advanced, so
+        #: completion-side code (the disk driver) can attribute submitted
+        #: work to the submitting request's pipeline context.
+        self.stepping: Optional[Process] = None
 
     # -- time ----------------------------------------------------------------
 
@@ -277,6 +281,14 @@ class Kernel:
 
     def _step(self, proc: Process) -> None:
         """Advance the generator until it blocks, burns CPU, or exits."""
+        previous = self.stepping
+        self.stepping = proc
+        try:
+            self._step_inner(proc)
+        finally:
+            self.stepping = previous
+
+    def _step_inner(self, proc: Process) -> None:
         while True:
             try:
                 effect = proc.gen.send(proc.send_value)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from ..core.pipeline import Pipeline, ProbePoint, wire_probe
+from ..core.profile import Layer
 from ..core.profiler import Profiler
 from ..core.sampling import SampledProfiler
 from .process import CpuBurst, ProcBody, Process
@@ -62,7 +64,9 @@ class SyscallLayer:
                  profiler: Optional[Profiler] = None,
                  sampled: Optional[SampledProfiler] = None,
                  syscall_cost: float = DEFAULT_SYSCALL_COST,
-                 instrumentation: str = "full"):
+                 instrumentation: str = "full",
+                 pipeline: Optional[Pipeline] = None,
+                 probe: Optional[ProbePoint] = None):
         if instrumentation not in self.VARIANTS:
             raise ValueError(f"instrumentation must be one of {self.VARIANTS}")
         self.kernel = kernel
@@ -71,6 +75,15 @@ class SyscallLayer:
         self.syscall_cost = syscall_cost
         self.instrumentation = instrumentation
         self.calls = 0
+        if probe is None:
+            owner = pipeline if pipeline is not None \
+                else Pipeline(num_cpus=len(kernel.cpus))
+            layer_label = profiler.layer if profiler is not None \
+                else Layer.USER
+            probe = wire_probe(owner, layer_label, profiler=profiler,
+                               sampled=sampled, name="syscall")
+        self.probe_point = probe
+        self.pipeline = probe.pipeline
 
     def _hook_cost(self) -> float:
         """CPU cycles one PRE or POST hook burns, per the variant."""
@@ -95,6 +108,11 @@ class SyscallLayer:
         """
         self.calls += 1
         hook = self._hook_cost()
+        probe = self.probe_point
+        # Stamp the root request context: this is where a request enters
+        # the system, so every probed layer below shares its request id.
+        context = probe.push_context(proc, operation) if probe.active \
+            else None
         proc.in_kernel += 1
         try:
             # Trap into the kernel, then the PRE hook — all system time.
@@ -106,19 +124,19 @@ class SyscallLayer:
                 result = yield from body
             finally:
                 end = self.kernel.read_tsc(proc)
-                record = (self.instrumentation == "full")
-                latency = end - start
-                if record and self.profiler is not None:
-                    self.profiler.record(operation, latency)
-                if record and self.sampled is not None:
-                    self.sampled.record(operation, start,
-                                        max(latency, 0.0))
+                if self.instrumentation == "full":
+                    probe.record(operation, end - start, start=start,
+                                 context=context,
+                                 cpu=proc.cpu if proc.cpu is not None
+                                 else 0)
             # POST hook and return-to-user path.
             exit_cost = self.syscall_cost / 2.0 + hook
             if exit_cost > 0:
                 yield CpuBurst(self.kernel.rng.jitter(exit_cost))
         finally:
             proc.in_kernel -= 1
+            if context is not None:
+                ProbePoint.pop_context(proc, context)
         return result
 
     def probe(self, proc: Process, operation: str,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .core.buckets import BucketSpec
+from .core.pipeline import Pipeline
 from .core.procfs import ProcFs
 from .core.profile import Layer
 from .core.profiler import Profiler
@@ -59,7 +60,8 @@ class System:
                  fs, vfs: Vfs, syscalls: SyscallLayer,
                  user_profiler: Profiler, fs_profiler: Profiler,
                  timer: Optional[TimerInterrupt],
-                 sampled: Optional[SampledProfiler] = None):
+                 sampled: Optional[SampledProfiler] = None,
+                 pipeline: Optional[Pipeline] = None):
         self.kernel = kernel
         self.engine = kernel.engine
         self.disk = disk
@@ -74,6 +76,10 @@ class System:
         self.driver_profiler = driver.profiler
         self.timer = timer
         self.sampled = sampled
+        #: The machine-wide probe/event pipeline every instrumented
+        #: layer emits through; one request-id space across layers.
+        self.pipeline = pipeline if pipeline is not None \
+            else syscalls.pipeline
         self.tree = TreeBuilder(inodes, allocator)
         self._root: Optional[Inode] = None
         #: The /proc reporting interface of Section 4: each profiling
@@ -111,11 +117,15 @@ class System:
         rng = SimRandom(seed)
         kernel = Kernel(num_cpus=num_cpus, quantum=quantum,
                         kernel_preemption=kernel_preemption, rng=rng)
+        # One pipeline spans the machine: every layer's probe shares its
+        # request-id space and drains through the same batch buffers.
+        pipeline = Pipeline(num_cpus=num_cpus)
         disk = Disk(kernel, geometry=geometry)
         driver_profiler = Profiler(name="driver", layer=Layer.DRIVER,
                                    clock=lambda: kernel.engine.now,
                                    spec=spec)
-        driver = ScsiDriver(kernel, disk, profiler=driver_profiler)
+        driver = ScsiDriver(kernel, disk, profiler=driver_profiler,
+                            pipeline=pipeline)
         inodes = InodeTable(kernel)
         allocator = BlockAllocator(disk.geometry,
                                    rng.fork("alloc"))
@@ -143,7 +153,8 @@ class System:
                                       interval=sample_interval,
                                       name="fs-sampled", spec=spec)
         fsprof = FsInstrument(kernel, profiler=fs_profiler,
-                              sampled=sampled, variant=instrumentation)
+                              sampled=sampled, variant=instrumentation,
+                              pipeline=pipeline)
         pagecache = PageCache(kernel, capacity_pages=pagecache_pages)
         pagecache.attach_disk(disk)
         vfs = Vfs(kernel, fs, pagecache=pagecache, fsprof=fsprof)
@@ -152,13 +163,15 @@ class System:
                                  clock=lambda: kernel.engine.now,
                                  spec=spec)
         syscalls = SyscallLayer(kernel, profiler=user_profiler,
-                                instrumentation=instrumentation)
+                                instrumentation=instrumentation,
+                                pipeline=pipeline)
         timer = None
         if with_timer:
             timer = TimerInterrupt(kernel)
             timer.start()
         return cls(kernel, disk, driver, inodes, allocator, fs, vfs,
-                   syscalls, user_profiler, fs_profiler, timer, sampled)
+                   syscalls, user_profiler, fs_profiler, timer, sampled,
+                   pipeline=pipeline)
 
     # -- file tree helpers ---------------------------------------------------------
 

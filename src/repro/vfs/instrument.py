@@ -15,8 +15,10 @@ single function call."
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
+from ..core.pipeline import (EventSink, Pipeline, ProbePoint, wire_probe)
+from ..core.profile import Layer
 from ..core.profiler import Profiler
 from ..core.sampling import SampledProfiler
 from ..sim.process import CpuBurst, ProcBody, Process
@@ -32,6 +34,13 @@ class FsInstrument:
     ``variant`` mirrors :class:`~repro.sim.syscalls.SyscallLayer`:
     ``off`` (no hooks), ``empty`` (hook call cost only), ``tsc_only``
     (hooks + TSC reads, nothing stored), ``full`` (the real profiler).
+
+    Events emit through a :class:`~repro.core.pipeline.ProbePoint`;
+    pass ``probe`` (or ``pipeline`` plus profiler/sampled targets) to
+    share one machine-wide pipeline, or ``sinks`` for custom routing.
+    With no targets at all the probe is wired to a
+    :class:`~repro.core.pipeline.NullSink` and the record path is
+    deactivated entirely.
     """
 
     VARIANTS = ("off", "empty", "tsc_only", "full")
@@ -39,7 +48,10 @@ class FsInstrument:
     def __init__(self, kernel: Kernel,
                  profiler: Optional[Profiler] = None,
                  sampled: Optional[SampledProfiler] = None,
-                 variant: str = "full"):
+                 variant: str = "full",
+                 pipeline: Optional[Pipeline] = None,
+                 probe: Optional[ProbePoint] = None,
+                 sinks: Sequence[EventSink] = ()):
         if variant not in self.VARIANTS:
             raise ValueError(f"variant must be one of {self.VARIANTS}")
         self.kernel = kernel
@@ -47,6 +59,16 @@ class FsInstrument:
         self.sampled = sampled
         self.variant = variant
         self.operations_profiled = 0
+        if probe is None:
+            owner = pipeline if pipeline is not None \
+                else Pipeline(num_cpus=len(kernel.cpus))
+            layer_label = profiler.layer if profiler is not None \
+                else Layer.FILESYSTEM
+            probe = wire_probe(owner, layer_label, profiler=profiler,
+                               sampled=sampled, extra_sinks=sinks,
+                               name="fs")
+        self.probe_point = probe
+        self.pipeline = probe.pipeline
 
     def _hook_cost(self) -> float:
         if self.variant == "off":
@@ -62,21 +84,26 @@ class FsInstrument:
                body: ProcBody) -> ProcBody:
         """FSPROF_PRE(op); body; FSPROF_POST(op)."""
         hook = self._hook_cost()
-        if hook > 0:
-            yield CpuBurst(self.kernel.rng.jitter(hook))
-        start = self.kernel.read_tsc(proc)
+        probe = self.probe_point
+        context = probe.push_context(proc, operation) if probe.active \
+            else None
         try:
-            result = yield from body
+            if hook > 0:
+                yield CpuBurst(self.kernel.rng.jitter(hook))
+            start = self.kernel.read_tsc(proc)
+            try:
+                result = yield from body
+            finally:
+                end = self.kernel.read_tsc(proc)
+                if self.variant == "full":
+                    self.operations_profiled += 1
+                    probe.record(operation, end - start, start=start,
+                                 context=context,
+                                 cpu=proc.cpu if proc.cpu is not None
+                                 else 0)
+            if hook > 0:
+                yield CpuBurst(self.kernel.rng.jitter(hook))
         finally:
-            end = self.kernel.read_tsc(proc)
-            if self.variant == "full":
-                latency = end - start
-                self.operations_profiled += 1
-                if self.profiler is not None:
-                    self.profiler.record(operation, latency)
-                if self.sampled is not None:
-                    self.sampled.record(operation, start,
-                                        max(latency, 0.0))
-        if hook > 0:
-            yield CpuBurst(self.kernel.rng.jitter(hook))
+            if context is not None:
+                ProbePoint.pop_context(proc, context)
         return result

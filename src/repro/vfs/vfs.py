@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..core.pipeline import NullSink
 from ..sim.process import CpuBurst, ProcBody, Process
 from ..sim.scheduler import Kernel
 from .file import File
@@ -88,8 +89,10 @@ class Vfs:
         self.fs = fs
         self.pagecache = pagecache if pagecache is not None \
             else PageCache(kernel)
+        # Uninstrumented mounts route through a NullSink-backed probe:
+        # same code path as profiled mounts, measured-zero overhead.
         self.fsprof = fsprof if fsprof is not None \
-            else FsInstrument(kernel, profiler=None, variant="off")
+            else FsInstrument(kernel, variant="off", sinks=(NullSink(),))
         fs.bind(self)
 
     # -- plumbing --------------------------------------------------------------

@@ -9,13 +9,14 @@ bucket-for-bucket.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 from ..core.profileset import ProfileSet
 from ..system import System
 
 __all__ = ["WORKLOAD_NAMES", "PROFILE_LAYERS", "run_named_workload",
-           "collect_profiles", "iter_segment_profiles"]
+           "collect_profiles", "collect_layer_profiles",
+           "iter_segment_profiles"]
 
 #: Workloads the runner (and therefore ``osprof run``) knows how to drive.
 WORKLOAD_NAMES = ("grep", "randomread", "postmark", "zerobyte", "clone")
@@ -78,6 +79,32 @@ def collect_profiles(workload: str, *, layer: str = "fs",
     return {"user": system.user_profiles,
             "fs": system.fs_profiles,
             "driver": system.driver_profiles}[layer]()
+
+
+def collect_layer_profiles(workload: str, *, fs_type: str = "ext2",
+                           num_cpus: int = 1, seed: int = 2006,
+                           scale: float = 0.02, processes: int = 2,
+                           iterations: int = 1000,
+                           patched_llseek: bool = False,
+                           kernel_preemption: bool = False,
+                           ) -> Dict[str, ProfileSet]:
+    """One run, all of Figure 2's layers: layer name -> profile set.
+
+    Because every layer emits through the same machine-wide pipeline,
+    a single workload execution yields the user, file-system, and
+    driver profiles together — the cross-layer comparison input of
+    Section 3.1 without three per-layer reruns (and without the
+    cross-run seed-alignment caveats those carry).
+    """
+    system = System.build(fs_type=fs_type, num_cpus=num_cpus, seed=seed,
+                          patched_llseek=patched_llseek,
+                          kernel_preemption=kernel_preemption,
+                          with_timer=False)
+    run_named_workload(system, workload, seed=seed, scale=scale,
+                       processes=processes, iterations=iterations)
+    return {"user": system.user_profiles(),
+            "fs": system.fs_profiles(),
+            "driver": system.driver_profiles()}
 
 
 def iter_segment_profiles(workload: str, *, segments: int = 1,

@@ -190,3 +190,56 @@ class TestLatencyBuckets:
         # Midpoint of bucket 6 is 96; within a factor of bucket width.
         assert hist.estimated_latency() == pytest.approx(
             hist.total_latency, rel=0.5)
+
+
+class TestBatchedBucketingProperty:
+    """add_many must bucket exactly like add: floor(log2(latency))."""
+
+    @staticmethod
+    def _exact_bucket(latency: float) -> int:
+        # frexp gives the exact binary exponent; math.log2 rounds and
+        # misplaces values adjacent to powers of two, so it cannot
+        # serve as the oracle here.
+        if latency < 1.0:
+            return 0
+        return min(math.frexp(latency)[1] - 1, MAX_BUCKET)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e18),
+                    min_size=1, max_size=300))
+    def test_add_many_lands_every_sample_in_floor_log2(self, latencies):
+        hist = LatencyBuckets()
+        hist.add_many(latencies)
+        expected = {}
+        for lat in latencies:
+            b = self._exact_bucket(lat)
+            expected[b] = expected.get(b, 0) + 1
+        assert hist.counts() == expected
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e18),
+                    min_size=1, max_size=300))
+    def test_add_many_identical_to_per_sample_add(self, latencies):
+        batched = LatencyBuckets()
+        batched.add_many(latencies)
+        loop = LatencyBuckets()
+        for lat in latencies:
+            loop.add(lat)
+        assert batched.counts() == loop.counts()
+        assert batched.total_ops == loop.total_ops
+        assert batched.min_latency == loop.min_latency
+        assert batched.max_latency == loop.max_latency
+        # Exact equality, not approx: both paths keep Shewchuk partial
+        # sums, so the accumulated total is the true multiset sum.
+        assert batched.total_latency == loop.total_latency
+
+    @given(st.integers(min_value=0, max_value=MAX_BUCKET - 1))
+    def test_power_of_two_boundaries_exact(self, exponent):
+        below = float(2 ** exponent) - (2.0 ** (exponent - 53) if
+                                        exponent >= 1 else 0.5)
+        at = float(2 ** exponent)
+        hist = LatencyBuckets()
+        hist.add_many([below, at])
+        if exponent == 0:
+            assert hist.counts() == {0: 2}
+        else:
+            assert hist.counts()[exponent] == 1
+            assert hist.counts()[self._exact_bucket(below)] >= 1

@@ -1,0 +1,83 @@
+"""Shared capture matrix for the pipeline-refactor byte-identity pins.
+
+The probe/event pipeline refactor must not change a single byte of any
+captured :class:`~repro.core.profileset.ProfileSet`: batching only
+defers histogram insertion, and both ``total_latency`` (an exact float
+expansion) and the canonical binary encoding are order-independent, so
+the digests below are invariant under any correct reorganisation of the
+capture plumbing.
+
+``CAPTURES`` maps a pin name to a zero-argument callable returning a
+ProfileSet.  ``tools/gen_profile_pins.py`` runs every capture and writes
+the sha256 of ``to_bytes()`` into ``profile_pins.json``;
+``test_profile_pins.py`` re-runs them and compares.  The pinned digests
+were generated from the pre-refactor per-sample capture path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+from repro.core.profileset import ProfileSet
+from repro.net.mount import build_cifs_mount, build_nfs_mount
+from repro.system import System
+from repro.workloads import run_grep
+from repro.workloads.runner import run_named_workload
+
+#: (workload, fs_type, kwargs for run_named_workload)
+_SYSTEM_RUNS = (
+    ("randomread", "ext2", dict(iterations=300, processes=2)),
+    ("zerobyte", "ext2", dict(iterations=300, processes=2)),
+    ("clone", "ext2", dict(iterations=200, processes=2)),
+    ("postmark", "ext2", dict(iterations=400)),
+    ("grep", "ext2", dict(scale=0.02)),
+    ("grep", "reiserfs", dict(scale=0.02)),
+)
+
+LAYERS = ("user", "fs", "driver")
+
+
+def _capture_system(workload: str, fs_type: str, kwargs, layer: str):
+    system = System.build(fs_type=fs_type, num_cpus=1, seed=2006,
+                          with_timer=False)
+    run_named_workload(system, workload, seed=2006, **kwargs)
+    return {"user": system.user_profiles,
+            "fs": system.fs_profiles,
+            "driver": system.driver_profiles}[layer]()
+
+
+def _capture_cifs(flavor: str) -> ProfileSet:
+    mount = build_cifs_mount(scale=0.02, flavor=flavor, delayed_ack=True)
+    run_grep(mount.client, mount.root)
+    return mount.client.fs_profiles()
+
+
+def _capture_nfs() -> ProfileSet:
+    mount = build_nfs_mount(scale=0.02)
+    run_grep(mount.client, mount.root)
+    return mount.client.fs_profiles()
+
+
+def _system_captures() -> Dict[str, Callable[[], ProfileSet]]:
+    captures: Dict[str, Callable[[], ProfileSet]] = {}
+    for workload, fs_type, kwargs in _SYSTEM_RUNS:
+        for layer in LAYERS:
+            name = f"{workload}-{fs_type}-{layer}"
+            captures[name] = (
+                lambda w=workload, f=fs_type, k=kwargs, l=layer:
+                _capture_system(w, f, k, l))
+    return captures
+
+
+CAPTURES: Dict[str, Callable[[], ProfileSet]] = {
+    **_system_captures(),
+    "grep-cifs-windows-fs": lambda: _capture_cifs("windows"),
+    "grep-cifs-linux-fs": lambda: _capture_cifs("linux"),
+    "grep-nfs-fs": _capture_nfs,
+}
+
+
+def digest(pset: ProfileSet) -> str:
+    """The pinned fingerprint: sha256 of the canonical binary encoding."""
+    return hashlib.sha256(pset.to_bytes()).hexdigest()

@@ -1,0 +1,30 @@
+"""Byte-identity pins: the pipeline refactor must not move a single bit.
+
+Every capture in :mod:`pinning` is re-run through the current
+instrumentation stack and its canonical binary encoding compared against
+the sha256 recorded from the pre-refactor per-sample capture path.  A
+mismatch means the probe/event pipeline changed *what* is measured, not
+just *how* it is plumbed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from .pinning import CAPTURES, digest
+
+PINS = json.loads(
+    (Path(__file__).parent / "profile_pins.json").read_text())
+
+
+def test_every_capture_is_pinned():
+    assert sorted(PINS) == sorted(CAPTURES)
+
+
+@pytest.mark.parametrize("name", sorted(CAPTURES))
+def test_profile_bytes_match_pre_refactor_capture(name):
+    pset = CAPTURES[name]()
+    assert digest(pset) == PINS[name], (
+        f"capture {name!r} no longer byte-identical to the pre-refactor "
+        f"profile — the pipeline changed measured values, not just plumbing")

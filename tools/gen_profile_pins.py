@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the byte-identity pins for the capture pipeline.
+
+Runs every capture in ``tests/integration/pinning.py`` and writes the
+sha256 of each resulting ProfileSet's canonical binary encoding to
+``tests/integration/profile_pins.json``.  Only rerun this when a change
+*intends* to alter captured profiles (new workload parameters, a new
+operation, a bucketing change); refactors of the capture plumbing must
+leave every digest untouched — that is what the pins are for.
+
+    PYTHONPATH=src python tools/gen_profile_pins.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tests" / "integration"))
+
+from pinning import CAPTURES, digest  # noqa: E402
+
+OUT = ROOT / "tests" / "integration" / "profile_pins.json"
+
+
+def main() -> int:
+    pins = {}
+    for name, capture in sorted(CAPTURES.items()):
+        t0 = time.time()
+        pset = capture()
+        pins[name] = digest(pset)
+        print(f"{name:28s} {pins[name][:16]}  "
+              f"({pset.total_ops()} ops, {time.time() - t0:.2f}s)")
+    OUT.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(pins)} pins to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
