@@ -90,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
                      default="text", help="output format")
     run.add_argument("-o", "--output", default="-",
                      help="output file ('-' = stdout)")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="per-shard attempt deadline in seconds "
+                          "(pooled runs; hung workers are retried)")
+    run.add_argument("--shard-retries", type=int, default=2,
+                     help="retries per crashed/hung/corrupt shard")
+    run.add_argument("--salvage", action="store_true",
+                     help="merge surviving shards if one fails every "
+                          "retry, marking the result degraded")
+    run.add_argument("--spool-dir", default=None,
+                     help="append the collected profile to an on-disk "
+                          "push spool (drained by 'osprof push "
+                          "--spool-dir')")
 
     merge = sub.add_parser("merge",
                            help="merge several profile dumps into one")
@@ -154,6 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metric score that raises an alert")
     serve.add_argument("--min-ops", type=int, default=50,
                        help="operations sparser than this never alert")
+    serve.add_argument("--read-timeout", type=float, default=60.0,
+                       help="per-connection read timeout in seconds")
+    serve.add_argument("--max-frame-mb", type=float, default=64.0,
+                       help="largest accepted frame payload (MB)")
+    serve.add_argument("--max-pending", type=int, default=8,
+                       help="in-flight pushes before RETRY_AFTER "
+                            "backpressure")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight connections "
+                            "on shutdown")
 
     push = sub.add_parser(
         "push", help="stream profiles to a running service")
@@ -175,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--layer", choices=("user", "fs", "driver"),
                       default="fs")
     push.add_argument("--patched-llseek", action="store_true")
+    push.add_argument("--retries", type=int, default=4,
+                      help="retry budget per push before giving up")
+    push.add_argument("--backoff", type=float, default=0.05,
+                      help="base reconnect backoff in seconds "
+                           "(grows exponentially, full jitter)")
+    push.add_argument("--spool-dir", default=None,
+                      help="crash-safe on-disk spool; pushes survive a "
+                           "down server and drain on reconnect (alone: "
+                           "just drain the spool)")
 
     trace = sub.add_parser(
         "trace", help="cross-layer request traces of a workload")
@@ -200,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the current state and exit")
     watch.add_argument("--metrics", action="store_true",
                        help="also print the plaintext metrics page")
+    watch.add_argument("--reconnect-cap", type=float, default=5.0,
+                       help="cap on the reconnect backoff in seconds")
     return parser
 
 
@@ -221,7 +254,7 @@ def _write_pset(pset: ProfileSet, output: str, format: str) -> None:
 
 
 def cmd_run(args) -> int:
-    from .core.shard import collect_sharded
+    from .core.shard import DEGRADED_ATTRIBUTE, collect_sharded
     shards = args.shards if args.shards is not None else max(args.workers, 1)
     pset = collect_sharded(
         args.workload, shards=shards, workers=args.workers,
@@ -229,7 +262,21 @@ def cmd_run(args) -> int:
         num_cpus=args.cpus, scale=args.scale,
         processes=args.processes, iterations=args.iterations,
         patched_llseek=args.patched_llseek,
-        kernel_preemption=args.kernel_preemption)
+        kernel_preemption=args.kernel_preemption,
+        deadline=args.deadline, max_retries=args.shard_retries,
+        salvage=args.salvage)
+    if DEGRADED_ATTRIBUTE in pset.attributes:
+        print(f"warning: profile is degraded "
+              f"({pset.attributes[DEGRADED_ATTRIBUTE]})", file=sys.stderr)
+    if args.spool_dir is not None:
+        from .service.spool import Spool
+        seq = Spool(args.spool_dir).append(pset.to_bytes())
+        print(f"spooled {len(pset)} operation profiles "
+              f"({pset.total_ops()} requests) to {args.spool_dir} "
+              f"as seq {seq}", file=sys.stderr)
+        if args.output != "-":
+            _write_pset(pset, args.output, args.format)
+        return 0
     _write_pset(pset, args.output, args.format)
     return 0
 
@@ -350,7 +397,10 @@ def cmd_serve(args) -> int:
     config = ServiceConfig(
         segment_seconds=args.segment_seconds, retention=args.retention,
         baseline_segments=args.baseline, metric=args.metric,
-        threshold=args.threshold, min_ops=args.min_ops)
+        threshold=args.threshold, min_ops=args.min_ops,
+        read_timeout=args.read_timeout,
+        max_frame_bytes=int(args.max_frame_mb * (1 << 20)),
+        max_pending=args.max_pending)
     server = ProfileServer(ProfileService(config),
                            host=args.host, port=args.port)
     host, port = server.address
@@ -363,56 +413,115 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
+        drained = server.drain(timeout=args.drain_timeout)
+        if not drained:
+            print(f"osprof serve: {server.active_connections} "
+                  f"connection(s) still active after "
+                  f"{args.drain_timeout:g}s drain", file=sys.stderr)
         server.server_close()
     return 0
 
 
 def cmd_push(args) -> int:
-    from .service.client import ServiceClient, parse_endpoint
+    from .service.client import (Backoff, ResilientServiceClient,
+                                 ServiceUnavailableError, parse_endpoint)
     from .workloads.runner import iter_segment_profiles
-    if bool(args.dumps) == bool(args.workload):
-        print("osprof push: give either saved dumps or --workload, "
-              "not both / neither", file=sys.stderr)
+    sources = sum(
+        [bool(args.dumps), bool(args.workload), bool(args.spool_dir)])
+    if bool(args.dumps) and bool(args.workload):
+        print("osprof push: give saved dumps or --workload, not both",
+              file=sys.stderr)
+        return 2
+    if sources == 0:
+        print("osprof push: give saved dumps, --workload, or --spool-dir",
+              file=sys.stderr)
         return 2
     host, port = parse_endpoint(args.endpoint)
-    with ServiceClient(host, port) as client:
-        if args.dumps:
-            for path in args.dumps:
-                status = client.push(_load(path))
-                print(f"{path}: {status}", file=sys.stderr)
-        else:
-            stream = iter_segment_profiles(
-                args.workload, segments=args.segments, seed=args.seed,
-                layer=args.layer, fs_type=args.fs, num_cpus=args.cpus,
-                scale=args.scale, processes=args.processes,
-                iterations=args.iterations,
-                patched_llseek=args.patched_llseek)
-            for index, pset in enumerate(stream):
-                status = client.push(pset)
-                print(f"segment {index}: {status}", file=sys.stderr)
+    client = ResilientServiceClient(
+        host, port, retries=args.retries,
+        backoff=Backoff(base=args.backoff), spool_dir=args.spool_dir)
+    unavailable = False
+    with client:
+        try:
+            if args.dumps:
+                for path in args.dumps:
+                    status = client.push(_load(path))
+                    print(f"{path}: {status}", file=sys.stderr)
+            elif args.workload:
+                stream = iter_segment_profiles(
+                    args.workload, segments=args.segments, seed=args.seed,
+                    layer=args.layer, fs_type=args.fs, num_cpus=args.cpus,
+                    scale=args.scale, processes=args.processes,
+                    iterations=args.iterations,
+                    patched_llseek=args.patched_llseek)
+                for index, pset in enumerate(stream):
+                    status = client.push(pset)
+                    print(f"segment {index}: {status}", file=sys.stderr)
+            else:
+                delivered = client.drain()
+                print(f"drained {delivered} spooled push(es)",
+                      file=sys.stderr)
+        except ServiceUnavailableError as exc:
+            # With a spool the data is safe on disk; without one this
+            # is a real failure the caller must see.
+            print(f"osprof push: {exc}", file=sys.stderr)
+            unavailable = True
+    if unavailable:
+        if args.spool_dir is not None:
+            print(f"pending pushes kept in {args.spool_dir}; rerun "
+                  f"'osprof push {args.endpoint} --spool-dir "
+                  f"{args.spool_dir}' to drain", file=sys.stderr)
+            return 0
+        return 1
+    if client.spool is not None and len(client.spool):
+        print(f"{len(client.spool)} push(es) still spooled in "
+              f"{args.spool_dir}", file=sys.stderr)
     return 0
 
 
 def cmd_watch(args) -> int:
     import time as _time
 
-    from .service.client import ServiceClient, parse_endpoint
+    from .service.client import Backoff, ServiceClient, parse_endpoint
+    from .service.protocol import ProtocolError
     host, port = parse_endpoint(args.endpoint)
     cursor = 0
-    with ServiceClient(host, port) as client:
+    backoff = Backoff(cap=max(args.reconnect_cap, 0.05))
+    attempts = 0
+    client: Optional[ServiceClient] = None
+    try:
         while True:
-            cursor, alerts = client.alerts(cursor)
-            for alert in alerts:
-                print(alert.describe())
-            if args.metrics:
-                sys.stdout.write(client.metrics())
-            if args.once:
-                if not alerts:
-                    print("no alerts")
-                return 0
-            sys.stdout.flush()
-            _time.sleep(args.poll)
+            try:
+                if client is None:
+                    client = ServiceClient(host, port)
+                    if attempts:
+                        print(f"reconnected after {attempts} attempt(s)",
+                              file=sys.stderr)
+                        attempts = 0
+                cursor, alerts = client.alerts(cursor)
+                for alert in alerts:
+                    print(alert.describe())
+                if args.metrics:
+                    sys.stdout.write(client.metrics())
+                if args.once:
+                    if not alerts:
+                        print("no alerts")
+                    return 0
+                sys.stdout.flush()
+                _time.sleep(args.poll)
+            except (OSError, ProtocolError):
+                # The service went away mid-watch; keep following and
+                # reconnect quietly (a watcher should outlive restarts).
+                if args.once:
+                    raise
+                if client is not None:
+                    client.close()
+                    client = None
+                _time.sleep(backoff.delay(attempts))
+                attempts += 1
+    finally:
+        if client is not None:
+            client.close()
 
 
 def cmd_trace(args) -> int:

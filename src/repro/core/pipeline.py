@@ -369,18 +369,54 @@ class TraceSink(EventSink):
 
 
 class FanoutSink(EventSink):
-    """Forwards one stream to several sinks (profile + sample + stream...)."""
+    """Forwards one stream to several sinks (profile + sample + stream...).
+
+    Consumers are isolated from each other: a sink that raises is
+    counted against (``sink_errors``, ``last_errors``,
+    ``events_dropped``) and skipped for that batch, while every other
+    sink still receives the full event stream — one bad consumer (a
+    dead service connection inside a :class:`StreamSink`, a buggy
+    analysis sink) can degrade itself but can never drop events for the
+    rest.  :meth:`degraded` and :meth:`metrics` surface the damage so
+    it is observable, never silent.
+    """
 
     def __init__(self, sinks: Sequence[EventSink]):
         self.sinks = tuple(sinks)
+        self.sink_errors = [0] * len(self.sinks)
+        self.last_errors: List[Optional[BaseException]] = \
+            [None] * len(self.sinks)
+        self.events_dropped = 0  #: events a failed sink did not receive
 
     def consume(self, layer: str, events: List[Event]) -> None:
-        for sink in self.sinks:
-            sink.consume(layer, events)
+        for index, sink in enumerate(self.sinks):
+            try:
+                sink.consume(layer, events)
+            except Exception as exc:
+                self.sink_errors[index] += 1
+                self.last_errors[index] = exc
+                self.events_dropped += len(events)
 
     def flush(self) -> None:
-        for sink in self.sinks:
-            sink.flush()
+        for index, sink in enumerate(self.sinks):
+            try:
+                sink.flush()
+            except Exception as exc:
+                self.sink_errors[index] += 1
+                self.last_errors[index] = exc
+
+    def degraded(self) -> bool:
+        """Has any consumer failed at least once?"""
+        return any(self.sink_errors)
+
+    def metrics(self) -> Dict[str, int]:
+        """Degradation counters, ``osprof_*``-named for exposition."""
+        return {
+            "osprof_sink_errors_total": sum(self.sink_errors),
+            "osprof_sink_events_dropped_total": self.events_dropped,
+            "osprof_sinks_degraded": sum(
+                1 for count in self.sink_errors if count),
+        }
 
 
 class ProbePoint:

@@ -25,20 +25,49 @@ Shard semantics per workload: the request-driven workloads
 ``iterations`` across shards (remainder to the earliest shards); the
 trace-shaped ``grep`` workload replicates — each shard greps a full
 source tree generated from its own derived seed.
+
+Self-healing: because a shard's result is a pure function of its
+:class:`ShardTask` (same derived seed in → byte-identical payload out),
+a crashed, hung, or corrupted worker can simply be re-run with the
+*same* task up to ``max_retries`` times without perturbing the merge —
+the recovered run stays byte-identical to a fault-free run.  A shard
+that exhausts its retries either fails the collection loudly
+(:class:`ShardError`) or, with ``salvage=True``, is dropped from the
+merge and recorded in the result's ``degraded`` attribute so a partial
+profile can never masquerade as a complete one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.rng import derive_seed
 from ..workloads.runner import (PROFILE_LAYERS, WORKLOAD_NAMES,
                                 collect_profiles)
+from .faults import FaultPlan
 from .profileset import ProfileSet
 
-__all__ = ["ShardTask", "plan_shards", "run_shard", "collect_sharded"]
+__all__ = ["ShardTask", "ShardError", "DEGRADED_ATTRIBUTE", "plan_shards",
+           "run_shard", "collect_sharded"]
+
+#: ProfileSet attribute naming the shards dropped from a salvaged merge.
+DEGRADED_ATTRIBUTE = "degraded"
+
+
+class ShardError(RuntimeError):
+    """A shard failed every attempt (and salvage was not allowed)."""
+
+    def __init__(self, failures: Dict[int, BaseException], attempts: int):
+        detail = "; ".join(
+            f"shard {index}: {exc}" for index, exc in sorted(failures.items()))
+        super().__init__(
+            f"{len(failures)} shard(s) failed after {attempts} attempt(s) "
+            f"each: {detail}")
+        self.failures = dict(failures)
+        self.attempts = attempts
 
 #: Workloads whose ``iterations`` are divided across shards; the rest
 #: replicate the full workload per shard (with a derived seed).
@@ -128,19 +157,139 @@ def _pool_context():
         "fork" if "fork" in methods else None)
 
 
+def _run_shard_job(job: Tuple[ShardTask, int, Optional[FaultPlan]]) -> bytes:
+    """One worker attempt: fire armed faults, run the shard, return bytes.
+
+    Module-level (not a closure) so it pickles into pool workers under
+    any start method.  The fault plan travels by value with the job, so
+    injection decisions are identical whether the attempt runs pooled
+    or in-process.
+    """
+    task, attempt, plan = job
+    key = f"shard:{task.index}"
+    if plan is not None:
+        plan.fire("shard.worker", key=key, attempt=attempt)
+    payload = run_shard(task)
+    if plan is not None:
+        payload = plan.fire("shard.payload", key=key, attempt=attempt,
+                            data=payload)
+    return payload
+
+
+def _decode_payload(payload: bytes) -> ProfileSet:
+    """CRC-check and decode one shard payload (ValueError on damage)."""
+    pset = ProfileSet.from_bytes(payload)
+    bad = pset.verify_checksums()
+    if bad:
+        raise ValueError(f"shard profile fails checksum for: {bad}")
+    return pset
+
+
+def _collect_serial(tasks: List[ShardTask], max_retries: int,
+                    fault_plan: Optional[FaultPlan],
+                    ) -> Tuple[Dict[int, ProfileSet],
+                               Dict[int, BaseException]]:
+    results: Dict[int, ProfileSet] = {}
+    failures: Dict[int, BaseException] = {}
+    for task in tasks:
+        last: Optional[BaseException] = None
+        for attempt in range(max_retries + 1):
+            try:
+                payload = _run_shard_job((task, attempt, fault_plan))
+                results[task.index] = _decode_payload(payload)
+                break
+            except (ValueError, RuntimeError, OSError) as exc:
+                last = exc
+        else:
+            failures[task.index] = last if last is not None else RuntimeError(
+                "shard failed with no recorded cause")
+    return results, failures
+
+
+def _collect_pooled(tasks: List[ShardTask], workers: int, max_retries: int,
+                    deadline: Optional[float],
+                    fault_plan: Optional[FaultPlan],
+                    ) -> Tuple[Dict[int, ProfileSet],
+                               Dict[int, BaseException]]:
+    """Run shards in a pool with per-attempt deadlines and retries.
+
+    A hung worker is detected by its attempt outliving *deadline*; the
+    attempt is abandoned (the stuck process dies with the pool at exit)
+    and the task is resubmitted — the same task, so the retried result
+    is byte-identical to what the hung attempt would have produced.
+    """
+    results: Dict[int, ProfileSet] = {}
+    failures: Dict[int, BaseException] = {}
+    ctx = _pool_context()
+    with ctx.Pool(min(workers, len(tasks))) as pool:
+        # index -> (async result, attempt number, attempt start time)
+        pending = {
+            task.index: (pool.apply_async(_run_shard_job,
+                                          ((task, 0, fault_plan),)),
+                         0, time.monotonic())
+            for task in tasks}
+        by_index = {task.index: task for task in tasks}
+        while pending:
+            progressed = False
+            for index, (handle, attempt, started) in list(pending.items()):
+                failure: Optional[BaseException] = None
+                if handle.ready():
+                    progressed = True
+                    try:
+                        results[index] = _decode_payload(handle.get())
+                        del pending[index]
+                        continue
+                    except (ValueError, RuntimeError, OSError) as exc:
+                        failure = exc
+                elif (deadline is not None
+                        and time.monotonic() - started > deadline):
+                    progressed = True
+                    failure = TimeoutError(
+                        f"shard {index} attempt {attempt} exceeded its "
+                        f"{deadline:g}s deadline")
+                if failure is None:
+                    continue
+                if attempt >= max_retries:
+                    failures[index] = failure
+                    del pending[index]
+                else:
+                    pending[index] = (
+                        pool.apply_async(
+                            _run_shard_job,
+                            ((by_index[index], attempt + 1, fault_plan),)),
+                        attempt + 1, time.monotonic())
+            if pending and not progressed:
+                time.sleep(0.002)
+    return results, failures
+
+
 def collect_sharded(workload: str, *, shards: int = 1,
                     workers: Optional[int] = None, seed: int = 2006,
                     layer: str = "fs", fs_type: str = "ext2",
                     num_cpus: int = 1, scale: float = 0.02,
                     processes: int = 2, iterations: int = 1000,
                     patched_llseek: bool = False,
-                    kernel_preemption: bool = False) -> ProfileSet:
+                    kernel_preemption: bool = False,
+                    deadline: Optional[float] = None,
+                    max_retries: int = 2, salvage: bool = False,
+                    fault_plan: Optional[FaultPlan] = None) -> ProfileSet:
     """Run a workload as *shards* independent shards and merge the profiles.
 
     ``workers`` bounds process-level parallelism (default: one per
     shard); it never changes the result.  Every shard payload passes the
     binary codec's CRC check before merging, so a corrupted worker
     result fails loudly instead of skewing the merged histogram.
+
+    Self-healing: a shard whose attempt crashes, hangs past *deadline*
+    (pooled runs only — an in-process shard cannot be preempted), or
+    returns a corrupt payload is retried with the same task (same
+    derived seed) up to ``max_retries`` times, so a recovered run is
+    byte-identical to a fault-free one.  A shard failing every attempt
+    raises :class:`ShardError` — unless ``salvage=True``, in which case
+    the surviving shards merge and the result carries a ``degraded``
+    attribute naming the dropped shards (never a silently short
+    profile).  ``fault_plan`` arms deliberate failures for testing
+    (see :mod:`repro.core.faults`).
     """
     tasks = plan_shards(
         workload, shards=shards, seed=seed, layer=layer, fs_type=fs_type,
@@ -150,14 +299,29 @@ def collect_sharded(workload: str, *, shards: int = 1,
     workers = len(tasks) if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive")
     if workers == 1 or len(tasks) == 1:
-        payloads = [run_shard(task) for task in tasks]
+        results, failures = _collect_serial(tasks, max_retries, fault_plan)
     else:
-        with _pool_context().Pool(min(workers, len(tasks))) as pool:
-            payloads = pool.map(run_shard, tasks, chunksize=1)
-    merged = ProfileSet.from_bytes(payloads[0])
-    for payload in payloads[1:]:
-        merged.merge(ProfileSet.from_bytes(payload))
+        results, failures = _collect_pooled(tasks, workers, max_retries,
+                                            deadline, fault_plan)
+    if failures and not salvage:
+        raise ShardError(failures, attempts=max_retries + 1)
+    if not results:
+        raise ShardError(failures, attempts=max_retries + 1)
+    merged: Optional[ProfileSet] = None
+    for index in sorted(results):
+        if merged is None:
+            merged = results[index]
+        else:
+            merged.merge(results[index])
+    assert merged is not None
+    if failures:
+        merged.attributes[DEGRADED_ATTRIBUTE] = "shards:" + ",".join(
+            str(index) for index in sorted(failures))
     bad = merged.verify_checksums()
     if bad:
         raise ValueError(f"merged profile fails checksum for: {bad}")

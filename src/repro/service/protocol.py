@@ -17,9 +17,19 @@ Frame layout::
     payload length bytes
 
 Conversations are strict request/response: a client sends ``PUSH``,
-``METRICS``, ``SNAPSHOT`` or ``ALERTS`` and reads exactly one frame
-back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``, or ``ERROR`` carrying
-a UTF-8 message).  Multiple requests may reuse one connection.
+``PUSH_SEQ``, ``METRICS``, ``SNAPSHOT`` or ``ALERTS`` and reads exactly
+one frame back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``, ``ERROR``
+carrying a UTF-8 message, or ``RETRY_AFTER`` asking the client to back
+off).  Multiple requests may reuse one connection.
+
+``PUSH_SEQ`` is the idempotent push: its payload prefixes the profile
+bytes with a client identity and a monotonic sequence number
+(:func:`encode_push_seq`), so a client that lost the reply can resend
+the same sequence and the server deduplicates instead of double-merging.
+
+A frame whose declared length exceeds the receiver's limit raises
+:class:`FrameTooLarge` from the 9-byte header alone — the oversized
+payload is never read, let alone allocated.
 """
 
 from __future__ import annotations
@@ -32,12 +42,17 @@ from typing import Optional, Tuple
 __all__ = [
     "FrameType",
     "ProtocolError",
+    "FrameTooLarge",
     "MAGIC",
     "MAX_PAYLOAD",
     "send_frame",
     "recv_frame",
     "encode_json",
     "decode_json",
+    "encode_push_seq",
+    "decode_push_seq",
+    "encode_retry_after",
+    "decode_retry_after",
 ]
 
 #: First four bytes of every frame.
@@ -62,11 +77,13 @@ class FrameType:
     PROFILE = 0x07    #: reply: merged rolling profile, binary codec
     ALERTS = 0x08     #: request: JSON ``{"cursor": n}``
     ALERT_LOG = 0x09  #: reply: JSON ``{"cursor": n, "alerts": [...]}``
+    PUSH_SEQ = 0x0A   #: request: :func:`encode_push_seq` payload
+    RETRY_AFTER = 0x0B  #: reply: f64 seconds the client should back off
 
     _NAMES = {
         0x01: "PUSH", 0x02: "OK", 0x03: "ERROR", 0x04: "METRICS",
         0x05: "TEXT", 0x06: "SNAPSHOT", 0x07: "PROFILE", 0x08: "ALERTS",
-        0x09: "ALERT_LOG",
+        0x09: "ALERT_LOG", 0x0A: "PUSH_SEQ", 0x0B: "RETRY_AFTER",
     }
 
     @classmethod
@@ -78,13 +95,22 @@ class ProtocolError(ValueError):
     """The byte stream is not a valid frame sequence (desync: close it)."""
 
 
-def send_frame(sock: socket.socket, ftype: int,
-               payload: bytes = b"") -> None:
+class FrameTooLarge(ProtocolError):
+    """A frame's declared payload exceeds the receiver's size limit.
+
+    Raised from the header alone, before any payload byte is read or
+    buffered — the guard that keeps a hostile (or corrupt) length field
+    from forcing a giant allocation.
+    """
+
+
+def send_frame(sock: socket.socket, ftype: int, payload: bytes = b"",
+               max_payload: int = MAX_PAYLOAD) -> None:
     """Write one frame to a connected stream socket."""
-    if len(payload) > MAX_PAYLOAD:
-        raise ProtocolError(
+    if len(payload) > max_payload:
+        raise FrameTooLarge(
             f"frame payload of {len(payload)} bytes exceeds the "
-            f"{MAX_PAYLOAD}-byte limit")
+            f"{max_payload}-byte limit")
     sock.sendall(_HEADER.pack(MAGIC, ftype, len(payload)) + payload)
 
 
@@ -105,11 +131,15 @@ def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
+def recv_frame(sock: socket.socket,
+               max_payload: int = MAX_PAYLOAD,
+               ) -> Optional[Tuple[int, bytes]]:
     """Read one frame; ``None`` on a clean EOF at a frame boundary.
 
-    Raises :class:`ProtocolError` on a bad magic, an oversized length,
-    or a connection that dies mid-frame.
+    Raises :class:`ProtocolError` on a bad magic or a connection that
+    dies mid-frame, and :class:`FrameTooLarge` — from the header alone,
+    before any payload is read — on a declared length over
+    *max_payload*.
     """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
@@ -117,10 +147,10 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
     magic, ftype, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if length > MAX_PAYLOAD:
-        raise ProtocolError(
+    if length > max_payload:
+        raise FrameTooLarge(
             f"declared payload of {length} bytes exceeds the "
-            f"{MAX_PAYLOAD}-byte limit")
+            f"{max_payload}-byte limit")
     payload = _recv_exact(sock, length) if length else b""
     if length and payload is None:
         raise ProtocolError("connection closed before frame payload")
@@ -137,3 +167,67 @@ def decode_json(payload: bytes):
         return json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad JSON payload: {exc}") from None
+
+
+# -- idempotent push payloads ------------------------------------------------
+
+_PUSH_SEQ_HEADER = struct.Struct("<QH")
+
+
+def encode_push_seq(client_id: str, seq: int, payload: bytes) -> bytes:
+    """Build a ``PUSH_SEQ`` payload: ``u64 seq, str client_id, profile``.
+
+    The sequence number is per-client and strictly monotonic; resending
+    an unacknowledged push reuses its sequence, which is what lets the
+    server deduplicate after an ambiguous failure.
+    """
+    raw_id = client_id.encode("utf-8")
+    if not raw_id:
+        raise ProtocolError("push client id must not be empty")
+    if len(raw_id) > 0xFFFF:
+        raise ProtocolError("push client id too long")
+    if seq < 1:
+        raise ProtocolError("push sequence numbers start at 1")
+    return _PUSH_SEQ_HEADER.pack(seq, len(raw_id)) + raw_id + payload
+
+
+def decode_push_seq(data: bytes) -> Tuple[str, int, bytes]:
+    """Split a ``PUSH_SEQ`` payload into ``(client_id, seq, profile)``."""
+    if len(data) < _PUSH_SEQ_HEADER.size:
+        raise ProtocolError("truncated PUSH_SEQ payload")
+    seq, id_len = _PUSH_SEQ_HEADER.unpack_from(data)
+    end = _PUSH_SEQ_HEADER.size + id_len
+    if len(data) < end:
+        raise ProtocolError("truncated PUSH_SEQ client id")
+    try:
+        client_id = data[_PUSH_SEQ_HEADER.size:end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"bad PUSH_SEQ client id: {exc}") from None
+    if not client_id:
+        raise ProtocolError("push client id must not be empty")
+    if seq < 1:
+        raise ProtocolError("push sequence numbers start at 1")
+    return client_id, seq, data[end:]
+
+
+# -- backpressure ------------------------------------------------------------
+
+_RETRY_AFTER = struct.Struct("<d")
+
+
+def encode_retry_after(seconds: float) -> bytes:
+    """Build a ``RETRY_AFTER`` payload (suggested client backoff)."""
+    if seconds < 0:
+        raise ProtocolError("retry-after seconds must be >= 0")
+    return _RETRY_AFTER.pack(seconds)
+
+
+def decode_retry_after(payload: bytes) -> float:
+    """Seconds the server asked the client to back off."""
+    if len(payload) != _RETRY_AFTER.size:
+        raise ProtocolError(
+            f"bad RETRY_AFTER payload of {len(payload)} bytes")
+    (seconds,) = _RETRY_AFTER.unpack(payload)
+    if not seconds >= 0:
+        raise ProtocolError(f"bad retry-after value {seconds!r}")
+    return seconds

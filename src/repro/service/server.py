@@ -16,6 +16,7 @@ totals and latencies, and per-operation alert counters.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 import time
@@ -25,9 +26,10 @@ from typing import Callable, List, Optional, Tuple
 from ..core.buckets import BucketSpec
 from ..core.profileset import ProfileSet
 from .alerts import Alert, DifferentialAlerter
-from .protocol import (FrameType, ProtocolError, decode_json, encode_json,
-                       recv_frame, send_frame)
-from .store import SegmentStore
+from .protocol import (MAX_PAYLOAD, FrameTooLarge, FrameType, ProtocolError,
+                       decode_json, decode_push_seq, encode_json,
+                       encode_retry_after, recv_frame, send_frame)
+from .store import PushLedger, SegmentStore
 
 __all__ = ["ServiceConfig", "ProfileService", "ProfileServer"]
 
@@ -39,7 +41,11 @@ class ServiceConfig:
     ``segment_seconds`` and ``retention`` shape the rolling store;
     ``baseline_segments``/``metric``/``threshold``/``min_ops`` shape the
     online differential analysis (see
-    :class:`~repro.service.alerts.DifferentialAlerter`).
+    :class:`~repro.service.alerts.DifferentialAlerter`).  The last four
+    are the hardening knobs: how long an idle connection may sit on a
+    read, the largest frame the server will accept, how many pushes may
+    be in flight before new ones are told to back off, and the backoff
+    the ``RETRY_AFTER`` reply suggests.
     """
 
     segment_seconds: float = 10.0
@@ -50,6 +56,10 @@ class ServiceConfig:
     min_ops: int = 50
     resolution: int = 1
     max_alerts: int = 10_000
+    read_timeout: float = 60.0
+    max_frame_bytes: int = MAX_PAYLOAD
+    max_pending: int = 8
+    retry_after_seconds: float = 0.05
 
 
 class ProfileService:
@@ -67,9 +77,17 @@ class ProfileService:
             metric=self.config.metric,
             threshold=self.config.threshold,
             min_ops=self.config.min_ops)
+        if self.config.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self._lock = threading.Lock()
         self._alerts: List[Alert] = []
         self._alerts_dropped = 0
+        self.ledger = PushLedger()
+        # Serializes the check-ingest-record window of sequenced pushes
+        # so a replayed sequence racing its original cannot double-merge.
+        self._seq_lock = threading.Lock()
+        self._ingest_slots = threading.BoundedSemaphore(
+            self.config.max_pending)
         # Ingest counters (all guarded by the lock).
         self.ingest_requests = 0
         self.ingest_errors = 0
@@ -77,6 +95,12 @@ class ProfileService:
         self.ingest_ops = 0
         self.ingest_seconds_sum = 0.0
         self.ingest_seconds_max = 0.0
+        # Degradation counters: how often the service had to defend
+        # itself (all guarded by the lock).
+        self.ingest_duplicates = 0
+        self.backpressure_rejections = 0
+        self.frames_oversize = 0
+        self.read_timeouts = 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -109,6 +133,49 @@ class ProfileService:
             if elapsed > self.ingest_seconds_max:
                 self.ingest_seconds_max = elapsed
         return pset
+
+    def ingest_sequenced(self, client_id: str, seq: int,
+                         payload: bytes) -> Tuple[str, bool]:
+        """Idempotent ingest: ``(status line, whether anything merged)``.
+
+        A sequence at or below the client's ledger high-water mark is a
+        replay of an already-merged push (the client lost the reply) and
+        is acknowledged without touching the store.  The ledger records
+        a sequence only after its ingest succeeded, so a rejected
+        payload may be retried under the same number.
+        """
+        with self._seq_lock:
+            with self._lock:
+                if not self.ledger.is_new(client_id, seq):
+                    self.ingest_duplicates += 1
+                    return (f"duplicate of push seq {seq}; already merged",
+                            False)
+            pset = self.ingest_payload(payload)
+            with self._lock:
+                self.ledger.record(client_id, seq)
+        return (f"merged {pset.total_ops()} ops over {len(pset)} "
+                f"operations (seq {seq})", True)
+
+    # -- self-defence accounting ------------------------------------------
+
+    def try_acquire_ingest_slot(self) -> bool:
+        """Claim one bounded ingest slot; False means *back off*."""
+        return self._ingest_slots.acquire(blocking=False)
+
+    def release_ingest_slot(self) -> None:
+        self._ingest_slots.release()
+
+    def note_backpressure(self) -> None:
+        with self._lock:
+            self.backpressure_rejections += 1
+
+    def note_oversize_frame(self) -> None:
+        with self._lock:
+            self.frames_oversize += 1
+
+    def note_read_timeout(self) -> None:
+        with self._lock:
+            self.read_timeouts += 1
 
     def tick(self, now: Optional[float] = None) -> List[Alert]:
         """Rotate the store on the clock alone (no push needed).
@@ -175,6 +242,11 @@ class ProfileService:
                 f"osprof_store_operations {len(self.store.merged())}",
                 f"osprof_alerts_total "
                 f"{len(self._alerts) + self._alerts_dropped}",
+                f"osprof_ingest_duplicates_total {self.ingest_duplicates}",
+                f"osprof_backpressure_total {self.backpressure_rejections}",
+                f"osprof_frames_oversize_total {self.frames_oversize}",
+                f"osprof_read_timeouts_total {self.read_timeouts}",
+                f"osprof_push_clients {len(self.ledger)}",
             ]
             per_op: dict = {}
             for alert in self._alerts:
@@ -190,13 +262,38 @@ class ProfileService:
 class _Handler(socketserver.BaseRequestHandler):
     """One collector connection: a loop of request/response frames."""
 
+    def setup(self) -> None:
+        service: ProfileService = self.server.service  # type: ignore
+        if service.config.read_timeout is not None:
+            self.request.settimeout(service.config.read_timeout)
+        self.server._connection_opened()  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server._connection_closed()  # type: ignore[attr-defined]
+
     def handle(self) -> None:
         service: ProfileService = self.server.service  # type: ignore
         while True:
             try:
-                frame = recv_frame(self.request)
+                frame = recv_frame(self.request,
+                                   max_payload=service.config.max_frame_bytes)
+            except FrameTooLarge as exc:
+                # Reject from the header alone; tell the peer why, then
+                # drop the stream (its payload bytes would desync us).
+                service.note_oversize_frame()
+                try:
+                    send_frame(self.request, FrameType.ERROR,
+                               str(exc).encode("utf-8"))
+                except OSError:
+                    pass
+                return
+            except socket.timeout:
+                service.note_read_timeout()
+                return  # idle or wedged peer: reclaim the thread
             except ProtocolError:
                 return  # desynchronized stream: drop the connection
+            except OSError:
+                return  # peer vanished between frames
             if frame is None:
                 return
             ftype, payload = frame
@@ -210,13 +307,51 @@ class _Handler(socketserver.BaseRequestHandler):
             except OSError:
                 return  # peer went away mid-reply
 
+    def _ingest_gated(self, service: ProfileService, work) -> bool:
+        """Run one ingest under the bounded-slot gate.
+
+        Returns False (after sending ``RETRY_AFTER``) when every slot is
+        taken — the bounded queue that sheds load instead of stacking
+        unbounded handler threads behind the store lock.
+        """
+        if not service.try_acquire_ingest_slot():
+            service.note_backpressure()
+            send_frame(self.request, FrameType.RETRY_AFTER,
+                       encode_retry_after(
+                           service.config.retry_after_seconds))
+            return False
+        try:
+            work()
+        finally:
+            service.release_ingest_slot()
+        return True
+
     def _dispatch(self, service: ProfileService, ftype: int,
                   payload: bytes) -> None:
         if ftype == FrameType.PUSH:
-            pset = service.ingest_payload(payload)
-            send_frame(self.request, FrameType.OK,
-                       f"merged {pset.total_ops()} ops over "
-                       f"{len(pset)} operations".encode("utf-8"))
+            def work():
+                pset = service.ingest_payload(payload)
+                send_frame(self.request, FrameType.OK,
+                           f"merged {pset.total_ops()} ops over "
+                           f"{len(pset)} operations".encode("utf-8"))
+            self._ingest_gated(service, work)
+        elif ftype == FrameType.PUSH_SEQ:
+            client_id, seq, profile = decode_push_seq(payload)
+
+            def work():
+                try:
+                    status, _ = service.ingest_sequenced(
+                        client_id, seq, profile)
+                except ValueError as exc:
+                    # Distinguish a payload damaged in transit (safe to
+                    # resend under the same sequence) from a genuine
+                    # rejection; the client retries `bad-payload:` only.
+                    send_frame(self.request, FrameType.ERROR,
+                               f"bad-payload: {exc}".encode("utf-8"))
+                    return
+                send_frame(self.request, FrameType.OK,
+                           status.encode("utf-8"))
+            self._ingest_gated(service, work)
         elif ftype == FrameType.METRICS:
             service.tick()
             send_frame(self.request, FrameType.TEXT,
@@ -247,6 +382,9 @@ class ProfileServer(socketserver.ThreadingTCPServer):
     def __init__(self, service: Optional[ProfileService] = None,
                  host: str = "127.0.0.1", port: int = 0):
         self.service = service if service is not None else ProfileService()
+        self._conn_lock = threading.Lock()
+        self._conn_idle = threading.Condition(self._conn_lock)
+        self._conn_active = 0
         super().__init__((host, port), _Handler)
 
     @property
@@ -260,3 +398,39 @@ class ProfileServer(socketserver.ThreadingTCPServer):
                                   name="osprof-serve", daemon=True)
         thread.start()
         return thread
+
+    # -- connection accounting & graceful drain ----------------------------
+
+    def _connection_opened(self) -> None:
+        with self._conn_lock:
+            self._conn_active += 1
+
+    def _connection_closed(self) -> None:
+        with self._conn_lock:
+            self._conn_active -= 1
+            if self._conn_active <= 0:
+                self._conn_idle.notify_all()
+
+    @property
+    def active_connections(self) -> int:
+        with self._conn_lock:
+            return self._conn_active
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, wait for in-flight peers.
+
+        Returns True if every connection finished inside *timeout*.
+        Handlers already parked on an idle read keep their sockets until
+        their read timeout expires, so the timeout here caps how long a
+        lingering ``watch`` client can hold shutdown hostage; leftovers
+        are abandoned to process exit (they are daemon threads).
+        """
+        self.shutdown()
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._conn_lock:
+            while self._conn_active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._conn_idle.wait(remaining)
+        return True

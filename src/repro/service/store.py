@@ -24,7 +24,42 @@ from typing import Callable, List, Optional
 from ..core.buckets import BucketSpec
 from ..core.profileset import ProfileSet
 
-__all__ = ["Segment", "SegmentStore"]
+__all__ = ["Segment", "SegmentStore", "PushLedger"]
+
+
+class PushLedger:
+    """Per-client idempotency index for sequenced pushes.
+
+    A resilient client stamps every push with ``(client_id, seq)`` and,
+    after an ambiguous failure (connection died before the reply), sends
+    the *same* sequence again.  The ledger records the highest sequence
+    each client has successfully ingested, so the replay is recognized
+    and skipped — exactly-once merging over an at-least-once transport.
+
+    Sequences are per-client and strictly monotonic (clients send one
+    push at a time), so a single high-water mark per client suffices;
+    record a sequence only after its ingest succeeded, so a push the
+    server rejected (corrupt payload) may be retried under its number.
+    """
+
+    def __init__(self):
+        self._last: dict = {}
+
+    def is_new(self, client_id: str, seq: int) -> bool:
+        """Would this ``(client, seq)`` be a first-time ingest?"""
+        return seq > self._last.get(client_id, 0)
+
+    def record(self, client_id: str, seq: int) -> None:
+        """Mark ``(client, seq)`` ingested (monotonic: never regresses)."""
+        if seq > self._last.get(client_id, 0):
+            self._last[client_id] = seq
+
+    def last(self, client_id: str) -> int:
+        """Highest sequence ingested for *client_id* (0 if none)."""
+        return self._last.get(client_id, 0)
+
+    def __len__(self) -> int:
+        return len(self._last)
 
 
 @dataclass

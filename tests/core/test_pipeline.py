@@ -388,6 +388,65 @@ class TestTraceAndFanout:
         assert len(pushed) == 1
 
 
+class RaisingSink:
+    """A consumer that always fails (a dead service connection, say)."""
+
+    def __init__(self):
+        self.flushes = 0
+
+    def consume(self, layer, events):
+        raise ConnectionError("downstream is gone")
+
+    def flush(self):
+        self.flushes += 1
+        raise ConnectionError("flush failed too")
+
+
+class TestFanoutIsolation:
+    def test_raising_sink_never_starves_the_others(self):
+        pset = ProfileSet(name="t")
+        fan = FanoutSink([RaisingSink(), ProfileSink(pset)])
+        pipeline = Pipeline()
+        probe = pipeline.probe(Layer.USER, fan)
+        for _ in range(5):
+            probe.record("read", 9.0)
+        pipeline.flush(final=True)
+        # The healthy sink saw every event despite its broken neighbor.
+        assert pset.total_ops() == 5
+
+    def test_failures_are_counted_not_silent(self):
+        fan = FanoutSink([RaisingSink(), NullSink()])
+        fan.consume(Layer.USER, [object()] * 3)
+        fan.consume(Layer.USER, [object()] * 2)
+        assert fan.sink_errors == [2, 0]
+        assert isinstance(fan.last_errors[0], ConnectionError)
+        assert fan.last_errors[1] is None
+        assert fan.events_dropped == 5
+        assert fan.degraded()
+
+    def test_flush_failures_counted_too(self):
+        fan = FanoutSink([RaisingSink()])
+        fan.flush()
+        assert fan.sink_errors == [1]
+        assert fan.degraded()
+
+    def test_healthy_fanout_is_not_degraded(self):
+        fan = FanoutSink([NullSink()])
+        fan.consume(Layer.USER, [object()])
+        fan.flush()
+        assert not fan.degraded()
+        assert fan.metrics()["osprof_sinks_degraded"] == 0
+
+    def test_metrics_shape(self):
+        fan = FanoutSink([RaisingSink(), NullSink()])
+        fan.consume(Layer.USER, [object()] * 4)
+        assert fan.metrics() == {
+            "osprof_sink_errors_total": 1,
+            "osprof_sink_events_dropped_total": 4,
+            "osprof_sinks_degraded": 1,
+        }
+
+
 class TestPipelineValidation:
     def test_rejects_bad_sizes(self):
         with pytest.raises(ValueError):

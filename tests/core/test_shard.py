@@ -8,10 +8,12 @@ profile set byte-identical to running them serially in-process.
 
 import pytest
 
+from repro.core.faults import FaultPlan, FaultPoint, InjectedFault
 from repro.core.locking import PerThreadBuckets, locked_reference_count
 from repro.core.profile import Layer
 from repro.core.profileset import ProfileSet
-from repro.core.shard import ShardTask, collect_sharded, plan_shards, run_shard
+from repro.core.shard import (DEGRADED_ATTRIBUTE, ShardError, ShardTask,
+                              collect_sharded, plan_shards, run_shard)
 from repro.sim.rng import SimRandom, derive_seed
 
 
@@ -103,6 +105,89 @@ class TestSerialParallelEquivalence:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             collect_sharded("zerobyte", shards=1, workers=0, iterations=10)
+
+
+class TestSelfHealing:
+    KWARGS = dict(shards=2, workers=1, seed=7, iterations=60,
+                  processes=1)
+
+    def baseline(self):
+        return collect_sharded("zerobyte", **self.KWARGS)
+
+    def test_crash_heals_byte_identically(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "crash",
+                                     key="shard:1", attempts=(0,))])
+        healed = collect_sharded("zerobyte", fault_plan=plan,
+                                 **self.KWARGS)
+        assert healed.to_bytes() == self.baseline().to_bytes()
+
+    def test_corrupt_payload_heals_byte_identically(self):
+        plan = FaultPlan([FaultPoint("shard.payload", "corrupt",
+                                     key="shard:0", attempts=(0,))],
+                         seed=3)
+        healed = collect_sharded("zerobyte", fault_plan=plan,
+                                 **self.KWARGS)
+        assert healed.to_bytes() == self.baseline().to_bytes()
+
+    def test_exhausted_retries_raise_shard_error(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "crash",
+                                     key="shard:1", attempts=())])
+        with pytest.raises(ShardError) as info:
+            collect_sharded("zerobyte", fault_plan=plan, max_retries=1,
+                            **self.KWARGS)
+        assert info.value.attempts == 2
+        assert set(info.value.failures) == {1}
+        assert isinstance(info.value.failures[1], InjectedFault)
+
+    def test_salvage_marks_result_degraded(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "crash",
+                                     key="shard:1", attempts=())])
+        partial = collect_sharded("zerobyte", fault_plan=plan,
+                                  max_retries=0, salvage=True,
+                                  **self.KWARGS)
+        assert partial.attributes[DEGRADED_ATTRIBUTE] == "shards:1"
+        assert not partial.verify_checksums()
+        assert partial.total_ops() < self.baseline().total_ops()
+
+    def test_salvage_with_no_survivors_still_raises(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "crash",
+                                     attempts=())])
+        with pytest.raises(ShardError):
+            collect_sharded("zerobyte", fault_plan=plan, max_retries=0,
+                            salvage=True, **self.KWARGS)
+
+    def test_fault_free_plan_changes_nothing(self):
+        clean = collect_sharded("zerobyte", fault_plan=FaultPlan(),
+                                **self.KWARGS)
+        assert clean.to_bytes() == self.baseline().to_bytes()
+
+    def test_rejects_bad_retry_and_deadline_arguments(self):
+        with pytest.raises(ValueError):
+            collect_sharded("zerobyte", max_retries=-1, **self.KWARGS)
+        with pytest.raises(ValueError):
+            collect_sharded("zerobyte", deadline=0.0, **self.KWARGS)
+
+
+class TestPooledSelfHealing:
+    KWARGS = dict(shards=2, workers=2, seed=7, iterations=60,
+                  processes=1)
+
+    def test_pooled_crash_heals_byte_identically(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "crash",
+                                     key="shard:0", attempts=(0,))])
+        healed = collect_sharded("zerobyte", fault_plan=plan,
+                                 **self.KWARGS)
+        baseline = collect_sharded("zerobyte", **self.KWARGS)
+        assert healed.to_bytes() == baseline.to_bytes()
+
+    def test_pooled_hang_detected_by_deadline_and_healed(self):
+        plan = FaultPlan([FaultPoint("shard.worker", "hang",
+                                     key="shard:1", attempts=(0,),
+                                     seconds=30.0)])
+        healed = collect_sharded("zerobyte", fault_plan=plan,
+                                 deadline=2.0, **self.KWARGS)
+        baseline = collect_sharded("zerobyte", **self.KWARGS)
+        assert healed.to_bytes() == baseline.to_bytes()
 
 
 class TestLockingComposition:

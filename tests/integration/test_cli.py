@@ -245,6 +245,88 @@ class TestParser:
             build_parser().parse_args(["merge"])
 
 
+class TestResilienceFlags:
+    def free_port(self):
+        import socket
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_run_accepts_healing_flags(self, tmp_path):
+        path = tmp_path / "healed.prof"
+        rc = main(["run", "zerobyte", "--iterations", "40",
+                   "--shard-retries", "1", "--salvage",
+                   "-o", str(path)])
+        assert rc == 0
+        assert path.exists()
+
+    def test_run_spool_dir_spools_instead_of_writing(self, tmp_path,
+                                                     capsys):
+        spool_dir = tmp_path / "spool"
+        rc = main(["run", "zerobyte", "--iterations", "40",
+                   "--spool-dir", str(spool_dir)])
+        assert rc == 0
+        assert "spooled" in capsys.readouterr().err
+        from repro.service.spool import Spool
+        assert Spool(str(spool_dir)).pending() == [1]
+
+    def test_push_spools_offline_and_exits_zero(self, tmp_path, dump_a,
+                                                capsys):
+        spool_dir = tmp_path / "spool"
+        rc = main(["push", f"127.0.0.1:{self.free_port()}", dump_a,
+                   "--retries", "0", "--spool-dir", str(spool_dir)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "spooled" in err
+        from repro.service.spool import Spool
+        assert len(Spool(str(spool_dir))) == 1
+
+    def test_push_without_spool_fails_loudly_offline(self, dump_a,
+                                                     capsys):
+        rc = main(["push", f"127.0.0.1:{self.free_port()}", dump_a,
+                   "--retries", "0", "--backoff", "0.001"])
+        assert rc == 1
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_push_requires_some_source(self, capsys):
+        rc = main(["push", "127.0.0.1:1"])
+        assert rc == 2
+        assert "give saved dumps" in capsys.readouterr().err
+
+    def test_spool_only_drain_mode(self, tmp_path, capsys):
+        from repro.service.server import ProfileServer, ProfileService
+        from repro.service.spool import Spool
+        from repro.core.profileset import ProfileSet
+        spool_dir = tmp_path / "spool"
+        blob = ProfileSet.from_operation_latencies(
+            {"read": [100.0] * 10}).to_bytes()
+        Spool(str(spool_dir)).append(blob)
+        server = ProfileServer(ProfileService())
+        server.serve_in_thread()
+        try:
+            host, port = server.address
+            rc = main(["push", f"{host}:{port}",
+                       "--spool-dir", str(spool_dir)])
+            assert rc == 0
+            assert "drained 1" in capsys.readouterr().err
+            assert server.service.ingest_requests == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_serve_parser_accepts_hardening_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--read-timeout", "5", "--max-frame-mb", "1",
+             "--max-pending", "2", "--drain-timeout", "0.5"])
+        assert args.read_timeout == 5.0
+        assert args.max_pending == 2
+
+    def test_watch_parser_accepts_reconnect_cap(self):
+        args = build_parser().parse_args(
+            ["watch", "127.0.0.1:7461", "--reconnect-cap", "1.5"])
+        assert args.reconnect_cap == 1.5
+
+
 class TestSampled:
     def test_sampled_ascii(self, capsys):
         rc = main(["sampled", "grep", "--scale", "0.01",

@@ -1,0 +1,261 @@
+"""The fault matrix: every armed site either heals or degrades loudly.
+
+The contract under test, end to end: whatever fault fires, the merged
+profile a consumer finally sees is **byte-identical** to a fault-free
+run, or it carries an explicit ``degraded`` marker — never silently
+wrong, never silently short.
+
+The fault plan seed comes from ``OSPROF_FAULT_SEED`` (default 2006) so
+CI can sweep seeds while any failure stays reproducible from the seed
+in its command line.
+"""
+
+import os
+import socket
+import time
+
+import pytest
+
+from repro.core.faults import FaultingSink, FaultPlan, FaultPoint
+from repro.core.pipeline import FanoutSink, Pipeline, ProfileSink
+from repro.core.profile import Layer
+from repro.core.profileset import ProfileSet
+from repro.core.shard import DEGRADED_ATTRIBUTE, collect_sharded
+from repro.service.client import Backoff, ResilientServiceClient
+from repro.service.server import ProfileServer, ProfileService, ServiceConfig
+
+SEED = int(os.environ.get("OSPROF_FAULT_SEED", "2006"))
+
+SHARD_KWARGS = dict(shards=2, seed=SEED, iterations=60, processes=1)
+
+
+def plan(*points):
+    return FaultPlan(points, seed=SEED)
+
+
+def pset(latency=100.0, ops=20):
+    return ProfileSet.from_operation_latencies({"read": [latency] * ops})
+
+
+@pytest.fixture
+def server():
+    srv = ProfileServer(ProfileService(ServiceConfig(segment_seconds=3600.0)))
+    srv.serve_in_thread()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def resilient(host, port, **kwargs):
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff", Backoff(base=0.001))
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return ResilientServiceClient(host, port, **kwargs)
+
+
+class TestShardFaultMatrix:
+    """Faults inside the collection engine heal to byte-identical merges."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return collect_sharded("zerobyte", workers=1,
+                               **SHARD_KWARGS).to_bytes()
+
+    HEALING_CASES = [
+        pytest.param(FaultPoint("shard.worker", "crash", key="shard:0"),
+                     1, None, id="worker-crash-serial"),
+        pytest.param(FaultPoint("shard.worker", "crash", key="shard:1"),
+                     2, None, id="worker-crash-pooled"),
+        pytest.param(FaultPoint("shard.worker", "hang", key="shard:0",
+                                seconds=30.0),
+                     2, 2.0, id="worker-hang-pooled"),
+        pytest.param(FaultPoint("shard.worker", "delay", key="shard:1",
+                                seconds=0.01),
+                     1, None, id="worker-delay-serial"),
+        pytest.param(FaultPoint("shard.payload", "corrupt", key="shard:0",
+                                mode="flip"),
+                     1, None, id="payload-bitflip-serial"),
+        pytest.param(FaultPoint("shard.payload", "corrupt", key="shard:1",
+                                mode="truncate"),
+                     2, None, id="payload-truncate-pooled"),
+    ]
+
+    @pytest.mark.parametrize("point,workers,deadline", HEALING_CASES)
+    def test_single_fault_heals_byte_identically(self, baseline, point,
+                                                 workers, deadline):
+        healed = collect_sharded("zerobyte", workers=workers,
+                                 deadline=deadline, fault_plan=plan(point),
+                                 **SHARD_KWARGS)
+        assert healed.to_bytes() == baseline
+
+    def test_two_simultaneous_faults_heal(self, baseline):
+        armed = plan(
+            FaultPoint("shard.worker", "crash", key="shard:0"),
+            FaultPoint("shard.payload", "corrupt", key="shard:1"))
+        healed = collect_sharded("zerobyte", workers=1, fault_plan=armed,
+                                 **SHARD_KWARGS)
+        assert healed.to_bytes() == baseline
+
+    def test_unhealable_fault_degrades_never_lies(self, baseline):
+        armed = plan(FaultPoint("shard.worker", "crash", key="shard:1",
+                                attempts=()))
+        partial = collect_sharded("zerobyte", workers=1, fault_plan=armed,
+                                  max_retries=1, salvage=True,
+                                  **SHARD_KWARGS)
+        assert partial.attributes[DEGRADED_ATTRIBUTE] == "shards:1"
+        assert partial.to_bytes() != baseline
+        assert not partial.verify_checksums()
+
+
+class TestClientFaultMatrix:
+    """Wire faults between collector and service heal via resend + dedup."""
+
+    CASES = [
+        pytest.param(FaultPoint("client.connect", "error"),
+                     id="connect-refused"),
+        pytest.param(FaultPoint("client.connect", "delay", seconds=0.01),
+                     id="connect-slow"),
+        pytest.param(FaultPoint("client.send", "error"),
+                     id="send-reset"),
+        pytest.param(FaultPoint("client.send", "corrupt", mode="tail"),
+                     id="send-corrupted-in-transit"),
+        pytest.param(FaultPoint("client.recv", "error"),
+                     id="reply-lost"),
+    ]
+
+    @pytest.mark.parametrize("point", CASES)
+    def test_faulted_pushes_reach_server_exactly_once(self, server, point):
+        host, port = server.address
+        with resilient(host, port, fault_plan=plan(point)) as client:
+            client.push(pset(latency=100.0))
+            client.push(pset(latency=400.0))
+        service = server.service
+        deadline = time.monotonic() + 5.0
+        while (service.ingest_requests < 2
+                and time.monotonic() < deadline):
+            time.sleep(0.01)
+        snap = service.snapshot()
+        assert snap["read"].total_ops == 40  # exactly once, never twice
+        fault_free = ProfileSet()
+        fault_free.merge(pset(latency=100.0))
+        fault_free.merge(pset(latency=400.0))
+        assert snap["read"].counts() == fault_free["read"].counts()
+
+    def test_lost_reply_resend_is_deduplicated(self, server):
+        # The reply to a merged push dies on the wire; the client must
+        # resend the same sequence and the ledger must absorb it.
+        host, port = server.address
+        point = FaultPoint("client.recv", "error", attempts=(0,))
+        with resilient(host, port, fault_plan=plan(point)) as client:
+            client.push(pset())
+            assert client.reconnects >= 1
+        service = server.service
+        deadline = time.monotonic() + 5.0
+        while (service.ingest_duplicates == 0
+                and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert service.ingest_duplicates == 1
+        assert service.snapshot()["read"].total_ops == 20  # single copy
+
+
+class TestSinkFaultMatrix:
+    """A faulting consumer degrades itself, never its neighbors."""
+
+    def run_pipeline(self, fault_plan):
+        pset_out = ProfileSet(name="t")
+        faulty = FaultingSink(fault_plan)
+        fan = FanoutSink([faulty, ProfileSink(pset_out)])
+        pipeline = Pipeline()
+        probe = pipeline.probe(Layer.FILESYSTEM, fan)
+        for latency in (100.0, 200.0, 400.0):
+            probe.record("read", latency)
+        pipeline.flush(final=True)
+        return pset_out, fan
+
+    def test_sink_fault_drops_nothing_for_healthy_sinks(self):
+        armed = plan(FaultPoint("sink.consume", "error", attempts=()))
+        damaged, fan = self.run_pipeline(armed)
+        clean, _ = self.run_pipeline(FaultPlan())
+        assert damaged.to_bytes() == clean.to_bytes()
+        assert fan.degraded()
+        assert fan.metrics()["osprof_sink_errors_total"] >= 1
+        assert fan.metrics()["osprof_sinks_degraded"] == 1
+
+    def test_fault_free_pipeline_reports_healthy(self):
+        _, fan = self.run_pipeline(FaultPlan())
+        assert not fan.degraded()
+        assert fan.metrics()["osprof_sink_errors_total"] == 0
+
+
+class TestKillServerMidPush:
+    """The acceptance e2e: spool drains to zero loss across a restart."""
+
+    def test_spool_survives_restart_with_zero_loss(self, tmp_path):
+        first = ProfileServer(ProfileService(
+            ServiceConfig(segment_seconds=3600.0)))
+        first.serve_in_thread()
+        host, port = first.address
+        client = resilient(host, port, retries=1,
+                           spool_dir=str(tmp_path / "spool"))
+        segments = [pset(latency=100.0 * (i + 1), ops=10 * (i + 1))
+                    for i in range(4)]
+
+        assert "seq 1" in client.push(segments[0])  # delivered live
+        client.close()
+        first.drain(timeout=5.0)
+        first.server_close()
+
+        for segment in segments[1:]:
+            status = client.push(segment)  # server is gone: spooled
+            assert "spooled" in status
+        assert len(client.spool) == 3
+
+        second_service = ProfileService(
+            ServiceConfig(segment_seconds=3600.0))
+        second = ProfileServer(second_service, host=host, port=port)
+        second.serve_in_thread()
+        try:
+            delivered = client.drain()
+            assert delivered == 3
+            assert len(client.spool) == 0
+            expected = ProfileSet()
+            for segment in segments[1:]:
+                expected.merge(segment)
+            snap = second_service.snapshot()
+            assert snap["read"].total_ops == \
+                expected["read"].total_ops  # zero loss
+            assert snap["read"].counts() == expected["read"].counts()
+        finally:
+            client.close()
+            second.shutdown()
+            second.server_close()
+
+    def test_redelivery_after_lost_ack_cannot_double_merge(self, tmp_path):
+        # Crash the client after the server merged but before the spool
+        # entry was removed: the restarted client redelivers, and the
+        # ledger (same persisted client id) absorbs the duplicate.
+        server = ProfileServer(ProfileService(
+            ServiceConfig(segment_seconds=3600.0)))
+        server.serve_in_thread()
+        host, port = server.address
+        spool_dir = str(tmp_path / "spool")
+        try:
+            client = resilient(host, port, spool_dir=spool_dir)
+            client.push(pset())
+            client.close()
+            # Simulate the torn state: the payload file reappears.
+            reborn = resilient(host, port, spool_dir=spool_dir)
+            assert reborn.spool is not None
+            seq = reborn.spool.append(pset().to_bytes())
+            # Overwrite with seq 1's identity by rewriting the ledger
+            # path: redeliver under the *same* already-merged sequence.
+            reborn.spool.remove(seq)
+            path = reborn.spool._path(1)
+            path.write_bytes(pset().to_bytes())
+            assert reborn.drain() == 1
+            reborn.close()
+            assert server.service.ingest_duplicates == 1
+            assert server.service.snapshot()["read"].total_ops == 20
+        finally:
+            server.shutdown()
+            server.server_close()

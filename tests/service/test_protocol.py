@@ -6,8 +6,11 @@ import threading
 
 import pytest
 
-from repro.service.protocol import (MAGIC, MAX_PAYLOAD, FrameType,
-                                    ProtocolError, decode_json, encode_json,
+from repro.service.protocol import (MAGIC, MAX_PAYLOAD, FrameTooLarge,
+                                    FrameType, ProtocolError,
+                                    decode_json, decode_push_seq,
+                                    decode_retry_after, encode_json,
+                                    encode_push_seq, encode_retry_after,
                                     recv_frame, send_frame)
 
 
@@ -116,6 +119,81 @@ class TestFraming:
         finally:
             a.close()
             b.close()
+
+
+class TestFrameSizeGuard:
+    def test_rejected_from_header_alone_before_payload_exists(self):
+        # Only the 9 header bytes are ever sent: if the receiver tried
+        # to read (or allocate) the declared payload it would block
+        # forever, so raising at all proves the header-only guard.
+        a, b = socket_pair()
+        try:
+            a.sendall(MAGIC + struct.pack("<BI", 1, 1 << 30))
+            with pytest.raises(FrameTooLarge):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_custom_receive_limit(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, FrameType.PUSH, b"x" * 100)
+            with pytest.raises(FrameTooLarge, match="64-byte limit"):
+                recv_frame(b, max_payload=64)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_at_the_limit_passes(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, FrameType.PUSH, b"x" * 64)
+            assert recv_frame(b, max_payload=64) == \
+                (FrameType.PUSH, b"x" * 64)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_too_large_is_a_protocol_error(self):
+        assert issubclass(FrameTooLarge, ProtocolError)
+
+
+class TestPushSeq:
+    def test_round_trip(self):
+        blob = encode_push_seq("collector-1", 42, b"profile bytes")
+        assert decode_push_seq(blob) == ("collector-1", 42, b"profile bytes")
+
+    def test_empty_profile_allowed(self):
+        assert decode_push_seq(encode_push_seq("c", 1, b"")) == ("c", 1, b"")
+
+    def test_rejects_empty_client_id(self):
+        with pytest.raises(ProtocolError):
+            encode_push_seq("", 1, b"x")
+
+    def test_rejects_zero_sequence(self):
+        with pytest.raises(ProtocolError):
+            encode_push_seq("c", 0, b"x")
+
+    def test_rejects_truncated_payloads(self):
+        with pytest.raises(ProtocolError):
+            decode_push_seq(b"\x01")
+        blob = encode_push_seq("collector", 1, b"")
+        with pytest.raises(ProtocolError):
+            decode_push_seq(blob[:12])  # header intact, id cut short
+
+
+class TestRetryAfter:
+    def test_round_trip(self):
+        assert decode_retry_after(encode_retry_after(0.25)) == 0.25
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ProtocolError):
+            encode_retry_after(-1.0)
+
+    def test_rejects_wrong_size_payload(self):
+        with pytest.raises(ProtocolError):
+            decode_retry_after(b"\x00" * 4)
 
 
 class TestJson:

@@ -1,12 +1,15 @@
 """Tests for the profiling service core and its TCP front end."""
 
 import socket
+import struct
+import time
 
 import pytest
 
 from repro.core.profileset import ProfileSet
 from repro.service.client import ServiceClient, ServiceError, parse_endpoint
-from repro.service.protocol import FrameType, recv_frame, send_frame
+from repro.service.protocol import (MAGIC, FrameType, decode_retry_after,
+                                    encode_push_seq, recv_frame, send_frame)
 from repro.service.server import ProfileServer, ProfileService, ServiceConfig
 
 
@@ -141,6 +144,149 @@ class TestTcpFrontEnd:
 
     def test_port_zero_picks_a_real_port(self, server):
         assert server.address[1] > 0
+
+
+class TestSequencedIngest:
+    def test_new_sequences_merge(self, service):
+        payload = pset(STEADY).to_bytes()
+        status, merged = service.ingest_sequenced("c1", 1, payload)
+        assert merged and "seq 1" in status
+        assert service.snapshot()["read"].total_ops == 100
+
+    def test_replay_acknowledged_without_double_merge(self, service):
+        payload = pset(STEADY).to_bytes()
+        service.ingest_sequenced("c1", 1, payload)
+        status, merged = service.ingest_sequenced("c1", 1, payload)
+        assert not merged and "duplicate" in status
+        assert service.snapshot()["read"].total_ops == 100
+        assert service.ingest_duplicates == 1
+
+    def test_clients_have_independent_sequences(self, service):
+        payload = pset(STEADY).to_bytes()
+        assert service.ingest_sequenced("a", 1, payload)[1]
+        assert service.ingest_sequenced("b", 1, payload)[1]
+        assert service.snapshot()["read"].total_ops == 200
+
+    def test_rejected_payload_leaves_sequence_retryable(self, service):
+        with pytest.raises(ValueError):
+            service.ingest_sequenced("c1", 1, b"garbage")
+        status, merged = service.ingest_sequenced(
+            "c1", 1, pset(STEADY).to_bytes())
+        assert merged and "seq 1" in status
+
+    def test_degradation_metrics_exposed(self, service):
+        service.ingest_sequenced("c1", 1, pset(STEADY).to_bytes())
+        service.ingest_sequenced("c1", 1, pset(STEADY).to_bytes())
+        text = service.metrics_text()
+        assert "osprof_ingest_duplicates_total 1" in text
+        assert "osprof_backpressure_total 0" in text
+        assert "osprof_frames_oversize_total 0" in text
+        assert "osprof_read_timeouts_total 0" in text
+        assert "osprof_push_clients 1" in text
+
+
+class TestHardening:
+    def test_push_seq_over_tcp_dedups(self, client, service):
+        blob = encode_push_seq("c9", 1, pset(STEADY).to_bytes())
+        for _ in range(2):
+            send_frame(client._sock, FrameType.PUSH_SEQ, blob)
+            ftype, payload = recv_frame(client._sock)
+            assert ftype == FrameType.OK
+        assert service.ingest_duplicates == 1
+        assert service.snapshot()["read"].total_ops == 100
+
+    def test_corrupt_push_seq_reports_bad_payload(self, client):
+        blob = encode_push_seq("c9", 1, b"not a profile")
+        send_frame(client._sock, FrameType.PUSH_SEQ, blob)
+        ftype, payload = recv_frame(client._sock)
+        assert ftype == FrameType.ERROR
+        assert payload.startswith(b"bad-payload:")
+
+    def test_backpressure_sends_retry_after(self, server, service):
+        held = 0
+        while service.try_acquire_ingest_slot():
+            held += 1
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                send_frame(sock, FrameType.PUSH, pset(STEADY).to_bytes())
+                ftype, payload = recv_frame(sock)
+                assert ftype == FrameType.RETRY_AFTER
+                assert decode_retry_after(payload) > 0
+        finally:
+            for _ in range(held):
+                service.release_ingest_slot()
+        assert service.backpressure_rejections == 1
+
+    def test_oversize_frame_rejected_and_counted(self, service):
+        server = ProfileServer(ProfileService(ServiceConfig(
+            max_frame_bytes=1024)))
+        server.serve_in_thread()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                # Header only: the server must reject from the declared
+                # length without waiting for payload bytes.
+                sock.sendall(MAGIC + struct.pack("<BI", FrameType.PUSH,
+                                                 1 << 20))
+                ftype, payload = recv_frame(sock)
+                assert ftype == FrameType.ERROR
+                assert b"limit" in payload
+                assert sock.recv(1024) == b""  # connection dropped
+            assert server.service.frames_oversize == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_idle_connection_times_out_and_is_counted(self):
+        server = ProfileServer(ProfileService(ServiceConfig(
+            read_timeout=0.05)))
+        server.serve_in_thread()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.settimeout(5.0)
+                assert sock.recv(1024) == b""  # server reclaimed it
+            deadline = time.monotonic() + 5.0
+            while (server.service.read_timeouts == 0
+                    and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert server.service.read_timeouts == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_rejects_nonpositive_max_pending(self):
+        with pytest.raises(ValueError):
+            ProfileService(ServiceConfig(max_pending=0))
+
+
+class TestGracefulDrain:
+    def test_drain_idle_server_is_immediate(self, service):
+        server = ProfileServer(service)
+        server.serve_in_thread()
+        assert server.drain(timeout=5.0)
+        assert server.active_connections == 0
+        server.server_close()
+
+    def test_drain_waits_for_inflight_connection(self, service):
+        server = ProfileServer(service)
+        server.serve_in_thread()
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=10)
+        deadline = time.monotonic() + 5.0
+        while (server.active_connections == 0
+                and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert server.active_connections == 1
+        assert not server.drain(timeout=0.05)  # peer still connected
+        sock.close()
+        deadline = time.monotonic() + 5.0
+        while (server.active_connections > 0
+                and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert server.active_connections == 0
+        server.server_close()
 
 
 class TestParseEndpoint:

@@ -1,0 +1,109 @@
+"""Tests for the crash-safe on-disk push spool."""
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.service.spool import Spool
+
+
+def payload(latency=100.0, ops=10):
+    return ProfileSet.from_operation_latencies(
+        {"read": [latency] * ops}).to_bytes()
+
+
+class TestIdentity:
+    def test_generates_and_persists_client_id(self, tmp_path):
+        first = Spool(tmp_path)
+        assert first.client_id.startswith("osprof-")
+        assert Spool(tmp_path).client_id == first.client_id
+
+    def test_explicit_client_id_wins_and_sticks(self, tmp_path):
+        Spool(tmp_path, client_id="collector-9")
+        assert Spool(tmp_path).client_id == "collector-9"
+
+
+class TestQueue:
+    def test_append_assigns_monotonic_seqs(self, tmp_path):
+        spool = Spool(tmp_path)
+        assert [spool.append(payload()) for _ in range(3)] == [1, 2, 3]
+        assert spool.pending() == [1, 2, 3]
+        assert len(spool) == 3
+
+    def test_payload_round_trips(self, tmp_path):
+        spool = Spool(tmp_path)
+        blob = payload(latency=250.0)
+        seq = spool.append(blob)
+        assert spool.payload(seq) == blob
+
+    def test_remove_is_idempotent(self, tmp_path):
+        spool = Spool(tmp_path)
+        seq = spool.append(payload())
+        spool.remove(seq)
+        spool.remove(seq)
+        assert spool.pending() == []
+
+    def test_seq_survives_reopen_with_pending_entries(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.append(payload())
+        spool.append(payload())
+        assert Spool(tmp_path).append(payload()) == 3
+
+    def test_seq_never_reused_after_full_drain(self, tmp_path):
+        # The high-water mark outlives the files: dedup identity must
+        # not reset just because the backlog emptied.
+        spool = Spool(tmp_path)
+        seq = spool.append(payload())
+        spool.remove(seq)
+        assert Spool(tmp_path).append(payload()) == 2
+
+    def test_temp_files_invisible_to_pending(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.append(payload())
+        (tmp_path / f".tmp-{2:020d}.ospb").write_bytes(b"partial")
+        assert spool.pending() == [1]
+
+
+class TestDrain:
+    def test_drains_in_order_and_removes(self, tmp_path):
+        spool = Spool(tmp_path)
+        blobs = [payload(latency=100.0 * (i + 1)) for i in range(3)]
+        for blob in blobs:
+            spool.append(blob)
+        delivered = []
+        count = spool.drain(lambda seq, data: delivered.append((seq, data)))
+        assert count == 3
+        assert delivered == [(1, blobs[0]), (2, blobs[1]), (3, blobs[2])]
+        assert spool.pending() == []
+
+    def test_push_failure_stops_drain_and_keeps_rest(self, tmp_path):
+        spool = Spool(tmp_path)
+        for _ in range(3):
+            spool.append(payload())
+        seen = []
+
+        def push(seq, data):
+            if seq == 2:
+                raise ConnectionError("server went away")
+            seen.append(seq)
+
+        with pytest.raises(ConnectionError):
+            spool.drain(push)
+        assert seen == [1]
+        assert spool.pending() == [2, 3]
+
+    def test_corrupt_entry_quarantined_never_pushed(self, tmp_path):
+        spool = Spool(tmp_path)
+        good = spool.append(payload())
+        bad = spool.append(payload())
+        path = tmp_path / f"{bad:020d}.ospb"
+        path.write_bytes(path.read_bytes()[:10])  # torn write
+        delivered = []
+        count = spool.drain(lambda seq, data: delivered.append(seq))
+        assert count == 1
+        assert delivered == [good]
+        assert spool.corrupted == 1
+        assert spool.pending() == []
+        assert (tmp_path / f"{bad:020d}.corrupt").exists()
+
+    def test_drain_of_empty_spool_is_zero(self, tmp_path):
+        assert Spool(tmp_path).drain(lambda s, d: None) == 0
