@@ -26,6 +26,10 @@ them into one CLI over the library:
   optionally its plaintext metrics page).
 * ``osprof trace <workload>`` — per-request cross-layer event slices
   from the probe pipeline's unified stream.
+* ``osprof db {ingest,query,compact,gc,baseline,gate}`` — the durable
+  profile warehouse: persist closed segments, query time ranges,
+  tier-compact aged history, manage named baselines, and gate a fresh
+  capture against a stored baseline (nonzero exit on breach).
 
 All dump-reading commands auto-detect the format, so text and binary
 profiles mix freely.
@@ -37,10 +41,15 @@ Examples::
     osprof run randomread --shards 4 --workers 4 --format binary -o rr.ospb
     osprof merge rr.ospb other.prof -o merged.prof
     osprof compare before.prof after.prof --metric emd
+    osprof compare before.prof after.prof --threshold emd=0.5
     osprof render after.prof --op readdir
-    osprof serve --port 7461 --segment-seconds 5 &
+    osprof serve --port 7461 --segment-seconds 5 --db /var/osprof/db &
     osprof push 127.0.0.1:7461 --workload randomread --segments 3
     osprof watch 127.0.0.1:7461 --once --metrics
+    osprof db ingest --db wh --source web rr.ospb
+    osprof db query --db wh --source web --since 0 --until 99 -o out.prof
+    osprof db baseline save clean --db wh --from before.prof
+    osprof db gate after.prof --db wh --baseline clean
 """
 
 from __future__ import annotations
@@ -130,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--metric", choices=sorted(METRICS),
                          default="emd")
     compare.add_argument("--limit", type=int, default=None)
+    compare.add_argument("--threshold", action="append", default=None,
+                         metavar="METRIC=VALUE",
+                         help="fail (exit 3) if any operation's score "
+                              "under METRIC exceeds VALUE; repeatable")
+    compare.add_argument("--min-ops", type=int, default=1,
+                         help="operations sparser than this on both "
+                              "sides are skipped by --threshold")
 
     gnuplot = sub.add_parser("gnuplot", help="Gnuplot data blocks")
     gnuplot.add_argument("dump")
@@ -176,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds to wait for in-flight connections "
                             "on shutdown")
+    serve.add_argument("--db", default=None, metavar="DIR",
+                       help="durable warehouse directory: closed "
+                            "segments are flushed to it and the alert "
+                            "baseline is seeded from its history")
+    serve.add_argument("--db-source", default="service",
+                       help="warehouse source name for flushed segments")
 
     push = sub.add_parser(
         "push", help="stream profiles to a running service")
@@ -233,6 +255,98 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the plaintext metrics page")
     watch.add_argument("--reconnect-cap", type=float, default=5.0,
                        help="cap on the reconnect backoff in seconds")
+
+    db = sub.add_parser("db", help="durable profile warehouse")
+    dbsub = db.add_subparsers(dest="db_command", required=True)
+
+    def _db_dir(p):
+        p.add_argument("--db", required=True, metavar="DIR",
+                       help="warehouse directory")
+
+    def _db_policy(p):
+        p.add_argument("--fanout", type=int, default=4,
+                       help="epoch-width ratio between adjacent tiers")
+        p.add_argument("--keep", default="8,8,8",
+                       help="comma-separated per-tier retention "
+                            "(windows kept hot before aging)")
+
+    ingest = dbsub.add_parser(
+        "ingest", help="persist profile dumps as warehouse segments")
+    _db_dir(ingest)
+    ingest.add_argument("dumps", nargs="+",
+                        help="profile dumps (text or binary)")
+    ingest.add_argument("--source", required=True,
+                        help="source name the segments file under")
+    ingest.add_argument("--epoch", type=int, default=None,
+                        help="base epoch of the first dump (later dumps "
+                             "get consecutive epochs); default appends "
+                             "after everything stored")
+
+    query = dbsub.add_parser(
+        "query", help="merge a source's stored history over a range")
+    _db_dir(query)
+    query.add_argument("--source", required=True)
+    query.add_argument("--layer", default=None,
+                       help="restrict to one capture layer")
+    query.add_argument("--op", default=None,
+                       help="restrict to one operation")
+    query.add_argument("--since", type=int, default=None, metavar="T0",
+                       help="first base epoch (inclusive)")
+    query.add_argument("--until", type=int, default=None, metavar="T1",
+                       help="last base epoch (inclusive)")
+    query.add_argument("--format", choices=("text", "binary"),
+                       default="text")
+    query.add_argument("-o", "--output", default="-")
+
+    compact = dbsub.add_parser(
+        "compact", help="merge aged segments into coarser tiers")
+    _db_dir(compact)
+    _db_policy(compact)
+    compact.add_argument("--source", default=None,
+                         help="one source (default: all)")
+
+    gc = dbsub.add_parser(
+        "gc", help="apply top-tier retention and sweep dead files")
+    _db_dir(gc)
+    _db_policy(gc)
+    gc.add_argument("--source", default=None,
+                    help="one source (default: all)")
+
+    baseline = dbsub.add_parser(
+        "baseline", help="manage named reference profiles")
+    blsub = baseline.add_subparsers(dest="baseline_command", required=True)
+    bl_save = blsub.add_parser("save", help="store a named baseline")
+    _db_dir(bl_save)
+    bl_save.add_argument("name")
+    bl_save.add_argument("--from", dest="from_file", default=None,
+                         metavar="DUMP",
+                         help="take the baseline from a profile dump")
+    bl_save.add_argument("--source", default=None,
+                         help="or build it from a warehouse query")
+    bl_save.add_argument("--layer", default=None)
+    bl_save.add_argument("--op", default=None)
+    bl_save.add_argument("--since", type=int, default=None)
+    bl_save.add_argument("--until", type=int, default=None)
+    bl_list = blsub.add_parser("list", help="list stored baselines")
+    _db_dir(bl_list)
+    bl_rm = blsub.add_parser("rm", help="remove a stored baseline")
+    _db_dir(bl_rm)
+    bl_rm.add_argument("name")
+
+    gate = dbsub.add_parser(
+        "gate", help="score a capture against a stored baseline "
+                     "(exit 3 on threshold breach)")
+    _db_dir(gate)
+    gate.add_argument("capture", help="fresh profile dump to judge")
+    gate.add_argument("--baseline", required=True,
+                      help="stored baseline name")
+    gate.add_argument("--threshold", action="append", default=None,
+                      metavar="METRIC=VALUE",
+                      help="breach rule; repeatable "
+                           "(default: emd=0.5 chi_squared=1.0)")
+    gate.add_argument("--min-ops", type=int, default=1,
+                      help="operations sparser than this on both sides "
+                           "are skipped")
     return parser
 
 
@@ -343,9 +457,18 @@ def cmd_compare(args) -> int:
         reports = reports[:args.limit]
     if not reports:
         print("no interesting differences")
-        return 0
     for report in reports:
         print(report.describe())
+    if args.threshold:
+        # Scriptable mode: judge every operation pair against the given
+        # METRIC=VALUE rules and exit 3 on breach, so `osprof compare`
+        # can gate a shell pipeline without parsing its prose.
+        from .warehouse.gate import evaluate_gate, parse_threshold
+        thresholds = [parse_threshold(text) for text in args.threshold]
+        gate = evaluate_gate(set_a, set_b, thresholds,
+                             min_ops=args.min_ops)
+        print(gate.describe())
+        return gate.exit_code()
     return 0
 
 
@@ -401,13 +524,23 @@ def cmd_serve(args) -> int:
         read_timeout=args.read_timeout,
         max_frame_bytes=int(args.max_frame_mb * (1 << 20)),
         max_pending=args.max_pending)
-    server = ProfileServer(ProfileService(config),
-                           host=args.host, port=args.port)
+    warehouse = None
+    if args.db is not None:
+        from .warehouse import Warehouse
+        warehouse = Warehouse(args.db)
+    service = ProfileService(config, warehouse=warehouse,
+                             warehouse_source=args.db_source)
+    server = ProfileServer(service, host=args.host, port=args.port)
     host, port = server.address
     print(f"osprof service listening on {host}:{port} "
           f"(segment={config.segment_seconds:g}s "
           f"retention={config.retention} metric={config.metric})",
           file=sys.stderr)
+    if warehouse is not None:
+        print(f"warehouse at {args.db}: "
+              f"{warehouse.segments_total} segment(s) on record, "
+              f"baseline seeded from {service.baseline_seeded} "
+              f"segment(s)", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -572,6 +705,102 @@ def cmd_gnuplot(args) -> int:
     return 0
 
 
+def _open_warehouse(args):
+    from .warehouse import CompactionPolicy, Warehouse
+    policy = None
+    if getattr(args, "keep", None) is not None \
+            and getattr(args, "fanout", None) is not None:
+        try:
+            keep = tuple(int(k) for k in args.keep.split(","))
+        except ValueError:
+            raise ValueError(
+                f"bad --keep {args.keep!r}: expected comma-separated "
+                f"integers, e.g. 8,8,8") from None
+        policy = CompactionPolicy(fanout=args.fanout, keep=keep)
+    return Warehouse(args.db, policy=policy)
+
+
+def cmd_db(args) -> int:
+    """Dispatch for the warehouse subcommands (``osprof db ...``)."""
+    warehouse = _open_warehouse(args)
+    if args.db_command == "ingest":
+        epoch = args.epoch
+        for path in args.dumps:
+            meta = warehouse.ingest(args.source, _load(path), epoch=epoch)
+            print(f"{path}: segment {meta.seg_id} source={meta.source} "
+                  f"epoch={meta.epoch} ({meta.nbytes} bytes)",
+                  file=sys.stderr)
+            if epoch is not None:
+                epoch += 1
+        return 0
+    if args.db_command == "query":
+        pset = warehouse.query(args.source, layer=args.layer, op=args.op,
+                               t0=args.since, t1=args.until)
+        _write_pset(pset, args.output, args.format)
+        return 0
+    if args.db_command == "compact":
+        created = warehouse.compact(source=args.source)
+        for meta in created:
+            print(f"compacted -> segment {meta.seg_id} tier={meta.tier} "
+                  f"epochs {meta.epoch}..{meta.epoch_end} "
+                  f"source={meta.source}", file=sys.stderr)
+        print(f"{len(created)} compaction(s)", file=sys.stderr)
+        return 0
+    if args.db_command == "gc":
+        evicted = warehouse.gc(source=args.source)
+        print(f"evicted {evicted} segment(s) past retention"
+              + (f", removed {warehouse.orphans_removed} orphan file(s)"
+                 if warehouse.orphans_removed else ""),
+              file=sys.stderr)
+        return 0
+    if args.db_command == "baseline":
+        return cmd_db_baseline(args, warehouse)
+    if args.db_command == "gate":
+        return cmd_db_gate(args, warehouse)
+    raise ValueError(f"unknown db command {args.db_command!r}")
+
+
+def cmd_db_baseline(args, warehouse) -> int:
+    if args.baseline_command == "save":
+        if (args.from_file is None) == (args.source is None):
+            print("osprof db baseline save: give exactly one of --from "
+                  "or --source", file=sys.stderr)
+            return 2
+        if args.from_file is not None:
+            pset = _load(args.from_file)
+        else:
+            pset = warehouse.query(args.source, layer=args.layer,
+                                   op=args.op, t0=args.since,
+                                   t1=args.until)
+        warehouse.save_baseline(args.name, pset)
+        print(f"baseline {args.name!r}: {len(pset)} operation profiles "
+              f"({pset.total_ops()} requests)", file=sys.stderr)
+        return 0
+    if args.baseline_command == "list":
+        for name in warehouse.baselines():
+            print(name)
+        return 0
+    if args.baseline_command == "rm":
+        if not warehouse.remove_baseline(args.name):
+            print(f"no baseline named {args.name!r}", file=sys.stderr)
+            return 1
+        return 0
+    raise ValueError(f"unknown baseline command {args.baseline_command!r}")
+
+
+def cmd_db_gate(args, warehouse) -> int:
+    from .warehouse.gate import (DEFAULT_GATE_THRESHOLDS, evaluate_gate,
+                                 parse_threshold)
+    baseline = warehouse.load_baseline(args.baseline)
+    capture = _load(args.capture)
+    thresholds = ([parse_threshold(text) for text in args.threshold]
+                  if args.threshold else DEFAULT_GATE_THRESHOLDS)
+    report = evaluate_gate(baseline, capture, thresholds,
+                           min_ops=args.min_ops)
+    print(report.describe())
+    return report.exit_code()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -587,6 +816,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "push": cmd_push,
         "watch": cmd_watch,
         "trace": cmd_trace,
+        "db": cmd_db,
     }[args.command]
     try:
         return handler(args)

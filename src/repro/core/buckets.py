@@ -300,6 +300,29 @@ class LatencyBuckets:
             if self.max_latency is None or other.max_latency > self.max_latency:
                 self.max_latency = other.max_latency
 
+    def latency_residual(self) -> List[float]:
+        """Exact expansion of ``(true total) - total_latency``.
+
+        Serialization keeps one float64 per total, so a histogram whose
+        expansion needs more components loses up to half an ulp per
+        encode.  The residual captures exactly what the rounding
+        dropped; a consumer that stores it next to the encoded bytes
+        (the warehouse does, in its commit log) can hand it back to
+        :meth:`correct_total_latency` after decoding and make the
+        encode/decode cycle sum-exact — which is what keeps tiered
+        compaction byte-deterministic.
+        """
+        residual: List[float] = []
+        _grow_expansion(residual, -self.total_latency)
+        for partial in self._latency_partials:
+            _grow_expansion(residual, partial)
+        return [c for c in residual if c]
+
+    def correct_total_latency(self, components: Iterable[float]) -> None:
+        """Fold exact correction *components* back into the expansion."""
+        for c in components:
+            _grow_expansion(self._latency_partials, float(c))
+
     # -- reading -----------------------------------------------------------
 
     def count(self, bucket: int) -> int:

@@ -20,6 +20,11 @@ site              where it fires                  kinds
 ``client.recv``   every inbound frame read        error, delay
 ``sink.consume``  an event sink inside the probe  error
                   pipeline
+``warehouse.ingest``  between a warehouse segment crash
+                  file landing and its log commit
+``warehouse.compact`` between a merged super-     crash
+                  segment landing and its log
+                  commit / input deletion
 ================  ==============================  =======================
 
 Determinism is the design constraint: every injection decision is a
@@ -32,8 +37,10 @@ The healing counterparts live next to the sites: bounded same-seed
 retries and salvage in :func:`repro.core.shard.collect_sharded`,
 backoff / spooling / idempotent resend in
 :class:`repro.service.client.ResilientServiceClient`, read timeouts and
-backpressure in :mod:`repro.service.server`, and sink isolation in
-:class:`repro.core.pipeline.FanoutSink`.
+backpressure in :mod:`repro.service.server`, sink isolation in
+:class:`repro.core.pipeline.FanoutSink`, and write-ahead log replay in
+:class:`repro.warehouse.Warehouse` (a crash between a segment file and
+its log commit leaves an orphan file, never a half-committed segment).
 """
 
 from __future__ import annotations
@@ -64,6 +71,8 @@ FAULT_SITES = {
     "client.send": frozenset({"error", "corrupt", "delay"}),
     "client.recv": frozenset({"error", "delay"}),
     "sink.consume": frozenset({"error"}),
+    "warehouse.ingest": frozenset({"crash"}),
+    "warehouse.compact": frozenset({"crash"}),
 }
 
 #: The union of kinds across all sites.

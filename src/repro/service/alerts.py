@@ -107,6 +107,22 @@ class DifferentialAlerter:
             return None
         return ProfileSet.merged(self._recent)
 
+    def seed(self, psets) -> int:
+        """Preload the rolling baseline from stored history, no alerts.
+
+        A restarted service hands the warehouse's most recent segments
+        here (oldest first) so the first live segment is judged against
+        real history instead of seeding a blind baseline.  Empty sets
+        are skipped — an idle gap must not dilute the reference.
+        Returns the number of sets absorbed.
+        """
+        absorbed = 0
+        for pset in psets:
+            if len(pset):
+                self._recent.append(pset)
+                absorbed += 1
+        return absorbed
+
     def observe(self, segment_index: int, pset: ProfileSet) -> List[Alert]:
         """Score one closed segment, then absorb it into the baseline.
 

@@ -63,20 +63,42 @@ class ServiceConfig:
 
 
 class ProfileService:
-    """Thread-safe ingestion + rolling store + online alerting."""
+    """Thread-safe ingestion + rolling store + online alerting.
+
+    With a ``warehouse`` attached, the service is durable: every
+    non-empty closed segment is flushed to it as a committed epoch, the
+    store's eviction hook re-checks that nothing leaves memory
+    unflushed, and the alerter's rolling baseline is seeded from the
+    warehouse's most recent history on startup, so a restart resumes
+    differential analysis against real history instead of a blind
+    window.
+    """
 
     def __init__(self, config: Optional[ServiceConfig] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 warehouse=None, warehouse_source: str = "service"):
         self.config = config if config is not None else ServiceConfig()
         spec = BucketSpec(self.config.resolution)
+        self.warehouse = warehouse
+        self.warehouse_source = warehouse_source
+        self.warehouse_flush_errors = 0
+        self._flushed_epochs: set = set()
+        self._epoch_base = (warehouse.index.next_epoch(warehouse_source)
+                            if warehouse is not None else 0)
         self.store = SegmentStore(self.config.segment_seconds,
                                   self.config.retention,
-                                  spec=spec, clock=clock)
+                                  spec=spec, clock=clock,
+                                  on_evict=self._segment_evicted)
         self.alerter = DifferentialAlerter(
             baseline_segments=self.config.baseline_segments,
             metric=self.config.metric,
             threshold=self.config.threshold,
             min_ops=self.config.min_ops)
+        self.baseline_seeded = 0
+        if warehouse is not None:
+            self.baseline_seeded = self.alerter.seed(
+                warehouse.recent_psets(warehouse_source,
+                                       self.config.baseline_segments))
         if self.config.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self._lock = threading.Lock()
@@ -195,12 +217,38 @@ class ProfileService:
         for segment in closed:
             if segment.is_empty():
                 continue
+            self._flush_segment(segment)
             for alert in self.alerter.observe(segment.index, segment.pset):
                 self._alerts.append(alert)
             overflow = len(self._alerts) - self.config.max_alerts
             if overflow > 0:
                 del self._alerts[:overflow]
                 self._alerts_dropped += overflow
+
+    def _flush_segment(self, segment) -> None:
+        # Lock held (or eviction during advance, which runs under it).
+        # Durability beats alerting: the warehouse commit happens
+        # before the segment is scored, and a failed flush is counted,
+        # never allowed to take ingestion down with it.
+        if self.warehouse is None or segment.is_empty():
+            return
+        if segment.index in self._flushed_epochs:
+            return
+        try:
+            self.warehouse.ingest(self.warehouse_source, segment.pset,
+                                  epoch=self._epoch_base + segment.index)
+        except (OSError, ValueError):
+            self.warehouse_flush_errors += 1
+            return
+        self._flushed_epochs.add(segment.index)
+
+    def _segment_evicted(self, segment) -> None:
+        # The store's on_evict hook: the last exit from memory.  Closed
+        # segments were already flushed in _observe_closed; this
+        # re-check catches any segment that slipped past (and keeps the
+        # flushed-epoch set from growing with the ring).
+        self._flush_segment(segment)
+        self._flushed_epochs.discard(segment.index)
 
     # -- queries -----------------------------------------------------------
 
@@ -247,6 +295,14 @@ class ProfileService:
                 f"osprof_frames_oversize_total {self.frames_oversize}",
                 f"osprof_read_timeouts_total {self.read_timeouts}",
                 f"osprof_push_clients {len(self.ledger)}",
+                f"osprof_warehouse_segments_total "
+                f"{self.warehouse.segments_total if self.warehouse else 0}",
+                f"osprof_warehouse_compactions_total "
+                f"{self.warehouse.compactions_total if self.warehouse else 0}",
+                f"osprof_warehouse_gc_evictions_total "
+                f"{self.warehouse.gc_evictions_total if self.warehouse else 0}",
+                f"osprof_warehouse_flush_errors_total "
+                f"{self.warehouse_flush_errors}",
             ]
             per_op: dict = {}
             for alert in self._alerts:

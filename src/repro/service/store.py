@@ -86,7 +86,8 @@ class SegmentStore:
 
     def __init__(self, segment_length: float, retention: int,
                  spec: Optional[BucketSpec] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 on_evict: Optional[Callable[[Segment], None]] = None):
         if segment_length <= 0:
             raise ValueError("segment_length must be positive")
         if retention < 1:
@@ -95,6 +96,7 @@ class SegmentStore:
         self.retention = retention
         self.spec = spec if spec is not None else BucketSpec()
         self.clock = clock
+        self.on_evict = on_evict
         self._epoch = clock()
         self._closed: List[Segment] = []
         self._current = Segment(index=0, started=self._epoch,
@@ -119,6 +121,13 @@ class SegmentStore:
         Idle gaps do not materialize empty segments — the next segment
         simply starts at the index the clock dictates, so a quiet hour
         costs nothing.
+
+        Eviction is observable: every segment dropped past
+        ``retention`` is handed to the ``on_evict`` callback before it
+        is forgotten, so a durability layer (the warehouse flush hook
+        in :mod:`repro.service.server`) can guarantee nothing leaves
+        memory unseen.  An ``on_evict`` that raises propagates — losing
+        data silently is worse than failing the rotation.
         """
         now = self.clock() if now is None else now
         target = self._index_for(now)
@@ -128,8 +137,10 @@ class SegmentStore:
             self._closed.append(self._current)
             self.segments_closed += 1
             while len(self._closed) > self.retention:
-                self._closed.pop(0)
+                evicted = self._closed.pop(0)
                 self.segments_evicted += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted)
             self._current = Segment(
                 index=target,
                 started=self._epoch + target * self.segment_length,

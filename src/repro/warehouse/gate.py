@@ -1,0 +1,153 @@
+"""The regression gate: score a capture against a stored baseline.
+
+This turns the paper's one-shot comparison tool into a CI artifact:
+``osprof db gate`` loads a named baseline from the warehouse, scores a
+fresh capture operation-by-operation with the §3.2 metrics — EMD as
+the primary cross-bin metric, a bin-by-bin metric (chi-squared by
+default) as the secondary — and exits nonzero when any operation
+breaches a threshold.  "Did this change shift any latency profile?"
+becomes a red or green check on every push.
+
+Thresholds are ``METRIC=VALUE`` pairs over :data:`METRICS`; the
+defaults were calibrated on the §6.1 llseek contention scenario, where
+the contended capture scores EMD ≈ 5.4 / chi² ≈ 2.0 on ``llseek``
+while every unaffected operation stays well under 0.25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..analysis.compare import METRICS, compare
+from ..core.profile import Profile
+from ..core.profileset import ProfileSet
+
+__all__ = ["EXIT_BREACH", "Threshold", "Breach", "GateReport",
+           "parse_threshold", "evaluate_gate", "DEFAULT_GATE_THRESHOLDS"]
+
+#: Exit code of a threshold breach — distinct from 1 (runtime error)
+#: and 2 (usage error), so CI scripts can tell a regression from a
+#: broken invocation.
+EXIT_BREACH = 3
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One gate rule: flag any operation whose *metric* score > value."""
+
+    metric: str
+    value: float
+
+    def __post_init__(self):
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose from "
+                f"{sorted(METRICS)}")
+        if self.value < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.metric}={self.value:g}"
+
+
+#: EMD primary (cross-bin), chi-squared secondary (bin-by-bin).
+DEFAULT_GATE_THRESHOLDS: Tuple[Threshold, ...] = (
+    Threshold("emd", 0.5), Threshold("chi_squared", 1.0))
+
+
+def parse_threshold(text: str) -> Threshold:
+    """Parse a ``METRIC=VALUE`` CLI argument into a :class:`Threshold`."""
+    metric, sep, raw = text.partition("=")
+    if not sep or not metric or not raw:
+        raise ValueError(
+            f"bad threshold {text!r}: expected METRIC=VALUE, e.g. emd=0.5")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"bad threshold {text!r}: {raw!r} is not a number") from None
+    return Threshold(metric, value)
+
+
+@dataclass(frozen=True)
+class Breach:
+    """One operation that crossed one threshold."""
+
+    operation: str
+    metric: str
+    score: float
+    limit: float
+
+    def describe(self) -> str:
+        return (f"BREACH {self.operation}: {self.metric}={self.score:.4f} "
+                f"exceeds threshold {self.limit:g}")
+
+
+@dataclass
+class GateReport:
+    """Everything the gate decided, printable and exit-code ready."""
+
+    thresholds: Tuple[Threshold, ...]
+    operations_checked: int = 0
+    operations_skipped: int = 0      #: below min_ops on both sides
+    breaches: List[Breach] = field(default_factory=list)
+    scores: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.breaches
+
+    def exit_code(self) -> int:
+        return 0 if self.passed else EXIT_BREACH
+
+    def describe(self) -> str:
+        rules = ", ".join(str(t) for t in self.thresholds)
+        lines = [f"gate: {self.operations_checked} operation(s) checked "
+                 f"against [{rules}]"
+                 + (f", {self.operations_skipped} below min-ops"
+                    if self.operations_skipped else "")]
+        for breach in self.breaches:
+            lines.append(breach.describe())
+        lines.append("gate: FAIL" if self.breaches else "gate: PASS")
+        return "\n".join(lines)
+
+
+def evaluate_gate(baseline: ProfileSet, capture: ProfileSet,
+                  thresholds: Sequence[Threshold] = DEFAULT_GATE_THRESHOLDS,
+                  min_ops: int = 1) -> GateReport:
+    """Score every operation of *capture* against *baseline*.
+
+    The union of operations is checked: one missing entirely on either
+    side is compared against an empty profile, so a vanished or brand
+    new operation registers as a maximal distribution shift rather
+    than being skipped.  Operations with fewer than *min_ops* requests
+    on **both** sides are noise and are skipped (counted in the
+    report).  Deterministic: operations and thresholds are evaluated
+    in sorted/declared order.
+    """
+    if not thresholds:
+        raise ValueError("gate needs at least one threshold")
+    report = GateReport(thresholds=tuple(thresholds))
+    operations = sorted(set(baseline.operations())
+                        | set(capture.operations()))
+    for op in operations:
+        base = baseline.get(op)
+        fresh = capture.get(op)
+        base_ops = base.total_ops if base is not None else 0
+        fresh_ops = fresh.total_ops if fresh is not None else 0
+        if max(base_ops, fresh_ops) < min_ops:
+            report.operations_skipped += 1
+            continue
+        report.operations_checked += 1
+        empty = Profile(op, spec=baseline.spec)
+        pa = base if base is not None else empty
+        pb = fresh if fresh is not None else empty
+        for threshold in report.thresholds:
+            score = compare(pa, pb, threshold.metric)
+            report.scores.append((op, threshold.metric, score))
+            if score > threshold.value:
+                report.breaches.append(Breach(
+                    operation=op, metric=threshold.metric, score=score,
+                    limit=threshold.value))
+    return report

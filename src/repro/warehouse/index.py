@@ -1,0 +1,208 @@
+"""The warehouse's in-memory index, rebuilt from the log on open.
+
+:class:`SegmentMeta` is the unit the index tracks: one committed,
+immutable segment file, addressed by ``(source, tier, epoch)``.  Epochs
+are integers in *base* (tier-0) units; a tier-*t* segment covers
+``span = fanout**t`` consecutive base epochs starting at a
+span-aligned ``epoch``.
+
+:class:`WarehouseIndex` keeps the live set (segments not superseded by
+a compaction and not evicted), a postings map keyed by
+``(source, layer, operation)`` for operation-targeted queries, and the
+monotonic counters the metrics endpoint exports.  It is a pure
+reduction of the log records — applying the same records in the same
+order always reproduces it, which is the whole crash-safety story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["SegmentMeta", "WarehouseIndex"]
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """One committed segment: where it lives and what it contains."""
+
+    seg_id: int                             #: warehouse-unique, monotonic
+    source: str                             #: collector/source name
+    tier: int                               #: 0 = raw, higher = coarser
+    epoch: int                              #: first base epoch covered
+    span: int                               #: base epochs covered
+    file: str                               #: path relative to the root
+    nbytes: int                             #: encoded payload size
+    ops: Tuple[Tuple[str, str], ...]        #: sorted (layer, operation)
+    #: Per-operation latency rounding residuals: the codec stores one
+    #: float64 per total, so a compacted segment whose exact merged
+    #: total needs a wider expansion records what the encode dropped
+    #: here, and :meth:`Warehouse.load_segment` folds it back in.  This
+    #: is what keeps tiered compaction sum-exact, hence
+    #: byte-deterministic.  Empty for raw (tier-0) ingests.
+    resid: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+
+    @property
+    def epoch_end(self) -> int:
+        """Last base epoch covered (inclusive)."""
+        return self.epoch + self.span - 1
+
+    def overlaps(self, t0: Optional[int], t1: Optional[int]) -> bool:
+        """Does [epoch, epoch_end] intersect the query range [t0, t1]?"""
+        return ((t1 is None or self.epoch <= t1)
+                and (t0 is None or self.epoch_end >= t0))
+
+    def to_record(self, inputs: Tuple[int, ...] = ()) -> Dict:
+        """The log-record form committed by :class:`SegmentLog`."""
+        record = {"rec": "segment", "id": self.seg_id,
+                  "source": self.source, "tier": self.tier,
+                  "epoch": self.epoch, "span": self.span,
+                  "file": self.file, "bytes": self.nbytes,
+                  "ops": [list(pair) for pair in self.ops],
+                  "inputs": list(inputs)}
+        if self.resid:
+            # repr-based JSON floats round-trip bit-exactly in Python,
+            # so the residual survives the journal unchanged.
+            record["resid"] = {op: list(comps) for op, comps in self.resid}
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "SegmentMeta":
+        try:
+            return cls(seg_id=int(record["id"]),
+                       source=str(record["source"]),
+                       tier=int(record["tier"]),
+                       epoch=int(record["epoch"]),
+                       span=int(record["span"]),
+                       file=str(record["file"]),
+                       nbytes=int(record["bytes"]),
+                       ops=tuple(sorted((str(layer), str(op))
+                                        for layer, op in record["ops"])),
+                       resid=tuple(sorted(
+                           (str(op), tuple(float(c) for c in comps))
+                           for op, comps
+                           in record.get("resid", {}).items())))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad segment record {record!r}: {exc}") \
+                from None
+
+
+class WarehouseIndex:
+    """Live segments + postings + counters, as a reduction of the log."""
+
+    def __init__(self):
+        self._live: Dict[int, SegmentMeta] = {}
+        self._by_source: Dict[str, Set[int]] = {}
+        self._postings: Dict[Tuple[str, str, str], Set[int]] = {}
+        self.next_id = 1
+        #: committed-dead segment files awaiting removal (compacted
+        #: inputs and gc victims whose unlink may not have happened yet)
+        self.dead_files: Set[str] = set()
+        # Monotonic totals, recomputed identically on every replay.
+        self.segments_total = 0
+        self.compactions_total = 0
+        self.gc_evictions_total = 0
+
+    # -- log reduction -------------------------------------------------------
+
+    def apply(self, record: Dict) -> None:
+        """Fold one committed log record into the index."""
+        kind = record.get("rec")
+        if kind == "segment":
+            meta = SegmentMeta.from_record(record)
+            inputs = [int(i) for i in record.get("inputs", [])]
+            for seg_id in inputs:
+                self._drop(seg_id)
+            self._add(meta)
+            if inputs:
+                self.compactions_total += 1
+            else:
+                self.segments_total += 1
+        elif kind == "gc":
+            ids = [int(i) for i in record.get("ids", [])]
+            self.gc_evictions_total += sum(
+                1 for seg_id in ids if self._drop(seg_id))
+        else:
+            raise ValueError(f"unknown log record kind {kind!r}")
+
+    def _add(self, meta: SegmentMeta) -> None:
+        if meta.seg_id in self._live:
+            raise ValueError(f"duplicate segment id {meta.seg_id}")
+        self._live[meta.seg_id] = meta
+        self._by_source.setdefault(meta.source, set()).add(meta.seg_id)
+        for layer, op in meta.ops:
+            self._postings.setdefault(
+                (meta.source, layer, op), set()).add(meta.seg_id)
+        if meta.seg_id >= self.next_id:
+            self.next_id = meta.seg_id + 1
+
+    def _drop(self, seg_id: int) -> bool:
+        meta = self._live.pop(seg_id, None)
+        if meta is None:
+            return False
+        self._by_source[meta.source].discard(seg_id)
+        for layer, op in meta.ops:
+            key = (meta.source, layer, op)
+            postings = self._postings.get(key)
+            if postings is not None:
+                postings.discard(seg_id)
+                if not postings:
+                    del self._postings[key]
+        self.dead_files.add(meta.file)
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def sources(self) -> List[str]:
+        return sorted(src for src, ids in self._by_source.items() if ids)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def get(self, seg_id: int) -> Optional[SegmentMeta]:
+        return self._live.get(seg_id)
+
+    def live_files(self) -> Set[str]:
+        return {meta.file for meta in self._live.values()}
+
+    def select(self, source: str, layer: Optional[str] = None,
+               op: Optional[str] = None, t0: Optional[int] = None,
+               t1: Optional[int] = None) -> List[SegmentMeta]:
+        """Live segments of *source* matching the filters, epoch order.
+
+        ``layer``/``op`` consult the postings map, so a query for one
+        operation never touches segments that never saw it.  The sort
+        key ``(epoch, seg_id)`` is deterministic, which keeps every
+        downstream merge byte-deterministic.
+        """
+        ids = set(self._by_source.get(source, ()))
+        if layer is not None or op is not None:
+            matched: Set[int] = set()
+            for (psource, player, pop), pids in self._postings.items():
+                if psource != source:
+                    continue
+                if layer is not None and player != layer:
+                    continue
+                if op is not None and pop != op:
+                    continue
+                matched |= pids
+            ids &= matched
+        metas = [self._live[i] for i in ids
+                 if self._live[i].overlaps(t0, t1)]
+        return sorted(metas, key=lambda m: (m.epoch, m.seg_id))
+
+    def max_epoch(self, source: str) -> Optional[int]:
+        """Highest base epoch covered by any live segment of *source*."""
+        ids = self._by_source.get(source)
+        if not ids:
+            return None
+        return max(self._live[i].epoch_end for i in ids)
+
+    def next_epoch(self, source: str) -> int:
+        """The first base epoch after everything stored for *source*."""
+        latest = self.max_epoch(source)
+        return 0 if latest is None else latest + 1
+
+    def __repr__(self) -> str:
+        return (f"<WarehouseIndex segments={len(self._live)} "
+                f"sources={len(self.sources())}>")

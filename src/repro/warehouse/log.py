@@ -1,0 +1,125 @@
+"""Append-only, CRC-framed commit journal of the profile warehouse.
+
+Every durable warehouse mutation — a segment ingested, a compaction
+that supersedes its inputs, a retention eviction — becomes exactly one
+record appended to ``wal.log``.  The log is the *only* source of truth:
+the in-memory index (:mod:`repro.warehouse.index`) is rebuilt from a
+full replay on every open, so a crash at any instant leaves one of two
+states, both recoverable:
+
+* the record never landed — the mutation never happened (a segment
+  file written just before is an orphan, swept by ``gc``), or
+* the record landed — the mutation is complete, because segment files
+  are always made durable (temp + ``os.replace``) *before* their
+  record is appended.
+
+Framing: a ``# oswal 1`` header line, then one record per line as
+``<crc32-hex> <canonical-json>``.  Replay verifies each line's CRC and
+stops at the first damaged or torn line; :meth:`SegmentLog.recover`
+additionally truncates that distrusted tail so subsequent appends
+cannot land after garbage.  This is the same
+corruption-is-loud-never-silent stance as the binary profile codec's
+CRC-32 trailer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LogError", "SegmentLog"]
+
+_HEADER = b"# oswal 1\n"
+
+
+class LogError(ValueError):
+    """The log file is not a warehouse journal at all (bad header)."""
+
+
+class SegmentLog:
+    """One append-only journal file with CRC-checked JSON records."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "wb") as f:
+                f.write(_HEADER)
+        self.truncated_bytes = 0  #: distrusted tail dropped by recover()
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: Dict) -> None:
+        """Commit one record: a single line, flushed and fsynced.
+
+        The canonical JSON encoding (sorted keys, no whitespace) is the
+        CRC input, so a replayed record re-verifies bit-for-bit.
+        """
+        payload = json.dumps(record, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        with open(self.path, "ab") as f:
+            f.write(b"%08x " % crc + payload + b"\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    # -- reading -------------------------------------------------------------
+
+    def replay(self) -> List[Dict]:
+        """Every committed record, oldest first (read-only scan)."""
+        records, _ = self._scan()
+        return records
+
+    def recover(self) -> List[Dict]:
+        """Replay, then truncate any torn or corrupt tail.
+
+        A crash mid-append leaves a partial last line; everything from
+        the first bad byte on is distrusted and cut, so the next
+        :meth:`append` lands on a clean record boundary.  The number of
+        bytes dropped is kept in :attr:`truncated_bytes`.
+        """
+        records, good = self._scan()
+        size = self.path.stat().st_size
+        if good < size:
+            self.truncated_bytes = size - good
+            with open(self.path, "r+b") as f:
+                f.truncate(good)
+        return records
+
+    def _scan(self) -> Tuple[List[Dict], int]:
+        data = self.path.read_bytes()
+        if not data.startswith(_HEADER):
+            raise LogError(
+                f"{self.path}: not an osprof warehouse log "
+                f"(header {data[:16]!r})")
+        records: List[Dict] = []
+        pos = len(_HEADER)
+        good = pos
+        while True:
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                break  # torn tail: no record boundary, distrust it
+            record = self._decode(data[pos:newline])
+            if record is None:
+                break  # damaged line: distrust it and everything after
+            records.append(record)
+            pos = newline + 1
+            good = pos
+        return records, good
+
+    @staticmethod
+    def _decode(line: bytes) -> Optional[Dict]:
+        try:
+            crc_hex, payload = line.split(b" ", 1)
+            if int(crc_hex, 16) != zlib.crc32(payload) & 0xFFFFFFFF:
+                return None
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def __repr__(self) -> str:
+        return f"<SegmentLog {str(self.path)!r}>"

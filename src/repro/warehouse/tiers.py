@@ -1,0 +1,131 @@
+"""RRD-style tier geometry: when segments age, merge them coarser.
+
+The warehouse keeps recent history at full (tier-0) resolution and
+progressively merges older segments into coarser epochs, the way
+round-robin databases (and 0xtools' always-on sampled history) bound
+their footprint while keeping an unbounded lookback.  Tier *t* segments
+cover ``fanout**t`` base epochs; each tier keeps its most recent
+``keep[t]`` windows hot, and anything older is either promoted into the
+next tier's aligned window (:func:`plan_compactions`) or — at the top
+tier — evicted by retention (:func:`plan_gc`).
+
+Compaction is pure :meth:`ProfileSet.merged` over the group, sorted by
+``(epoch, seg_id)``: histogram addition is commutative and associative,
+so a query over compacted history is byte-identical to the same query
+over the raw segments it replaced.  Tiers change *time* resolution
+only, never latency resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .index import SegmentMeta, WarehouseIndex
+
+__all__ = ["CompactionPolicy", "CompactionGroup", "plan_compactions",
+           "plan_gc"]
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Tier geometry and per-tier retention.
+
+    ``fanout`` is the epoch-width ratio between adjacent tiers;
+    ``keep[t]`` is how many tier-*t* windows stay hot before aging.  A
+    segment is *aged* once its window lies entirely outside the keep
+    horizon measured from the newest base epoch stored for its source.
+    The top tier has no next tier: its aged segments are retention
+    evictions, applied only by an explicit ``gc`` (compaction alone
+    never discards data).
+    """
+
+    fanout: int = 4
+    keep: Tuple[int, ...] = (8, 8, 8)
+
+    def __post_init__(self):
+        if self.fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if not self.keep:
+            raise ValueError("keep must name at least one tier")
+        if any(k < 1 for k in self.keep):
+            raise ValueError("every keep[t] must be >= 1")
+
+    @property
+    def tiers(self) -> int:
+        return len(self.keep)
+
+    def span(self, tier: int) -> int:
+        """Base epochs covered by one tier-*tier* window."""
+        if not 0 <= tier < self.tiers:
+            raise ValueError(f"tier {tier} outside 0..{self.tiers - 1}")
+        return self.fanout ** tier
+
+    def window_start(self, tier: int, epoch: int) -> int:
+        """The aligned start of the tier-*tier* window containing *epoch*."""
+        span = self.span(tier)
+        return (epoch // span) * span
+
+    def aged(self, tier: int, epoch_end: int, horizon: int) -> bool:
+        """Is a segment ending at *epoch_end* outside tier's hot window?
+
+        The hot window covers the ``keep[tier]`` most recent tier-sized
+        windows ending at *horizon* (the newest base epoch stored).
+        """
+        return epoch_end < horizon - self.keep[tier] * self.span(tier) + 1
+
+
+@dataclass(frozen=True)
+class CompactionGroup:
+    """One planned merge: inputs -> a single coarser output segment."""
+
+    source: str
+    tier: int                          #: output tier
+    epoch: int                         #: output window start (aligned)
+    inputs: Tuple[SegmentMeta, ...]    #: sorted by (epoch, seg_id)
+
+
+def plan_compactions(index: WarehouseIndex, source: str,
+                     policy: CompactionPolicy,
+                     horizon: Optional[int] = None) -> List[CompactionGroup]:
+    """Plan one round of promotions for *source* (deterministic).
+
+    For every tier below the top, aged segments are grouped by their
+    aligned next-tier window; each group becomes one output segment.
+    Single-segment groups still promote — that is what moves a straggler
+    up the tiers so top-tier retention can eventually apply to it.
+    """
+    if horizon is None:
+        horizon = index.max_epoch(source)
+    if horizon is None:
+        return []
+    groups: List[CompactionGroup] = []
+    for tier in range(policy.tiers - 1):
+        aged = [meta for meta in index.select(source)
+                if meta.tier == tier
+                and policy.aged(tier, meta.epoch_end, horizon)]
+        by_window: Dict[int, List[SegmentMeta]] = {}
+        for meta in aged:
+            start = policy.window_start(tier + 1, meta.epoch)
+            by_window.setdefault(start, []).append(meta)
+        for start in sorted(by_window):
+            inputs = sorted(by_window[start],
+                            key=lambda m: (m.epoch, m.seg_id))
+            groups.append(CompactionGroup(
+                source=source, tier=tier + 1, epoch=start,
+                inputs=tuple(inputs)))
+    return groups
+
+
+def plan_gc(index: WarehouseIndex, source: str,
+            policy: CompactionPolicy,
+            horizon: Optional[int] = None) -> List[SegmentMeta]:
+    """Top-tier segments past retention — the ones ``gc`` may evict."""
+    if horizon is None:
+        horizon = index.max_epoch(source)
+    if horizon is None:
+        return []
+    top = policy.tiers - 1
+    return [meta for meta in index.select(source)
+            if meta.tier == top
+            and policy.aged(top, meta.epoch_end, horizon)]

@@ -1,0 +1,397 @@
+"""The durable profile warehouse: segment files + commit log + index.
+
+On-disk layout under one root directory (see ``docs/WAREHOUSE.md``)::
+
+    wal.log                        append-only commit journal
+    segments/<source>/tN-<epoch>-<id>.ospb   one ProfileSet.to_bytes()
+    baselines/<name>.ospb          named reference profiles
+
+Everything mutable goes through a write-then-commit discipline: the
+segment payload lands first via atomic rename, then one log record
+commits it.  The index is rebuilt from the log on every open, so the
+warehouse recovers from a crash at any instant — an uncommitted file is
+an orphan (swept by :meth:`Warehouse.gc`), a committed one is fully
+visible, and nothing in between exists.
+
+Determinism is inherited from the codec and the shard-merge rules:
+segment payloads are canonical ``ProfileSet.to_bytes()`` encodings,
+compaction merges groups in ``(epoch, seg_id)`` order with
+:meth:`ProfileSet.merged`, and queries merge selected segments the same
+way — so ``query()`` over compacted history is byte-identical to the
+same query over the raw segments it replaced.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.faults import FaultPlan
+from ..core.profileset import ProfileSet
+from .index import SegmentMeta, WarehouseIndex
+from .log import SegmentLog
+from .tiers import CompactionGroup, CompactionPolicy, plan_compactions, \
+    plan_gc
+
+__all__ = ["Warehouse", "WarehouseError"]
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+_SUFFIX = ".ospb"
+
+
+class WarehouseError(ValueError):
+    """A warehouse-level failure: bad name, missing segment, damage."""
+
+
+def _check_name(kind: str, name: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise WarehouseError(
+            f"bad {kind} name {name!r}: use 1-64 characters from "
+            f"[A-Za-z0-9._-], not starting with a separator")
+    return name
+
+
+def _filtered(pset: ProfileSet, layer: Optional[str],
+              op: Optional[str]) -> ProfileSet:
+    """Restrict a set to one layer and/or operation (canonical copy)."""
+    if layer is None and op is None:
+        return pset
+    out = ProfileSet(spec=pset.spec)
+    for prof in pset:
+        if op is not None and prof.operation != op:
+            continue
+        if layer is not None and prof.layer != layer:
+            continue
+        out.insert(prof.copy())
+    return out
+
+
+class Warehouse:
+    """Durable, append-only, queryable store of closed profile segments.
+
+    Thread-safe for one process (a single lock over index + log, like
+    the service's store lock); multi-process writers are out of scope —
+    the service owns its warehouse directory.  ``fault_plan`` arms the
+    ``warehouse.ingest``/``warehouse.compact`` crash sites for the
+    crash-safety tests.
+    """
+
+    def __init__(self, root, policy: Optional[CompactionPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.root = Path(root)
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self._plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._fault_attempts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        (self.root / "segments").mkdir(parents=True, exist_ok=True)
+        (self.root / "baselines").mkdir(parents=True, exist_ok=True)
+        self.log = SegmentLog(self.root / "wal.log")
+        self.index = WarehouseIndex()
+        for record in self.log.recover():
+            self.index.apply(record)
+        self.orphans_removed = 0  #: uncommitted files swept by gc()
+
+    # -- counters (exported by the service metrics page) --------------------
+
+    @property
+    def segments_total(self) -> int:
+        return self.index.segments_total
+
+    @property
+    def compactions_total(self) -> int:
+        return self.index.compactions_total
+
+    @property
+    def gc_evictions_total(self) -> int:
+        return self.index.gc_evictions_total
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _fire(self, site: str, key: str) -> None:
+        # One ordinal stream per site, shared across keys, so a plan can
+        # target e.g. "the crash window of the 3rd ingest".
+        attempt = self._fault_attempts.get(site, 0)
+        self._fault_attempts[site] = attempt + 1
+        self._plan.fire(site, key=key, attempt=attempt)
+
+    def _write_atomic(self, rel: str, payload: bytes) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".tmp-{path.name}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def _segment_file(self, source: str, tier: int, epoch: int,
+                      seg_id: int) -> str:
+        return (f"segments/{source}/t{tier}-{epoch:012d}-"
+                f"{seg_id:08d}{_SUFFIX}")
+
+    def _commit(self, meta: SegmentMeta, payload: bytes, site: str,
+                inputs: tuple = ()) -> SegmentMeta:
+        """The two-step commit shared by ingest and compaction."""
+        self._write_atomic(meta.file, payload)
+        self._fire(site, "after-file")
+        record = meta.to_record(inputs=tuple(m.seg_id for m in inputs))
+        self.log.append(record)
+        self._fire(site, "after-log")
+        self.index.apply(record)
+        return meta
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, source: str, pset: ProfileSet,
+               epoch: Optional[int] = None) -> SegmentMeta:
+        """Persist one closed segment for *source* at *epoch* (tier 0).
+
+        ``epoch=None`` appends after everything already stored for the
+        source.  Multiple segments may share an epoch (concurrent
+        collectors); queries merge them.  Returns the committed meta.
+        """
+        _check_name("source", source)
+        with self._lock:
+            if epoch is None:
+                epoch = self.index.next_epoch(source)
+            epoch = int(epoch)
+            if epoch < 0:
+                raise WarehouseError(f"negative epoch {epoch}")
+            seg_id = self.index.next_id
+            payload = pset.to_bytes()
+            resid = []
+            for prof in pset:
+                components = prof.histogram.latency_residual()
+                if components:
+                    resid.append((prof.operation, tuple(components)))
+            meta = SegmentMeta(
+                seg_id=seg_id, source=source, tier=0, epoch=epoch, span=1,
+                file=self._segment_file(source, 0, epoch, seg_id),
+                nbytes=len(payload),
+                ops=tuple(sorted((prof.layer, prof.operation)
+                                 for prof in pset)),
+                resid=tuple(sorted(resid)))
+            return self._commit(meta, payload, "warehouse.ingest")
+
+    # -- reading -------------------------------------------------------------
+
+    def load_segment(self, meta: SegmentMeta) -> ProfileSet:
+        """Decode one committed segment (CRC enforced by the codec)."""
+        path = self.root / meta.file
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise WarehouseError(
+                f"committed segment {meta.seg_id} missing on disk: "
+                f"{meta.file}") from None
+        try:
+            pset = ProfileSet.from_bytes(data)
+        except ValueError as exc:
+            raise WarehouseError(
+                f"segment {meta.seg_id} ({meta.file}) damaged: {exc}") \
+                from None
+        # Restore what the codec's one-float64-per-total rounding
+        # dropped at commit time, so merges over this segment stay
+        # sum-exact (see SegmentMeta.resid).
+        for op, components in meta.resid:
+            prof = pset.get(op)
+            if prof is not None:
+                prof.histogram.correct_total_latency(components)
+        return pset
+
+    def sources(self) -> List[str]:
+        with self._lock:
+            return self.index.sources()
+
+    def segments(self, source: Optional[str] = None) -> List[SegmentMeta]:
+        """Live segment metas (all sources, or one), epoch order."""
+        with self._lock:
+            sources = [source] if source is not None \
+                else self.index.sources()
+            out: List[SegmentMeta] = []
+            for src in sources:
+                out.extend(self.index.select(src))
+            return out
+
+    def query(self, source: str, layer: Optional[str] = None,
+              op: Optional[str] = None, t0: Optional[int] = None,
+              t1: Optional[int] = None) -> ProfileSet:
+        """Merge everything stored for *source* in base epochs [t0, t1].
+
+        A segment participates if its epoch window *intersects* the
+        range, so over compacted history the effective bounds widen to
+        the containing tier windows — time resolution coarsens with
+        age, latency resolution never does.  The result is canonical
+        (empty name, no attributes), byte-comparable with
+        :meth:`ProfileSet.merged` over the equivalent raw segments.
+        """
+        with self._lock:
+            metas = self.index.select(source, layer=layer, op=op,
+                                      t0=t0, t1=t1)
+        psets = [_filtered(self.load_segment(meta), layer, op)
+                 for meta in metas]
+        return ProfileSet.merged(psets)
+
+    def recent_psets(self, source: str, count: int) -> List[ProfileSet]:
+        """The last *count* non-empty segments, oldest first.
+
+        This is the service's warm-start path: the differential
+        alerter's rolling baseline is seeded from stored history
+        instead of starting blind after a restart.
+        """
+        if count < 1:
+            return []
+        with self._lock:
+            metas = self.index.select(source)
+        out: List[ProfileSet] = []
+        for meta in reversed(metas):
+            pset = self.load_segment(meta)
+            if len(pset):
+                out.append(pset)
+                if len(out) == count:
+                    break
+        out.reverse()
+        return out
+
+    # -- compaction & retention ----------------------------------------------
+
+    def compact(self, source: Optional[str] = None) -> List[SegmentMeta]:
+        """Promote aged segments into coarser tiers; never drops data.
+
+        Runs planning rounds until a fixpoint, so a long-idle warehouse
+        catches up in one call (tier-0 -> 1 outputs that are themselves
+        aged immediately continue to tier 2).  Returns the new
+        super-segment metas.
+        """
+        created: List[SegmentMeta] = []
+        with self._lock:
+            sources = [source] if source is not None \
+                else self.index.sources()
+            for src in sources:
+                while True:
+                    groups = plan_compactions(self.index, src, self.policy)
+                    if not groups:
+                        break
+                    for group in groups:
+                        created.append(self._compact_group(group))
+        return created
+
+    def _compact_group(self, group: CompactionGroup) -> SegmentMeta:
+        # Lock held.  Merge order is pinned by the plan's (epoch,
+        # seg_id) sort, so equal histories compact to identical bytes.
+        merged = ProfileSet.merged(
+            self.load_segment(meta) for meta in group.inputs)
+        payload = merged.to_bytes()
+        resid = []
+        for prof in merged:
+            components = prof.histogram.latency_residual()
+            if components:
+                resid.append((prof.operation, tuple(components)))
+        resid = tuple(sorted(resid))
+        seg_id = self.index.next_id
+        meta = SegmentMeta(
+            seg_id=seg_id, source=group.source, tier=group.tier,
+            epoch=group.epoch, span=self.policy.span(group.tier),
+            file=self._segment_file(group.source, group.tier, group.epoch,
+                                    seg_id),
+            nbytes=len(payload),
+            ops=tuple(sorted((prof.layer, prof.operation)
+                             for prof in merged)),
+            resid=resid)
+        self._commit(meta, payload, "warehouse.compact",
+                     inputs=group.inputs)
+        self._sweep_dead()
+        return meta
+
+    def gc(self, source: Optional[str] = None) -> int:
+        """Apply top-tier retention and sweep dead/orphan files.
+
+        The only operation that discards committed data, and it says
+        so: evictions are logged (one ``gc`` record), counted, and the
+        count is returned.  Also removes files superseded by compaction
+        and uncommitted orphans left by crashes.
+        """
+        with self._lock:
+            sources = [source] if source is not None \
+                else self.index.sources()
+            victims: List[SegmentMeta] = []
+            for src in sources:
+                victims.extend(plan_gc(self.index, src, self.policy))
+            if victims:
+                record = {"rec": "gc",
+                          "ids": sorted(m.seg_id for m in victims)}
+                self.log.append(record)
+                self.index.apply(record)
+            self._sweep_dead()
+            self._sweep_orphans()
+            return len(victims)
+
+    def _sweep_dead(self) -> None:
+        # Lock held.  Unlink files the log already declared dead;
+        # idempotent, so a crash between commit and unlink just leaves
+        # work for the next sweep.
+        for rel in list(self.index.dead_files):
+            try:
+                (self.root / rel).unlink()
+            except FileNotFoundError:
+                pass
+            self.index.dead_files.discard(rel)
+
+    def _sweep_orphans(self) -> None:
+        # Lock held.  A file under segments/ that no live meta claims
+        # is either committed-dead (already handled) or a crash orphan
+        # whose commit record never landed — per the log it does not
+        # exist, so remove it.
+        live = self.index.live_files()
+        base = self.root / "segments"
+        for path in base.rglob(f"*{_SUFFIX}"):
+            rel = path.relative_to(self.root).as_posix()
+            if rel not in live:
+                try:
+                    path.unlink()
+                    self.orphans_removed += 1
+                except FileNotFoundError:
+                    pass
+
+    # -- named baselines -----------------------------------------------------
+
+    def _baseline_path(self, name: str) -> Path:
+        return self.root / "baselines" / f"{_check_name('baseline', name)}" \
+            f"{_SUFFIX}"
+
+    def save_baseline(self, name: str, pset: ProfileSet) -> None:
+        """Store a named reference profile (atomic overwrite)."""
+        path = self._baseline_path(name)
+        self._write_atomic(path.relative_to(self.root).as_posix(),
+                           pset.to_bytes())
+
+    def load_baseline(self, name: str) -> ProfileSet:
+        path = self._baseline_path(name)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise WarehouseError(
+                f"no baseline named {name!r} (have: "
+                f"{', '.join(self.baselines()) or 'none'})") from None
+        try:
+            return ProfileSet.from_bytes(data)
+        except ValueError as exc:
+            raise WarehouseError(f"baseline {name!r} damaged: {exc}") \
+                from None
+
+    def baselines(self) -> List[str]:
+        base = self.root / "baselines"
+        return sorted(p.stem for p in base.glob(f"*{_SUFFIX}"))
+
+    def remove_baseline(self, name: str) -> bool:
+        path = self._baseline_path(name)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def __repr__(self) -> str:
+        return (f"<Warehouse {str(self.root)!r} "
+                f"segments={len(self.index)} "
+                f"sources={len(self.sources())}>")

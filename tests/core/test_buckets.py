@@ -243,3 +243,59 @@ class TestBatchedBucketingProperty:
         else:
             assert hist.counts()[exponent] == 1
             assert hist.counts()[self._exact_bucket(below)] >= 1
+
+
+class TestLatencyResidual:
+    """The encode-rounding escape hatch used by the warehouse."""
+
+    def test_exact_totals_have_no_residual(self):
+        hist = LatencyBuckets()
+        hist.add(100.0)
+        hist.add(28.0)
+        assert hist.latency_residual() == []
+
+    def test_residual_plus_rounded_total_is_exact(self):
+        # Three values whose exact sum is not a float64: the fsum
+        # collapse rounds, the residual is exactly what it dropped.
+        hist = LatencyBuckets()
+        for value in (1e16, 1.0, 1e-3):
+            hist.add(value)
+        residual = hist.latency_residual()
+        assert residual  # rounding really happened
+        restored = LatencyBuckets()
+        restored.total_latency = hist.total_latency  # the encoded float
+        restored.correct_total_latency(residual)
+        assert restored.total_latency == hist.total_latency
+        # And merging two corrected histograms stays order-independent.
+        a, b = LatencyBuckets(), LatencyBuckets()
+        a.total_latency = hist.total_latency
+        a.correct_total_latency(residual)
+        b.add(2.5e-3)
+        ab, ba = LatencyBuckets(), LatencyBuckets()
+        ab.merge(a)
+        ab.merge(b)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.total_latency == ba.total_latency
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e18),
+                    min_size=1, max_size=100))
+    def test_round_trip_is_sum_exact(self, latencies):
+        hist = LatencyBuckets()
+        for lat in latencies:
+            hist.add(lat)
+        # Simulate the codec: one float64 out, residual kept aside.
+        encoded = hist.total_latency
+        residual = hist.latency_residual()
+        restored = LatencyBuckets()
+        restored.total_latency = encoded
+        restored.correct_total_latency(residual)
+        # The restored *value* is exact (expansion components may be
+        # arranged differently — only the represented sum is canonical,
+        # and the codec encodes only that).
+        assert restored.total_latency == hist.total_latency
+        # A second encode/restore cycle is therefore stable.
+        again = LatencyBuckets()
+        again.total_latency = restored.total_latency
+        again.correct_total_latency(restored.latency_residual())
+        assert again.total_latency == encoded

@@ -346,3 +346,147 @@ class TestSampled:
         data = [l for l in out.splitlines()
                 if l and not l.startswith("#")]
         assert all(len(l.split()) == 3 for l in data)
+
+
+class TestCompareThreshold:
+    @pytest.fixture
+    def clean(self, tmp_path):
+        path = tmp_path / "clean.ospb"
+        assert main(["run", "randomread", "--processes", "1",
+                     "--iterations", "200", "--seed", "7",
+                     "--format", "binary", "-o", str(path)]) == 0
+        return str(path)
+
+    @pytest.fixture
+    def contended(self, tmp_path):
+        path = tmp_path / "contended.ospb"
+        assert main(["run", "randomread", "--processes", "2",
+                     "--iterations", "200", "--seed", "7",
+                     "--format", "binary", "-o", str(path)]) == 0
+        return str(path)
+
+    def test_breach_exits_3(self, clean, contended, capsys):
+        rc = main(["compare", clean, contended, "--threshold", "emd=0.5"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "BREACH llseek" in out
+        assert "gate: FAIL" in out
+
+    def test_within_threshold_exits_0(self, clean, tmp_path, capsys):
+        other = tmp_path / "other.ospb"
+        main(["run", "randomread", "--processes", "1", "--iterations",
+              "200", "--seed", "8", "--format", "binary",
+              "-o", str(other)])
+        rc = main(["compare", clean, str(other),
+                   "--threshold", "emd=0.5"])
+        assert rc == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_repeatable_thresholds(self, clean, contended):
+        rc = main(["compare", clean, contended,
+                   "--threshold", "emd=100", "--threshold",
+                   "chi_squared=0.001"])
+        assert rc == 3
+
+    def test_bad_threshold_is_one_clear_error(self, clean, capsys):
+        rc = main(["compare", clean, clean, "--threshold", "emd=lots"])
+        assert rc == 1
+        assert "osprof: error" in capsys.readouterr().err
+
+    def test_without_threshold_still_exits_0(self, clean, contended):
+        assert main(["compare", clean, contended]) == 0
+
+
+class TestDbCli:
+    @pytest.fixture
+    def dumps(self, tmp_path):
+        paths = []
+        for seed in (1, 2):
+            path = tmp_path / f"cap{seed}.ospb"
+            assert main(["run", "randomread", "--processes", "1",
+                         "--iterations", "150", "--seed", str(seed),
+                         "--format", "binary", "-o", str(path)]) == 0
+            paths.append(str(path))
+        return paths
+
+    @pytest.fixture
+    def db(self, tmp_path):
+        return str(tmp_path / "wh")
+
+    def test_ingest_query_round_trip(self, db, dumps, tmp_path, capsys):
+        assert main(["db", "ingest", "--db", db, "--source", "web"]
+                    + dumps) == 0
+        assert "epoch=0" in capsys.readouterr().err
+        out = tmp_path / "q.ospb"
+        assert main(["db", "query", "--db", db, "--source", "web",
+                     "--format", "binary", "-o", str(out)]) == 0
+        from repro.core.profileset import ProfileSet
+        merged = ProfileSet.merged(
+            [ProfileSet.load_path(p) for p in dumps])
+        assert out.read_bytes() == merged.to_bytes()
+
+    def test_query_range_and_op_filter(self, db, dumps, capsys):
+        main(["db", "ingest", "--db", db, "--source", "web"] + dumps)
+        assert main(["db", "query", "--db", db, "--source", "web",
+                     "--op", "llseek", "--since", "0", "--until", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "llseek" in out
+        assert "op read" not in out
+
+    def test_compact_and_gc(self, db, dumps, capsys):
+        main(["db", "ingest", "--db", db, "--source", "web"] + dumps)
+        # Ingest the same dumps repeatedly to age out the early epochs.
+        for _ in range(5):
+            main(["db", "ingest", "--db", db, "--source", "web"] + dumps)
+        rc = main(["db", "compact", "--db", db, "--fanout", "2",
+                   "--keep", "2,2"])
+        assert rc == 0
+        assert "compaction(s)" in capsys.readouterr().err
+        rc = main(["db", "gc", "--db", db, "--fanout", "2",
+                   "--keep", "2,2"])
+        assert rc == 0
+        assert "evicted" in capsys.readouterr().err
+
+    def test_baseline_save_list_rm(self, db, dumps, capsys):
+        main(["db", "ingest", "--db", db, "--source", "web"] + dumps)
+        assert main(["db", "baseline", "save", "clean", "--db", db,
+                     "--from", dumps[0]]) == 0
+        assert main(["db", "baseline", "save", "hist", "--db", db,
+                     "--source", "web"]) == 0
+        capsys.readouterr()
+        assert main(["db", "baseline", "list", "--db", db]) == 0
+        assert capsys.readouterr().out.split() == ["clean", "hist"]
+        assert main(["db", "baseline", "rm", "--db", db, "clean"]) == 0
+        assert main(["db", "baseline", "rm", "--db", db, "clean"]) == 1
+
+    def test_baseline_save_needs_exactly_one_input(self, db, dumps):
+        assert main(["db", "baseline", "save", "x", "--db", db]) == 2
+        assert main(["db", "baseline", "save", "x", "--db", db,
+                     "--from", dumps[0], "--source", "web"]) == 2
+
+    def test_gate_pass_and_breach(self, db, dumps, tmp_path, capsys):
+        main(["db", "baseline", "save", "clean", "--db", db,
+              "--from", dumps[0]])
+        assert main(["db", "gate", dumps[1], "--db", db,
+                     "--baseline", "clean"]) == 0
+        contended = tmp_path / "contended.ospb"
+        main(["run", "randomread", "--processes", "2", "--iterations",
+              "150", "--seed", "1", "--format", "binary",
+              "-o", str(contended)])
+        capsys.readouterr()
+        rc = main(["db", "gate", str(contended), "--db", db,
+                   "--baseline", "clean"])
+        assert rc == 3
+        assert "BREACH llseek" in capsys.readouterr().out
+
+    def test_gate_missing_baseline_is_one_clear_error(self, db, dumps,
+                                                      capsys):
+        rc = main(["db", "gate", dumps[0], "--db", db,
+                   "--baseline", "ghost"])
+        assert rc == 1
+        assert "no baseline named" in capsys.readouterr().err
+
+    def test_bad_keep_is_one_clear_error(self, db, capsys):
+        rc = main(["db", "gc", "--db", db, "--keep", "a,b"])
+        assert rc == 1
+        assert "bad --keep" in capsys.readouterr().err

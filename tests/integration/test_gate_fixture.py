@@ -1,0 +1,63 @@
+"""The CI regression gate, end to end, against the committed fixture.
+
+``tests/fixtures/llseek_clean_baseline.ospb`` is the golden clean
+capture of the §6.1 random-read scenario.  CI replays exactly this
+flow on every push (the ``gate`` job); this test keeps the fixture
+honest from inside tier-1, so a simulator change that shifts the clean
+distribution fails here first with a pointer to the regeneration tool.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURE = Path(__file__).resolve().parent.parent / "fixtures" \
+    / "llseek_clean_baseline.ospb"
+
+STALE_HINT = ("committed gate fixture is stale — regenerate with "
+              "'PYTHONPATH=src python tools/gen_gate_fixture.py' "
+              "and commit the result")
+
+
+@pytest.fixture
+def db(tmp_path):
+    db_dir = str(tmp_path / "wh")
+    assert main(["db", "baseline", "save", "clean", "--db", db_dir,
+                 "--from", str(FIXTURE)]) == 0
+    return db_dir
+
+
+def capture(tmp_path, name, processes, seed):
+    path = tmp_path / name
+    assert main(["run", "randomread", "--processes", str(processes),
+                 "--iterations", "800", "--seed", str(seed),
+                 "--format", "binary", "-o", str(path)]) == 0
+    return str(path)
+
+
+def test_fixture_matches_regeneration_pins(tmp_path):
+    # The fixture is byte-reproducible from its pinned command line.
+    from tools.gen_gate_fixture import CAPTURE_ARGS
+    fresh = tmp_path / "regen.ospb"
+    assert main(CAPTURE_ARGS + ["-o", str(fresh)]) == 0
+    assert fresh.read_bytes() == FIXTURE.read_bytes(), STALE_HINT
+
+
+def test_identical_workload_passes(tmp_path, db, capsys):
+    fresh = capture(tmp_path, "fresh.ospb", processes=1, seed=2026)
+    rc = main(["db", "gate", fresh, "--db", db, "--baseline", "clean"])
+    assert rc == 0, STALE_HINT
+    assert "gate: PASS" in capsys.readouterr().out
+
+
+def test_contended_capture_breaches(tmp_path, db, capsys):
+    contended = capture(tmp_path, "contended.ospb", processes=2,
+                        seed=2026)
+    rc = main(["db", "gate", contended, "--db", db,
+               "--baseline", "clean"])
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert "BREACH llseek" in out
+    assert "gate: FAIL" in out

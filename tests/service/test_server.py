@@ -300,3 +300,121 @@ class TestParseEndpoint:
     def test_rejects_non_integer_port(self):
         with pytest.raises(ValueError):
             parse_endpoint("host:http")
+
+
+class TestWarehouseIntegration:
+    """serve --db: closed segments flush durably, restarts seed history."""
+
+    def build(self, tmp_path, **overrides):
+        from repro.warehouse import Warehouse
+        config = dict(segment_seconds=5.0, retention=4,
+                      baseline_segments=3, threshold=0.5, min_ops=10)
+        config.update(overrides)
+        clock = FakeClock()
+        svc = ProfileService(ServiceConfig(**config), clock=clock,
+                             warehouse=Warehouse(tmp_path / "db"),
+                             warehouse_source="svc")
+        svc.test_clock = clock
+        return svc
+
+    def test_closed_segments_flush_as_consecutive_epochs(self, tmp_path):
+        svc = self.build(tmp_path)
+        for i in range(3):
+            svc.ingest_payload(pset({"read": [100.0 + i] * 20}).to_bytes())
+            svc.test_clock.now += 5.0
+        svc.tick()
+        wh = svc.warehouse
+        assert wh.segments_total == 3
+        assert [m.epoch for m in wh.segments("svc")] == [0, 1, 2]
+        assert wh.query("svc")["read"].total_ops == 60
+
+    def test_eviction_recheck_never_double_ingests(self, tmp_path):
+        svc = self.build(tmp_path, retention=2)
+        for i in range(8):
+            svc.ingest_payload(pset({"read": [100.0] * 20}).to_bytes())
+            svc.test_clock.now += 5.0
+        svc.tick()
+        # Every closed segment landed exactly once, eviction re-checks
+        # included.
+        assert svc.warehouse.segments_total == 8
+        assert svc.warehouse.query("svc")["read"].total_ops == 160
+
+    def test_restart_seeds_baseline_and_continues_epochs(self, tmp_path):
+        svc = self.build(tmp_path)
+        for _ in range(4):
+            svc.ingest_payload(pset(STEADY).to_bytes())
+            svc.test_clock.now += 5.0
+        svc.tick()
+
+        restarted = self.build(tmp_path)
+        assert restarted.baseline_seeded == 3  # baseline_segments
+        # New segments append after stored history instead of epoch 0.
+        restarted.ingest_payload(pset(STEADY).to_bytes())
+        restarted.test_clock.now += 5.0
+        restarted.tick()
+        epochs = [m.epoch for m in restarted.warehouse.segments("svc")]
+        assert epochs == [0, 1, 2, 3, 4]
+
+    def test_restarted_service_alerts_against_stored_history(self, tmp_path):
+        svc = self.build(tmp_path)
+        for _ in range(4):
+            svc.ingest_payload(pset(STEADY).to_bytes())
+            svc.test_clock.now += 5.0
+        svc.tick()
+
+        restarted = self.build(tmp_path)
+        # The very first segment after the restart is judged against
+        # real history: a 5x latency shift alerts immediately.
+        restarted.ingest_payload(pset({"read": [500.0] * 100}).to_bytes())
+        restarted.test_clock.now += 5.0
+        restarted.tick()
+        _, alerts = restarted.alerts_since(0)
+        assert any(a.operation == "read" for a in alerts)
+
+    def test_flush_failure_is_counted_not_fatal(self, tmp_path):
+        class BrokenWarehouse:
+            segments_total = 0
+            compactions_total = 0
+            gc_evictions_total = 0
+
+            class index:
+                @staticmethod
+                def next_epoch(source):
+                    return 0
+
+            def recent_psets(self, source, count):
+                return []
+
+            def ingest(self, source, pset, epoch=None):
+                raise OSError("disk full")
+
+        clock = FakeClock()
+        svc = ProfileService(
+            ServiceConfig(segment_seconds=5.0, retention=4,
+                          baseline_segments=3, min_ops=10),
+            clock=clock, warehouse=BrokenWarehouse(),
+            warehouse_source="svc")
+        svc.ingest_payload(pset(STEADY).to_bytes())
+        clock.now += 5.0
+        svc.tick()  # must not raise
+        assert svc.warehouse_flush_errors == 1
+        assert "osprof_warehouse_flush_errors_total 1" in svc.metrics_text()
+
+    def test_metrics_expose_warehouse_counters(self, tmp_path):
+        svc = self.build(tmp_path)
+        svc.ingest_payload(pset(STEADY).to_bytes())
+        svc.test_clock.now += 5.0
+        svc.tick()
+        text = svc.metrics_text()
+        assert "osprof_warehouse_segments_total 1" in text
+        assert "osprof_warehouse_compactions_total 0" in text
+        assert "osprof_warehouse_gc_evictions_total 0" in text
+        assert "osprof_warehouse_flush_errors_total 0" in text
+
+    def test_metrics_present_without_warehouse(self, service):
+        # The counters exist (at zero) even when serve has no --db, so
+        # scrapers never see a metric appear and disappear.
+        text = service.metrics_text()
+        assert "osprof_warehouse_segments_total 0" in text
+        assert "osprof_warehouse_compactions_total 0" in text
+        assert "osprof_warehouse_gc_evictions_total 0" in text

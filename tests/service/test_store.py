@@ -125,3 +125,44 @@ class TestMerged:
         store.advance()
         assert len(store) == 2
         assert store.total_ops() == 4
+
+
+class TestEvictionHook:
+    def test_on_evict_sees_every_dropped_segment(self):
+        clock = FakeClock()
+        evicted = []
+        store = SegmentStore(5.0, 2, clock=clock,
+                             on_evict=evicted.append)
+        for i in range(6):
+            store.ingest(pset(latency=100.0 + i))
+            clock.now += 5.0
+        store.advance()
+        # 6 segments closed, retention 2: the oldest 4 were dropped,
+        # oldest first, and every one passed through the hook.
+        assert [seg.index for seg in evicted] == [0, 1, 2, 3]
+        assert evicted[0].pset["read"].mean_latency() == 100.0
+        assert store.segments_evicted == 4
+
+    def test_no_hook_keeps_old_behavior(self):
+        clock = FakeClock()
+        store = SegmentStore(5.0, 1, clock=clock)
+        for _ in range(3):
+            store.ingest(pset())
+            clock.now += 5.0
+        store.advance()
+        assert store.segments_evicted == 2
+
+    def test_raising_hook_propagates(self):
+        # Silent data loss is worse than a failed rotation: the store
+        # must not swallow an on_evict failure.
+        clock = FakeClock()
+
+        def explode(segment):
+            raise RuntimeError("durability layer down")
+
+        store = SegmentStore(5.0, 1, clock=clock, on_evict=explode)
+        for _ in range(2):
+            store.ingest(pset())
+            clock.now += 5.0
+        with pytest.raises(RuntimeError, match="durability layer down"):
+            store.advance()

@@ -1,0 +1,169 @@
+"""Crash-safety: kill the warehouse mid-ingest / mid-compaction, reopen.
+
+The write-then-commit discipline under test: a segment file always
+lands (atomic rename) *before* its log record.  Killing the process in
+either half of that window and replaying the log must never lose a
+committed segment and never double-count one — the worst outcome is an
+orphan file, which ``gc`` sweeps.
+
+Faults are armed through the ``warehouse.ingest`` / ``warehouse.compact``
+sites of :mod:`repro.core.faults` (the same seed-driven plan the shard
+and service suites use); the seed comes from ``OSPROF_FAULT_SEED`` so
+the CI fault sweep covers this suite too.
+"""
+
+import os
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultPoint, InjectedFault
+from repro.core.profileset import ProfileSet
+from repro.warehouse import CompactionPolicy, Warehouse
+
+SEED = int(os.environ.get("OSPROF_FAULT_SEED", "2006"))
+
+SMALL = CompactionPolicy(fanout=2, keep=(2, 2, 2))
+
+
+def plan(*points):
+    return FaultPlan(points, seed=SEED)
+
+
+def pset(epoch):
+    return ProfileSet.from_operation_latencies(
+        {"read": [100.0 + epoch] * 4})
+
+
+def fill(root, epochs, fault_plan=None, policy=SMALL):
+    wh = Warehouse(root, policy=policy, fault_plan=fault_plan)
+    for epoch in range(epochs):
+        wh.ingest("web", pset(epoch), epoch=epoch)
+    return wh
+
+
+class TestCrashMidIngest:
+    """Each commit fires the site twice: after-file, then after-log."""
+
+    def test_crash_after_file_before_log(self, tmp_path):
+        # The 4th ingest dies between its file landing and its commit.
+        armed = fill(tmp_path, 3, plan(
+            FaultPoint("warehouse.ingest", "crash", key="after-file",
+                       attempts=(6,))))
+        with pytest.raises(InjectedFault):
+            armed.ingest("web", pset(3), epoch=3)
+
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        # The uncommitted segment does not exist; the 3 committed ones do.
+        assert reopened.segments_total == 3
+        expected = ProfileSet.merged([pset(e) for e in range(3)])
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+        # Its file is an orphan until gc sweeps it.
+        files = list((tmp_path / "segments").rglob("*.ospb"))
+        assert len(files) == 4
+        reopened.gc()
+        assert reopened.orphans_removed == 1
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+
+    def test_crash_after_log_commit_is_durable(self, tmp_path):
+        armed = fill(tmp_path, 3, plan(
+            FaultPoint("warehouse.ingest", "crash", key="after-log",
+                       attempts=(7,))))
+        with pytest.raises(InjectedFault):
+            armed.ingest("web", pset(3), epoch=3)
+
+        # The record landed, so the segment is committed: visible once,
+        # exactly once, after replay.
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        assert reopened.segments_total == 4
+        expected = ProfileSet.merged([pset(e) for e in range(4)])
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+
+    def test_retry_after_crash_does_not_double_count(self, tmp_path):
+        armed = fill(tmp_path, 3, plan(
+            FaultPoint("warehouse.ingest", "crash", key="after-file",
+                       attempts=(6,))))
+        with pytest.raises(InjectedFault):
+            armed.ingest("web", pset(3), epoch=3)
+        # The caller retries against a reopened warehouse (the service
+        # does exactly this across a restart).
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        reopened.ingest("web", pset(3), epoch=3)
+        assert reopened.segments_total == 4
+        expected = ProfileSet.merged([pset(e) for e in range(4)])
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+
+
+class TestCrashMidCompaction:
+    def test_crash_after_file_keeps_inputs_live(self, tmp_path):
+        expected = ProfileSet.merged([pset(e) for e in range(12)])
+        armed = fill(tmp_path, 12, plan(
+            FaultPoint("warehouse.compact", "crash", key="after-file",
+                       attempts=(0,))))
+        with pytest.raises(InjectedFault):
+            armed.compact()
+
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        # No commit happened: every raw segment is still live and the
+        # half-written super-segment is an orphan.
+        assert reopened.segments_total == 12
+        assert reopened.compactions_total == 0
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+        reopened.gc()
+        assert reopened.orphans_removed == 1
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+
+    def test_crash_after_log_supersedes_inputs_exactly_once(self, tmp_path):
+        expected = ProfileSet.merged([pset(e) for e in range(12)])
+        armed = fill(tmp_path, 12, plan(
+            FaultPoint("warehouse.compact", "crash", key="after-log",
+                       attempts=(1,))))
+        with pytest.raises(InjectedFault):
+            armed.compact()
+
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        # The super-segment committed; its inputs are superseded (not
+        # double-counted) even though their files were never unlinked.
+        assert reopened.compactions_total == 1
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+
+        # Finishing the job from the clean state converges to the same
+        # bytes as a never-crashed history, and the never-unlinked input
+        # files (declared dead by the replayed log) get swept.
+        reopened.compact()
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+        on_disk = {p.relative_to(tmp_path).as_posix()
+                   for p in (tmp_path / "segments").rglob("*.ospb")}
+        assert on_disk == reopened.index.live_files()
+
+    def test_crashed_compaction_retried_matches_clean_run(self, tmp_path):
+        clean = fill(tmp_path / "clean", 12)
+        clean.compact()
+        reference = clean.query("web").to_bytes()
+
+        armed = fill(tmp_path / "crashy", 12, plan(
+            FaultPoint("warehouse.compact", "crash", key="after-file",
+                       attempts=(2,))))
+        with pytest.raises(InjectedFault):
+            armed.compact()
+        recovered = Warehouse(tmp_path / "crashy", policy=SMALL)
+        recovered.compact()
+        assert recovered.query("web").to_bytes() == reference
+
+
+class TestTornLogTail:
+    def test_torn_last_record_loses_only_the_uncommitted(self, tmp_path):
+        wh = fill(tmp_path, 4)
+        wal = tmp_path / "wal.log"
+        data = wal.read_bytes()
+        # Tear the last committed line in half, as a crash mid-write
+        # (plus lost directory sync) would.
+        wal.write_bytes(data[:len(data) - 20])
+
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        assert reopened.segments_total == 3
+        assert reopened.log.truncated_bytes > 0
+        expected = ProfileSet.merged([pset(e) for e in range(3)])
+        assert reopened.query("web").to_bytes() == expected.to_bytes()
+        # The torn segment's file is now an orphan; sweep it.
+        reopened.gc()
+        assert reopened.orphans_removed == 1

@@ -1,0 +1,95 @@
+"""Tests for the regression gate's thresholds, scoring, and exit codes."""
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.warehouse.gate import (DEFAULT_GATE_THRESHOLDS, EXIT_BREACH,
+                                  Threshold, evaluate_gate, parse_threshold)
+
+
+def pset(samples):
+    return ProfileSet.from_operation_latencies(samples)
+
+
+STEADY = {"read": [100.0] * 50, "llseek": [40.0] * 50}
+
+
+class TestThreshold:
+    def test_parse(self):
+        t = parse_threshold("emd=0.5")
+        assert (t.metric, t.value) == ("emd", 0.5)
+
+    @pytest.mark.parametrize("text", ["emd", "=1", "emd=", "emd=abc"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError, match="bad threshold|unknown metric"):
+            parse_threshold(text)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Threshold("wat", 1.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Threshold("emd", -0.1)
+
+
+class TestEvaluateGate:
+    def test_identical_capture_passes(self):
+        report = evaluate_gate(pset(STEADY), pset(STEADY))
+        assert report.passed
+        assert report.exit_code() == 0
+        assert report.operations_checked == 2
+        assert not report.breaches
+        assert "PASS" in report.describe()
+
+    def test_shifted_capture_breaches(self):
+        shifted = {"read": [800.0] * 50, "llseek": [40.0] * 50}
+        report = evaluate_gate(pset(STEADY), pset(shifted))
+        assert not report.passed
+        assert report.exit_code() == EXIT_BREACH
+        assert {b.operation for b in report.breaches} == {"read"}
+        assert "BREACH read" in report.describe()
+        assert "FAIL" in report.describe()
+
+    def test_new_operation_is_maximal_shift(self):
+        grown = dict(STEADY, mmap=[100.0] * 50)
+        report = evaluate_gate(pset(STEADY), pset(grown))
+        assert "mmap" in {b.operation for b in report.breaches}
+
+    def test_vanished_operation_is_maximal_shift(self):
+        shrunk = {"read": [100.0] * 50}
+        report = evaluate_gate(pset(STEADY), pset(shrunk))
+        assert "llseek" in {b.operation for b in report.breaches}
+
+    def test_min_ops_skips_noise_on_both_sides(self):
+        noisy_base = dict(STEADY, rare=[999.0])
+        noisy_capture = dict(STEADY, rare=[1.0])
+        report = evaluate_gate(pset(noisy_base), pset(noisy_capture),
+                               min_ops=10)
+        assert report.passed
+        assert report.operations_skipped == 1
+        assert "below min-ops" in report.describe()
+
+    def test_min_ops_keeps_one_sided_volume(self):
+        # 50 requests vanished: that is a real shift, not noise.
+        report = evaluate_gate(pset(STEADY), pset({"read": [100.0] * 50}),
+                               min_ops=10)
+        assert not report.passed
+
+    def test_custom_threshold_order_and_scores(self):
+        thresholds = (Threshold("emd", 1000.0),)
+        report = evaluate_gate(pset(STEADY),
+                               pset({"read": [800.0] * 50,
+                                     "llseek": [40.0] * 50}),
+                               thresholds=thresholds)
+        assert report.passed  # generous limit
+        assert [(op, metric) for op, metric, _ in report.scores] == \
+            [("llseek", "emd"), ("read", "emd")]
+
+    def test_no_thresholds_is_loud(self):
+        with pytest.raises(ValueError, match="at least one threshold"):
+            evaluate_gate(pset(STEADY), pset(STEADY), thresholds=())
+
+    def test_default_thresholds_are_emd_primary(self):
+        assert DEFAULT_GATE_THRESHOLDS[0].metric == "emd"
+        assert len(DEFAULT_GATE_THRESHOLDS) == 2

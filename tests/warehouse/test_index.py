@@ -1,0 +1,135 @@
+"""Tests for the warehouse index as a pure reduction of the log."""
+
+import pytest
+
+from repro.warehouse.index import SegmentMeta, WarehouseIndex
+
+
+def meta(seg_id, source="web", tier=0, epoch=None, span=1,
+         ops=(("filesystem", "read"),)):
+    epoch = seg_id if epoch is None else epoch
+    return SegmentMeta(seg_id=seg_id, source=source, tier=tier,
+                       epoch=epoch, span=span,
+                       file=f"segments/{source}/t{tier}-{epoch}-{seg_id}.ospb",
+                       nbytes=100, ops=tuple(sorted(ops)))
+
+
+class TestSegmentMeta:
+    def test_record_round_trip(self):
+        original = meta(7, ops=(("filesystem", "read"), ("user", "llseek")))
+        assert SegmentMeta.from_record(original.to_record()) == original
+
+    def test_epoch_window(self):
+        m = meta(1, tier=2, epoch=8, span=4)
+        assert m.epoch_end == 11
+        assert m.overlaps(None, None)
+        assert m.overlaps(11, 20)
+        assert m.overlaps(0, 8)
+        assert not m.overlaps(12, None)
+        assert not m.overlaps(None, 7)
+
+    def test_bad_record_is_loud(self):
+        with pytest.raises(ValueError, match="bad segment record"):
+            SegmentMeta.from_record({"rec": "segment", "id": "x"})
+
+
+class TestReduction:
+    def test_ingest_updates_live_and_counters(self):
+        index = WarehouseIndex()
+        index.apply(meta(1).to_record())
+        index.apply(meta(2).to_record())
+        assert len(index) == 2
+        assert index.segments_total == 2
+        assert index.compactions_total == 0
+        assert index.next_id == 3
+
+    def test_compaction_supersedes_inputs(self):
+        index = WarehouseIndex()
+        index.apply(meta(1).to_record())
+        index.apply(meta(2).to_record())
+        out = meta(3, tier=1, epoch=0, span=4)
+        index.apply(out.to_record(inputs=(1, 2)))
+        assert len(index) == 1
+        assert index.get(1) is None and index.get(2) is None
+        assert index.get(3) == out
+        assert index.compactions_total == 1
+        assert index.segments_total == 2  # ingests stay counted
+        assert meta(1).file in index.dead_files
+
+    def test_gc_drops_and_counts(self):
+        index = WarehouseIndex()
+        index.apply(meta(1).to_record())
+        index.apply(meta(2).to_record())
+        index.apply({"rec": "gc", "ids": [1, 99]})  # 99 is already gone
+        assert len(index) == 1
+        assert index.gc_evictions_total == 1
+
+    def test_duplicate_id_is_loud(self):
+        index = WarehouseIndex()
+        index.apply(meta(1).to_record())
+        with pytest.raises(ValueError, match="duplicate"):
+            index.apply(meta(1).to_record())
+
+    def test_unknown_record_kind_is_loud(self):
+        with pytest.raises(ValueError, match="unknown log record"):
+            WarehouseIndex().apply({"rec": "mystery"})
+
+    def test_replay_reproduces_identical_state(self):
+        records = [meta(1).to_record(), meta(2).to_record(),
+                   meta(3, tier=1, epoch=0, span=4).to_record(inputs=(1,)),
+                   {"rec": "gc", "ids": [2]}]
+        a, b = WarehouseIndex(), WarehouseIndex()
+        for record in records:
+            a.apply(record)
+            b.apply(record)
+        assert [a.get(i) for i in range(5)] == [b.get(i) for i in range(5)]
+        assert (a.segments_total, a.compactions_total,
+                a.gc_evictions_total) == (b.segments_total,
+                                          b.compactions_total,
+                                          b.gc_evictions_total)
+        assert a.dead_files == b.dead_files
+
+
+class TestSelect:
+    def build(self):
+        index = WarehouseIndex()
+        index.apply(meta(1, epoch=0,
+                         ops=(("filesystem", "read"),)).to_record())
+        index.apply(meta(2, epoch=1,
+                         ops=(("filesystem", "llseek"),)).to_record())
+        index.apply(meta(3, epoch=2, ops=(("user", "read"),)).to_record())
+        index.apply(meta(4, source="other", epoch=0).to_record())
+        return index
+
+    def test_select_by_source_in_epoch_order(self):
+        index = self.build()
+        assert [m.seg_id for m in index.select("web")] == [1, 2, 3]
+        assert [m.seg_id for m in index.select("other")] == [4]
+        assert index.select("nope") == []
+
+    def test_postings_filter_op_and_layer(self):
+        index = self.build()
+        assert [m.seg_id for m in index.select("web", op="read")] == [1, 3]
+        assert [m.seg_id
+                for m in index.select("web", layer="filesystem")] == [1, 2]
+        assert [m.seg_id for m in index.select(
+            "web", layer="user", op="read")] == [3]
+        assert index.select("web", op="write") == []
+
+    def test_range_filter(self):
+        index = self.build()
+        assert [m.seg_id for m in index.select("web", t0=1, t1=2)] == [2, 3]
+        assert [m.seg_id for m in index.select("web", t1=0)] == [1]
+
+    def test_next_epoch_tracks_spans(self):
+        index = WarehouseIndex()
+        assert index.next_epoch("web") == 0
+        index.apply(meta(1, tier=1, epoch=0, span=4).to_record())
+        assert index.next_epoch("web") == 4
+        index.apply(meta(2, epoch=9).to_record())
+        assert index.next_epoch("web") == 10
+
+    def test_sources_excludes_emptied(self):
+        index = self.build()
+        index.apply({"rec": "gc", "ids": [4]})
+        assert index.sources() == ["web"]

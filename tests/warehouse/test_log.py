@@ -1,0 +1,112 @@
+"""Tests for the warehouse's CRC-framed commit journal."""
+
+import pytest
+
+from repro.warehouse.log import LogError, SegmentLog
+
+
+def records(n, start=0):
+    return [{"rec": "segment", "id": i, "source": "s", "tier": 0,
+             "epoch": i, "span": 1, "file": f"f{i}", "bytes": 10,
+             "ops": [["filesystem", "read"]], "inputs": []}
+            for i in range(start, start + n)]
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        log = SegmentLog(tmp_path / "wal.log")
+        for record in records(5):
+            log.append(record)
+        assert log.replay() == records(5)
+
+    def test_replay_survives_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        for record in records(3):
+            log.append(record)
+        assert SegmentLog(path).replay() == records(3)
+
+    def test_append_after_reopen_extends(self, tmp_path):
+        path = tmp_path / "wal.log"
+        SegmentLog(path).append(records(1)[0])
+        log = SegmentLog(path)
+        log.append(records(1, start=1)[0])
+        assert log.replay() == records(2)
+
+    def test_empty_log_replays_empty(self, tmp_path):
+        log = SegmentLog(tmp_path / "wal.log")
+        assert log.replay() == []
+        assert log.recover() == []
+
+    def test_canonical_encoding_is_key_order_independent(self, tmp_path):
+        log = SegmentLog(tmp_path / "wal.log")
+        log.append({"b": 2, "a": 1})
+        log.append({"a": 1, "b": 2})
+        first, second = log.path.read_bytes().splitlines()[1:]
+        assert first == second
+
+
+class TestDamage:
+    def test_bad_header_is_loud(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"not a journal\n")
+        with pytest.raises(LogError):
+            SegmentLog(path).replay()
+
+    def test_torn_tail_is_distrusted(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        for record in records(3):
+            log.append(record)
+        # A crash mid-append: half a line, no newline.
+        with open(path, "ab") as f:
+            f.write(b"deadbeef {\"rec\":")
+        assert SegmentLog(path).replay() == records(3)
+
+    def test_recover_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        for record in records(2):
+            log.append(record)
+        good_size = path.stat().st_size
+        with open(path, "ab") as f:
+            f.write(b"garbage tail")
+        fresh = SegmentLog(path)
+        assert fresh.recover() == records(2)
+        assert fresh.truncated_bytes == len(b"garbage tail")
+        assert path.stat().st_size == good_size
+        # Appends after recovery land on a clean boundary.
+        fresh.append(records(1, start=2)[0])
+        assert SegmentLog(path).replay() == records(3)
+
+    def test_corrupt_line_stops_replay_there(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        for record in records(4):
+            log.append(record)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip one payload byte of the third record: CRC must catch it,
+        # and everything after the damage is distrusted too.
+        damaged = bytearray(lines[3])
+        damaged[-5] ^= 0x01
+        path.write_bytes(b"".join(lines[:3] + [bytes(damaged)] + lines[4:]))
+        assert SegmentLog(path).replay() == records(2)
+
+    def test_bad_crc_hex_is_damage_not_crash(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        log.append(records(1)[0])
+        with open(path, "ab") as f:
+            f.write(b"zzzzzzzz {\"rec\":\"segment\"}\n")
+        assert SegmentLog(path).replay() == records(1)
+
+    def test_non_dict_record_is_rejected(self, tmp_path):
+        import zlib
+        path = tmp_path / "wal.log"
+        log = SegmentLog(path)
+        log.append(records(1)[0])
+        payload = b"[1,2,3]"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        with open(path, "ab") as f:
+            f.write(b"%08x " % crc + payload + b"\n")
+        assert SegmentLog(path).replay() == records(1)

@@ -1,0 +1,273 @@
+"""Tests for the Warehouse facade: ingest, query, compact, gc, baselines.
+
+The load-bearing property (the PR's acceptance criterion) is round-trip
+determinism: ingest N segments, compact them through the tiers, reopen
+the directory — ``query()`` stays byte-identical to
+``ProfileSet.merged()`` over the raw segments it started from.
+"""
+
+import random
+
+import pytest
+
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+from repro.warehouse import CompactionPolicy, Warehouse, WarehouseError
+
+SMALL = CompactionPolicy(fanout=2, keep=(2, 2, 2))
+
+
+def pset(samples, layer=Layer.FILESYSTEM):
+    out = ProfileSet()
+    for op, latencies in samples.items():
+        prof = Profile(op, layer=layer)
+        for latency in latencies:
+            prof.add(latency)
+        out.insert(prof)
+    return out
+
+
+def random_pset(seed):
+    """A small, seed-determined profile set (ops, layers, latencies)."""
+    rng = random.Random(seed)
+    layers = (Layer.FILESYSTEM, Layer.USER, Layer.DRIVER)
+    out = ProfileSet()
+    for op in rng.sample(["read", "write", "llseek", "readdir", "fsync",
+                          "mmap", "open"], rng.randint(1, 4)):
+        prof = Profile(op, layer=rng.choice(layers))
+        for _ in range(rng.randint(1, 40)):
+            prof.add(rng.uniform(1.0, 1e6))
+        out.insert(prof)
+    return out
+
+
+class TestIngestQuery:
+    def test_ingest_assigns_epochs_and_counts(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        first = wh.ingest("web", pset({"read": [100.0] * 5}))
+        second = wh.ingest("web", pset({"read": [200.0] * 5}))
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert (first.tier, second.tier) == (0, 0)
+        assert wh.segments_total == 2
+        assert wh.sources() == ["web"]
+
+    def test_query_merges_history(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest("web", pset({"read": [100.0] * 5}))
+        wh.ingest("web", pset({"read": [200.0] * 5}))
+        merged = wh.query("web")
+        assert merged["read"].total_ops == 10
+
+    def test_query_range_is_inclusive(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for e in range(4):
+            wh.ingest("web", pset({"read": [100.0]}), epoch=e)
+        assert wh.query("web", t0=1, t1=2)["read"].total_ops == 2
+        assert wh.query("web", t1=0)["read"].total_ops == 1
+        assert len(wh.query("web", t0=4)) == 0
+
+    def test_query_filters_layer_and_op(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        mixed = ProfileSet.merged([pset({"read": [100.0] * 3}),
+                                   pset({"llseek": [10.0] * 2},
+                                        layer=Layer.USER)])
+        wh.ingest("web", mixed)
+        by_op = wh.query("web", op="read")
+        assert by_op.operations() == ["read"]
+        assert by_op["read"].total_ops == 3
+        by_layer = wh.query("web", layer=Layer.USER)
+        assert {p.operation for p in by_layer} == {"llseek"}
+        assert len(wh.query("web", layer=Layer.USER, op="read")) == 0
+
+    def test_sources_are_isolated(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest("a", pset({"read": [100.0]}))
+        wh.ingest("b", pset({"read": [200.0] * 9}))
+        assert wh.query("a")["read"].total_ops == 1
+        assert len(wh.query("ghost")) == 0
+
+    def test_bad_names_are_rejected(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for bad in ("", "../evil", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(WarehouseError):
+                wh.ingest(bad, pset({"read": [1.0]}))
+
+    def test_negative_epoch_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match="negative epoch"):
+            Warehouse(tmp_path).ingest("web", pset({"read": [1.0]}),
+                                       epoch=-1)
+
+    def test_damaged_segment_file_is_loud(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest("web", pset({"read": [100.0]}))
+        path = tmp_path / meta.file
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(WarehouseError, match="damaged"):
+            wh.query("web")
+
+    def test_missing_segment_file_is_loud(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest("web", pset({"read": [100.0]}))
+        (tmp_path / meta.file).unlink()
+        with pytest.raises(WarehouseError, match="missing on disk"):
+            wh.query("web")
+
+
+class TestRoundTripDeterminism:
+    """Acceptance: compaction and reopen never change query() bytes."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 2006])
+    def test_ingest_compact_reopen_is_byte_identical(self, tmp_path, seed):
+        rng = random.Random(seed)
+        wh = Warehouse(tmp_path / "wh", policy=SMALL)
+        raw = []
+        for epoch in range(rng.randint(8, 20)):
+            segment = random_pset(seed * 1000 + epoch)
+            raw.append(segment)
+            wh.ingest("web", segment, epoch=epoch)
+        expected = ProfileSet.merged(raw).to_bytes()
+        assert wh.query("web").to_bytes() == expected
+
+        created = wh.compact()
+        assert created  # the policy is tight enough that work happened
+        assert wh.query("web").to_bytes() == expected
+
+        reopened = Warehouse(tmp_path / "wh", policy=SMALL)
+        assert reopened.query("web").to_bytes() == expected
+
+        # A second compaction round finds nothing new to do.
+        assert reopened.compact() == []
+        assert reopened.query("web").to_bytes() == expected
+
+    @pytest.mark.parametrize("seed", [5, 11])
+    def test_range_query_survives_compaction_widening(self, tmp_path, seed):
+        # Compaction coarsens epoch windows; a range query may widen to
+        # the containing windows but must stay deterministic.
+        wh = Warehouse(tmp_path, policy=SMALL)
+        for epoch in range(12):
+            wh.ingest("web", random_pset(seed * 100 + epoch), epoch=epoch)
+        before = wh.query("web", t0=0, t1=3)
+        wh.compact()
+        after = wh.query("web", t0=0, t1=3)
+        # Every request visible before is still visible after.
+        assert after.total_ops() >= before.total_ops()
+        assert wh.query("web", t0=0, t1=3).to_bytes() == after.to_bytes()
+
+
+class TestCompactionAndGc:
+    def fill(self, tmp_path, epochs=12):
+        wh = Warehouse(tmp_path, policy=SMALL)
+        for epoch in range(epochs):
+            wh.ingest("web", pset({"read": [100.0 + epoch] * 4}),
+                      epoch=epoch)
+        return wh
+
+    def test_compact_reduces_live_segments(self, tmp_path):
+        wh = self.fill(tmp_path)
+        before = len(wh.index)
+        wh.compact()
+        assert len(wh.index) < before
+        assert wh.compactions_total > 0
+
+    def test_compact_removes_superseded_files(self, tmp_path):
+        wh = self.fill(tmp_path)
+        wh.compact()
+        on_disk = {p.relative_to(tmp_path).as_posix()
+                   for p in (tmp_path / "segments").rglob("*.ospb")}
+        assert on_disk == wh.index.live_files()
+
+    def test_compaction_alone_never_drops_requests(self, tmp_path):
+        wh = self.fill(tmp_path)
+        total = wh.query("web").total_ops()
+        wh.compact()
+        assert wh.query("web").total_ops() == total
+
+    def test_gc_evicts_only_top_tier_past_retention(self, tmp_path):
+        wh = self.fill(tmp_path, epochs=40)
+        wh.compact()
+        evicted = wh.gc()
+        assert evicted == wh.gc_evictions_total > 0
+        # Recent history is intact.
+        assert wh.query("web", t0=39, t1=39).total_ops() == 4
+
+    def test_gc_without_pressure_is_a_noop(self, tmp_path):
+        wh = self.fill(tmp_path, epochs=3)
+        assert wh.gc() == 0
+        assert wh.query("web").total_ops() == 12
+
+    def test_gc_survives_reopen(self, tmp_path):
+        wh = self.fill(tmp_path, epochs=40)
+        wh.compact()
+        wh.gc()
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        assert reopened.gc_evictions_total == wh.gc_evictions_total
+        assert reopened.query("web").to_bytes() == \
+            wh.query("web").to_bytes()
+
+    def test_gc_sweeps_orphan_files(self, tmp_path):
+        wh = self.fill(tmp_path, epochs=2)
+        orphan = tmp_path / "segments" / "web" / "t0-999-rogue.ospb"
+        orphan.write_bytes(b"uncommitted leftovers")
+        wh.gc()
+        assert not orphan.exists()
+        assert wh.orphans_removed == 1
+        assert wh.query("web").total_ops() == 8  # committed data intact
+
+
+class TestRecentPsets:
+    def test_most_recent_non_empty_oldest_first(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for epoch in range(5):
+            wh.ingest("web", pset({"read": [float(epoch + 1)] * 2}),
+                      epoch=epoch)
+        wh.ingest("web", ProfileSet(), epoch=5)  # empty: skipped
+        recent = wh.recent_psets("web", 3)
+        assert [p["read"].total_ops for p in recent] == [2, 2, 2]
+        means = [p["read"].mean_latency() for p in recent]
+        assert means == sorted(means)  # oldest first
+
+    def test_count_bounds(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest("web", pset({"read": [1.0]}))
+        assert wh.recent_psets("web", 0) == []
+        assert len(wh.recent_psets("web", 10)) == 1
+        assert wh.recent_psets("ghost", 3) == []
+
+
+class TestBaselines:
+    def test_save_load_list_rm(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        reference = pset({"read": [100.0] * 10})
+        wh.save_baseline("clean", reference)
+        assert wh.baselines() == ["clean"]
+        assert wh.load_baseline("clean").to_bytes() == reference.to_bytes()
+        assert wh.remove_baseline("clean") is True
+        assert wh.remove_baseline("clean") is False
+        assert wh.baselines() == []
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.save_baseline("clean", pset({"read": [100.0]}))
+        wh.save_baseline("clean", pset({"read": [200.0] * 3}))
+        assert wh.load_baseline("clean")["read"].total_ops == 3
+
+    def test_missing_baseline_names_alternatives(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.save_baseline("clean", pset({"read": [100.0]}))
+        with pytest.raises(WarehouseError, match="have: clean"):
+            wh.load_baseline("ghost")
+
+    def test_damaged_baseline_is_loud(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.save_baseline("clean", pset({"read": [100.0]}))
+        path = tmp_path / "baselines" / "clean.ospb"
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(WarehouseError, match="damaged"):
+            wh.load_baseline("clean")
+
+    def test_bad_baseline_name_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError):
+            Warehouse(tmp_path).save_baseline("../../etc/passwd",
+                                              pset({"read": [1.0]}))

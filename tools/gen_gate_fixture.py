@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the CI regression-gate golden baseline fixture.
+
+The fixture is a clean (uncontended) capture of the §6.1 random-read
+scenario: one process doing llseek+read, so the llseek profile shows no
+``i_sem`` contention peak.  CI saves it as a warehouse baseline and
+gates fresh captures against it — an identical workload must pass, the
+two-process contended variant must breach (exit 3).
+
+Run after any simulator change that legitimately shifts the clean
+distribution:
+
+    PYTHONPATH=src python tools/gen_gate_fixture.py
+
+and commit the result.  ``tests/integration/test_gate_fixture.py``
+fails loudly when the fixture goes stale instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cli import main
+
+OUT = (Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+       / "llseek_clean_baseline.ospb")
+
+#: One clean capture: the gate's reference distribution.  Seed and size
+#: are pinned so the fixture regenerates reproducibly.
+CAPTURE_ARGS = ["run", "randomread", "--processes", "1",
+                "--iterations", "800", "--seed", "2006",
+                "--format", "binary"]
+
+
+def generate() -> Path:
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    rc = main(CAPTURE_ARGS + ["-o", str(OUT)])
+    if rc != 0:
+        raise SystemExit(rc)
+    return OUT
+
+
+if __name__ == "__main__":
+    path = generate()
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
