@@ -20,6 +20,9 @@ them into one CLI over the library:
 * ``osprof serve`` — run the continuous profiling service: TCP
   ingestion of binary profiles, a rolling time-segmented store, and
   online differential alerting.
+* ``osprof relay --upstream <host:port>`` — run a leaf of the fleet
+  aggregation tree: accept pushes like a server, spool them durably,
+  and forward canonically merged batches upstream.
 * ``osprof push <host:port>`` — stream saved dumps, or live workload
   segments (``--workload``), to a running service.
 * ``osprof watch <host:port>`` — follow the service's alert log (and
@@ -44,7 +47,8 @@ Examples::
     osprof compare before.prof after.prof --threshold emd=0.5
     osprof render after.prof --op readdir
     osprof serve --port 7461 --segment-seconds 5 --db /var/osprof/db &
-    osprof push 127.0.0.1:7461 --workload randomread --segments 3
+    osprof relay --upstream 127.0.0.1:7461 --port 7462 --dir /var/osprof/leaf &
+    osprof push 127.0.0.1:7462 --workload randomread --segments 3
     osprof watch 127.0.0.1:7461 --once --metrics
     osprof db ingest --db wh --source web rr.ospb
     osprof db query --db wh --source web --since 0 --until 99 -o out.prof
@@ -198,6 +202,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline is seeded from its history")
     serve.add_argument("--db-source", default="service",
                        help="warehouse source name for flushed segments")
+    serve.add_argument("--engine", choices=("async", "thread"),
+                       default="async",
+                       help="transport: single-threaded asyncio event "
+                            "loop (default) or thread-per-connection")
+    serve.add_argument("--flush-batch", type=int, default=1,
+                       help="closed segments accumulated before one "
+                            "batched warehouse commit (single fsync)")
+
+    relay = sub.add_parser(
+        "relay", help="run a leaf of the fleet aggregation tree")
+    relay.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                       help="parent to forward merged batches to "
+                            "(a root service or another relay)")
+    relay.add_argument("--host", default="127.0.0.1")
+    relay.add_argument("--port", type=int, default=7462,
+                       help="TCP port to accept pushes on (0 = free)")
+    relay.add_argument("--dir", default=None, metavar="DIR",
+                       help="durable relay state + spool directory "
+                            "(default: a temp dir, not crash-safe)")
+    relay.add_argument("--batch", type=int, default=64,
+                       help="spooled pushes merged into one upstream "
+                            "push")
+    relay.add_argument("--flush-interval", type=float, default=1.0,
+                       help="seconds between partial-batch forwards")
+    relay.add_argument("--read-timeout", type=float, default=60.0,
+                       help="per-connection read timeout in seconds")
+    relay.add_argument("--max-frame-mb", type=float, default=64.0,
+                       help="largest accepted frame payload (MB)")
+    relay.add_argument("--max-pending", type=int, default=64,
+                       help="in-flight pushes before RETRY_AFTER "
+                            "backpressure")
+    relay.add_argument("--retries", type=int, default=4,
+                       help="retry budget per upstream push")
+    relay.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight connections "
+                            "on shutdown")
 
     push = sub.add_parser(
         "push", help="stream profiles to a running service")
@@ -523,17 +563,26 @@ def cmd_serve(args) -> int:
         threshold=args.threshold, min_ops=args.min_ops,
         read_timeout=args.read_timeout,
         max_frame_bytes=int(args.max_frame_mb * (1 << 20)),
-        max_pending=args.max_pending)
+        max_pending=args.max_pending,
+        flush_batch=args.flush_batch)
     warehouse = None
     if args.db is not None:
         from .warehouse import Warehouse
         warehouse = Warehouse(args.db)
     service = ProfileService(config, warehouse=warehouse,
                              warehouse_source=args.db_source)
-    server = ProfileServer(service, host=args.host, port=args.port)
+    if args.engine == "async":
+        from .service.aio_server import AsyncProfileServer
+        server = AsyncProfileServer(service, host=args.host,
+                                    port=args.port)
+        thread = server.serve_in_thread()
+    else:
+        server = ProfileServer(service, host=args.host, port=args.port)
+        thread = None
     host, port = server.address
     print(f"osprof service listening on {host}:{port} "
-          f"(segment={config.segment_seconds:g}s "
+          f"(engine={args.engine} "
+          f"segment={config.segment_seconds:g}s "
           f"retention={config.retention} metric={config.metric})",
           file=sys.stderr)
     if warehouse is not None:
@@ -542,7 +591,11 @@ def cmd_serve(args) -> int:
               f"baseline seeded from {service.baseline_seeded} "
               f"segment(s)", file=sys.stderr)
     try:
-        server.serve_forever()
+        if thread is not None:
+            while thread.is_alive():
+                thread.join(timeout=1.0)
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
@@ -552,6 +605,57 @@ def cmd_serve(args) -> int:
                   f"connection(s) still active after "
                   f"{args.drain_timeout:g}s drain", file=sys.stderr)
         server.server_close()
+        service.flush()
+    return 0
+
+
+def cmd_relay(args) -> int:
+    import tempfile
+
+    from .service.client import parse_endpoint
+    from .service.relay import RelayServer, RelayService
+    from .service.server import ServiceConfig
+    upstream = parse_endpoint(args.upstream)
+    root = args.dir
+    if root is None:
+        root = tempfile.mkdtemp(prefix="osprof-relay-")
+        print(f"osprof relay: no --dir given, spooling to {root} "
+              f"(not crash-safe across reboots)", file=sys.stderr)
+    config = ServiceConfig(read_timeout=args.read_timeout,
+                           max_frame_bytes=int(
+                               args.max_frame_mb * (1 << 20)),
+                           max_pending=args.max_pending)
+    relay = RelayService(root, upstream=upstream, config=config,
+                         batch=args.batch, retries=args.retries)
+    server = RelayServer(relay, host=args.host, port=args.port,
+                         flush_interval=args.flush_interval)
+    thread = server.serve_in_thread()
+    host, port = server.address
+    print(f"osprof relay {relay.relay_id} listening on {host}:{port} "
+          f"(forwarding batches of {args.batch} to "
+          f"{upstream[0]}:{upstream[1]})", file=sys.stderr)
+    pending = relay.pending_entries()
+    if pending:
+        print(f"osprof relay: {len(pending)} spooled push(es) from a "
+              f"previous run will be forwarded", file=sys.stderr)
+        server.signal_forward()
+    try:
+        while thread.is_alive():
+            thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        drained = server.drain(timeout=args.drain_timeout)
+        if not drained:
+            print(f"osprof relay: {server.active_connections} "
+                  f"connection(s) still active after "
+                  f"{args.drain_timeout:g}s drain", file=sys.stderr)
+        server.server_close()
+        left = len(relay.pending_entries())
+        if left:
+            print(f"osprof relay: {left} push(es) still spooled "
+                  f"(upstream unreachable); they survive in {root}",
+                  file=sys.stderr)
     return 0
 
 
@@ -813,6 +917,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gnuplot": cmd_gnuplot,
         "sampled": cmd_sampled,
         "serve": cmd_serve,
+        "relay": cmd_relay,
         "push": cmd_push,
         "watch": cmd_watch,
         "trace": cmd_trace,

@@ -1,0 +1,368 @@
+"""The event-loop transport: one thread, thousands of collectors.
+
+:class:`ProfileServer` (``server.py``) spends a whole thread per
+connection, which caps a fleet at a few hundred concurrent pushers
+before scheduler churn eats the ingest budget.  This module serves the
+very same :class:`~repro.service.server.ProfileService` facade from a
+single-threaded ``asyncio`` event loop instead: sockets are read
+non-blocking in 64 KiB chunks, frames are cut out of the stream by the
+sans-IO incremental :class:`~repro.service.protocol.FrameParser`
+(header-only size guard, zero-copy ``memoryview`` payload slicing), and
+every dispatch is the same microseconds of histogram merging — so one
+loop absorbs the fleet the north star asks for while the wire protocol,
+the CLI, and every hardening semantic stay bit-for-bit compatible:
+
+* per-connection **read timeouts** (``asyncio.wait_for`` around each
+  read; an idle or wedged peer is dropped and counted),
+* the **max-frame guard** (judged from the 9 header bytes alone, the
+  oversized payload is never buffered; the peer gets an ``ERROR``),
+* bounded-slot **RETRY_AFTER backpressure** through the service's own
+  ``try_acquire_ingest_slot`` gate, so the two transports shed load
+  identically,
+* **graceful drain** (stop accepting, wait for in-flight connections,
+  cancel stragglers after a timeout — an acked push is always already
+  merged, because the ack is written after the synchronous ingest),
+* the shared **metrics** page, plus transport gauges of its own.
+
+Memory stays bounded under pipelining by construction: every complete
+frame already parsed is dispatched before the next ``read()`` is
+issued, so a connection buffers at most one read chunk plus one
+partial frame — there is no unbounded pending-frame queue to fill.
+
+The server runs ``serve_forever()`` on the calling thread (the CLI) or
+``serve_in_thread()`` on a daemon thread (tests, embedding); either
+way the public surface mirrors ``ProfileServer``: ``address``,
+``active_connections``, ``drain(timeout)``, ``server_close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import socket
+import threading
+from typing import Optional, Tuple
+
+from .protocol import (MAGIC, FrameParser, FrameTooLarge, FrameType,
+                       ProtocolError, decode_json, decode_push_seq,
+                       encode_json, encode_retry_after, _HEADER)
+from .server import ProfileService
+
+__all__ = ["AsyncProfileServer", "READ_CHUNK"]
+
+#: Bytes asked of the socket per read; with the parser's partial-frame
+#: carry this bounds a connection's buffer at READ_CHUNK + header +
+#: max_frame_bytes.
+READ_CHUNK = 1 << 16
+
+
+class AsyncProfileServer:
+    """Asyncio front end over a :class:`ProfileService` (or relay).
+
+    ``port=0`` picks a free port, published via :attr:`address` once
+    the listener is up.  The same instance works embedded (tests call
+    :meth:`serve_in_thread`) or foreground (the CLI calls
+    :meth:`serve_forever`); :meth:`drain` and :meth:`server_close` are
+    thread-safe either way.
+    """
+
+    def __init__(self, service: Optional[ProfileService] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service if service is not None else ProfileService()
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conn_tasks: set = set()
+        self._startup_error: Optional[BaseException] = None
+        # Transport gauges (loop-thread only; read racily by metrics,
+        # which is fine for monotone counters).
+        self.connections_total = 0
+        self.max_parser_buffered = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        sock = self._server.sockets[0]
+        self._address = sock.getsockname()[:2]
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def serve_forever(self) -> None:
+        """Run the event loop on the calling thread until closed."""
+        asyncio.run(self._main())
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread; returns once bound."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="osprof-aio-serve",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self._thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — real even if port 0 was asked."""
+        self._started.wait(timeout=10.0)
+        if self._address is None:
+            raise RuntimeError("server is not listening")
+        return self._address
+
+    @property
+    def active_connections(self) -> int:
+        return len(self._conn_tasks)
+
+    def _call_threadsafe(self, coro, timeout: float):
+        if self._loop is None or not self._loop.is_running():
+            return None
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except (TimeoutError, concurrent.futures.TimeoutError):
+            future.cancel()
+            return None
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, wait for in-flight peers.
+
+        Returns True if every connection finished inside *timeout*;
+        stragglers (idle watchers parked on a read) are cancelled —
+        every push they were acked for is already merged, so nothing
+        acknowledged is ever lost.  Callable from any thread.
+        """
+        if self._loop is None:
+            return True
+        if threading.current_thread() is not self._thread \
+                and self._loop.is_running():
+            result = self._call_threadsafe(self._drain_async(timeout),
+                                           timeout + 5.0)
+            return bool(result)
+        return True
+
+    async def _drain_async(self, timeout: float) -> bool:
+        if self._server is not None:
+            self._server.close()
+        deadline = self._loop.time() + max(timeout, 0.0)
+        while self._conn_tasks:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                for task in list(self._conn_tasks):
+                    task.cancel()
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+                return False
+            await asyncio.wait(list(self._conn_tasks),
+                               timeout=remaining,
+                               return_when=asyncio.ALL_COMPLETED)
+        return True
+
+    def server_close(self) -> None:
+        """Stop the loop and join the serving thread (if any)."""
+        if self._loop is not None and self._loop.is_running():
+            def _stop_now():
+                for task in list(self._conn_tasks):
+                    task.cancel()
+                self._stop.set()
+            self._loop.call_soon_threadsafe(_stop_now)
+        if self._thread is not None \
+                and self._thread is not threading.current_thread():
+            self._thread.join(timeout=10.0)
+
+    # -- the per-connection loop -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.connections_total += 1
+        sock = writer.get_extra_info("socket")
+        if sock is not None and sock.family != socket.AF_UNIX:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        service = self.service
+        parser = FrameParser(max_payload=service.config.max_frame_bytes)
+        read_timeout = service.config.read_timeout
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        # The idle guard: a plain timer handle armed only while parked
+        # on a read.  ``asyncio.wait_for`` would wrap every read in a
+        # fresh Task — at fleet ingest rates that wrapper dominates the
+        # loop, so the timeout is a heap entry instead, cancelled for
+        # free whenever data arrives in time.
+        timed_out = [False]
+
+        def _idle_expired():
+            timed_out[0] = True
+            task.cancel()
+
+        while True:
+            # Dispatch every frame already buffered before reading more:
+            # this is the bounded-memory invariant — pipelined requests
+            # are answered from the buffer, never queued beside it.
+            try:
+                frame = parser.next_frame()
+            except FrameTooLarge as exc:
+                # Reject from the header alone; tell the peer why, then
+                # drop the stream (its payload bytes would desync us).
+                service.note_oversize_frame()
+                try:
+                    await self._send(writer, FrameType.ERROR,
+                                     str(exc).encode("utf-8"))
+                except OSError:
+                    pass
+                return
+            except ProtocolError:
+                return  # desynchronized stream: drop the connection
+            if frame is not None:
+                ftype, payload = frame
+                try:
+                    await self._dispatch(writer, ftype, payload)
+                except ProtocolError:
+                    return
+                except ValueError as exc:
+                    try:
+                        await self._send(writer, FrameType.ERROR,
+                                         str(exc).encode("utf-8"))
+                    except OSError:
+                        return
+                except OSError:
+                    return  # peer went away mid-reply
+                continue
+            guard = loop.call_later(read_timeout, _idle_expired)
+            try:
+                chunk = await reader.read(READ_CHUNK)
+            except asyncio.CancelledError:
+                if timed_out[0]:
+                    service.note_read_timeout()
+                    return  # idle or wedged peer: reclaim the slot
+                raise  # a real cancellation (drain/close), not ours
+            except OSError:
+                return  # peer vanished between frames
+            finally:
+                guard.cancel()
+            if not chunk:
+                return  # EOF (mid-frame or not, the stream is over)
+            parser.feed(chunk)
+            if parser.max_buffered > self.max_parser_buffered:
+                self.max_parser_buffered = parser.max_buffered
+
+    async def _send(self, writer: asyncio.StreamWriter, ftype: int,
+                    payload: bytes = b"") -> None:
+        writer.write(_HEADER.pack(MAGIC, ftype, len(payload)) + payload)
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _ingest_gated(self, writer: asyncio.StreamWriter,
+                            work) -> bool:
+        """Run one ingest under the service's bounded-slot gate.
+
+        The slot is held across the ack's ``drain()`` — a slow reader
+        therefore occupies an ingest slot, which is exactly the load
+        signal that should trip ``RETRY_AFTER`` for everyone else.
+        """
+        service = self.service
+        if not service.try_acquire_ingest_slot():
+            service.note_backpressure()
+            await self._send(writer, FrameType.RETRY_AFTER,
+                             encode_retry_after(
+                                 service.config.retry_after_seconds))
+            return False
+        try:
+            await work()
+        finally:
+            service.release_ingest_slot()
+        return True
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, ftype: int,
+                        payload: bytes) -> None:
+        service = self.service
+        if ftype == FrameType.PUSH:
+            async def work():
+                pset = service.ingest_payload(payload)
+                await self._send(writer, FrameType.OK,
+                                 f"merged {pset.total_ops()} ops over "
+                                 f"{len(pset)} operations".encode("utf-8"))
+            await self._ingest_gated(writer, work)
+        elif ftype == FrameType.PUSH_SEQ:
+            client_id, seq, profile = decode_push_seq(payload)
+
+            async def work():
+                try:
+                    status, _ = service.ingest_sequenced(
+                        client_id, seq, profile)
+                except ValueError as exc:
+                    # A payload damaged in transit is safe to resend
+                    # under the same sequence; other rejections are not.
+                    await self._send(writer, FrameType.ERROR,
+                                     f"bad-payload: {exc}".encode("utf-8"))
+                    return
+                await self._send(writer, FrameType.OK,
+                                 status.encode("utf-8"))
+            await self._ingest_gated(writer, work)
+        elif ftype == FrameType.METRICS:
+            service.tick()
+            await self._send(writer, FrameType.TEXT,
+                             self.metrics_text().encode("utf-8"))
+        elif ftype == FrameType.SNAPSHOT:
+            await self._send(writer, FrameType.PROFILE,
+                             service.snapshot().to_bytes())
+        elif ftype == FrameType.ALERTS:
+            request = decode_json(payload) if payload else {}
+            cursor = int(request.get("cursor", 0))
+            service.tick()
+            next_cursor, alerts = service.alerts_since(cursor)
+            await self._send(writer, FrameType.ALERT_LOG, encode_json(
+                {"cursor": next_cursor,
+                 "alerts": [a.to_dict() for a in alerts]}))
+        else:
+            await self._send(writer, FrameType.ERROR,
+                             f"unsupported frame type "
+                             f"{FrameType.name(ftype)}".encode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The service page plus the event-loop transport's own gauges."""
+        return (self.service.metrics_text()
+                + f"osprof_aio_connections_active "
+                  f"{self.active_connections}\n"
+                + f"osprof_aio_connections_total {self.connections_total}\n"
+                + f"osprof_aio_parser_buffered_max "
+                  f"{self.max_parser_buffered}\n")

@@ -402,6 +402,21 @@ class ResilientServiceClient:
             lambda client: client.push_sequenced(self.client_id, seq,
                                                  payload))
 
+    def push_with_seq(self, seq: int, payload: bytes) -> str:
+        """Push under an explicitly chosen sequence number.
+
+        The relay's forwarding path owns its own durable sequence
+        allocation (a crash must replay the *same* batch under the
+        *same* number), so it bypasses the internal counter/spool and
+        still gets the full healing loop: reconnect with backoff,
+        ``RETRY_AFTER`` honor, and typed exhaustion.  Do not mix with
+        :meth:`push` on one client — two sequence allocators sharing an
+        identity would corrupt the server's dedup ledger.
+        """
+        return self._attempt_all(
+            lambda client: client.push_sequenced(self.client_id, seq,
+                                                 payload))
+
     # -- queries (same healing loop) ----------------------------------------
 
     def metrics(self) -> str:

@@ -45,6 +45,7 @@ __all__ = [
     "FrameTooLarge",
     "MAGIC",
     "MAX_PAYLOAD",
+    "FrameParser",
     "send_frame",
     "recv_frame",
     "encode_json",
@@ -155,6 +156,115 @@ def recv_frame(sock: socket.socket,
     if length and payload is None:
         raise ProtocolError("connection closed before frame payload")
     return ftype, payload or b""
+
+
+class FrameParser:
+    """Incremental (sans-IO) frame parser for non-blocking transports.
+
+    The event-loop server cannot block on ``recv_frame``; it hands every
+    chunk the socket produces to :meth:`feed` and pulls complete frames
+    out with :meth:`next_frame`.  The accept/reject behaviour is
+    *identical* to :func:`recv_frame` — same :class:`ProtocolError` on a
+    bad magic, same header-only :class:`FrameTooLarge` before a single
+    payload byte is buffered (the declared length is judged the moment
+    the 9 header bytes are complete, so a hostile length cannot force a
+    giant allocation no matter how the bytes are chunked).
+
+    Internally one ``bytearray`` accumulates the stream and a read
+    cursor walks it; payloads are sliced out through a ``memoryview``
+    (one copy, no intermediate concatenations) and consumed prefix
+    bytes are compacted away in bulk, so parsing cost stays linear in
+    bytes received even under heavy pipelining.
+    """
+
+    #: Consumed-prefix size that triggers a buffer compaction.
+    _COMPACT_AT = 1 << 16
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD):
+        self.max_payload = max_payload
+        self._buf = bytearray()
+        self._pos = 0          # read cursor into _buf
+        self._ftype: Optional[int] = None  # parsed header awaiting payload
+        self._need = 0         # payload bytes the parsed header declared
+        self.frames_parsed = 0
+        self.max_buffered = 0  #: high-water mark of buffered bytes
+
+    def feed(self, data: bytes) -> None:
+        """Append one received chunk (any size, including empty)."""
+        self._buf += data
+        buffered = len(self._buf) - self._pos
+        if buffered > self.max_buffered:
+            self.max_buffered = buffered
+
+    def buffered(self) -> int:
+        """Bytes received but not yet returned as frames."""
+        return len(self._buf) - self._pos
+
+    def at_boundary(self) -> bool:
+        """True when the stream sits exactly between frames.
+
+        An EOF here is a clean close; an EOF anywhere else is the
+        mid-frame death :func:`recv_frame` reports as
+        :class:`ProtocolError` (see :meth:`eof`).
+        """
+        return self._ftype is None and self.buffered() == 0
+
+    def eof(self) -> None:
+        """Declare end of stream; raises if it cuts a frame in half.
+
+        The three EOF cases are classified exactly as
+        :func:`recv_frame` classifies them: clean at a boundary, a
+        mid-read death names the bytes it got, and a death between a
+        header and its first payload byte is "before frame payload".
+        """
+        if self.at_boundary():
+            return
+        if self._ftype is None:
+            raise ProtocolError(
+                f"connection closed mid-frame: wanted {_HEADER.size} "
+                f"bytes, got {self.buffered()}")
+        if self.buffered() == 0:
+            raise ProtocolError("connection closed before frame payload")
+        raise ProtocolError(
+            f"connection closed mid-frame: wanted {self._need} bytes, "
+            f"got {self.buffered()}")
+
+    def _compact(self) -> None:
+        if self._pos >= self._COMPACT_AT:
+            del self._buf[:self._pos]
+            self._pos = 0
+
+    def next_frame(self) -> Optional[Tuple[int, bytes]]:
+        """One complete ``(type, payload)`` frame, or ``None`` for more.
+
+        Raises exactly what :func:`recv_frame` would: bad magic and
+        oversized declared lengths are judged from the header alone.
+        """
+        if self._ftype is None:
+            if self.buffered() < _HEADER.size:
+                return None
+            magic, ftype, length = _HEADER.unpack_from(self._buf, self._pos)
+            if magic != MAGIC:
+                raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+            if length > self.max_payload:
+                raise FrameTooLarge(
+                    f"declared payload of {length} bytes exceeds the "
+                    f"{self.max_payload}-byte limit")
+            self._pos += _HEADER.size
+            self._ftype = ftype
+            self._need = length
+            self._compact()
+        if self.buffered() < self._need:
+            return None
+        with memoryview(self._buf) as view:
+            payload = bytes(view[self._pos:self._pos + self._need])
+        self._pos += self._need
+        frame = (self._ftype, payload)
+        self._ftype = None
+        self._need = 0
+        self.frames_parsed += 1
+        self._compact()
+        return frame
 
 
 def encode_json(obj) -> bytes:

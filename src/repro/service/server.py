@@ -60,6 +60,11 @@ class ServiceConfig:
     max_frame_bytes: int = MAX_PAYLOAD
     max_pending: int = 8
     retry_after_seconds: float = 0.05
+    #: Closed segments accumulated before one batched warehouse commit
+    #: (single journal fsync via ``Warehouse.ingest_many``).  1 keeps
+    #: the flush-per-close behaviour; eviction and :meth:`flush` always
+    #: force the batch out regardless.
+    flush_batch: int = 1
 
 
 class ProfileService:
@@ -82,6 +87,9 @@ class ProfileService:
         self.warehouse = warehouse
         self.warehouse_source = warehouse_source
         self.warehouse_flush_errors = 0
+        if self.config.flush_batch < 1:
+            raise ValueError("flush_batch must be >= 1")
+        self._flush_queue: List = []  # (segment index, pset) pairs
         self._flushed_epochs: set = set()
         self._epoch_base = (warehouse.index.next_epoch(warehouse_source)
                             if warehouse is not None else 0)
@@ -227,27 +235,56 @@ class ProfileService:
 
     def _flush_segment(self, segment) -> None:
         # Lock held (or eviction during advance, which runs under it).
-        # Durability beats alerting: the warehouse commit happens
+        # Durability beats alerting: the warehouse commit is queued
         # before the segment is scored, and a failed flush is counted,
-        # never allowed to take ingestion down with it.
+        # never allowed to take ingestion down with it.  With
+        # ``flush_batch`` > 1 the commit itself is deferred until the
+        # batch fills (one journal fsync for the lot) — eviction and
+        # :meth:`flush` force it out.
         if self.warehouse is None or segment.is_empty():
             return
         if segment.index in self._flushed_epochs:
             return
+        self._flushed_epochs.add(segment.index)
+        self._flush_queue.append((segment.index, segment.pset))
+        if len(self._flush_queue) >= self.config.flush_batch:
+            self._flush_queued()
+
+    def _flush_queued(self) -> None:
+        # Lock held.  One Warehouse.ingest_many call commits the whole
+        # queue; on failure the queue marks roll back so the eviction
+        # re-check retries before anything leaves memory for good.
+        if not self._flush_queue or self.warehouse is None:
+            return
+        batch = [(pset, self._epoch_base + index)
+                 for index, pset in self._flush_queue]
+        ingest_many = getattr(self.warehouse, "ingest_many", None)
         try:
-            self.warehouse.ingest(self.warehouse_source, segment.pset,
-                                  epoch=self._epoch_base + segment.index)
+            if ingest_many is not None:
+                ingest_many(self.warehouse_source, batch)
+            else:  # duck-typed warehouse double: per-segment commits
+                for pset, epoch in batch:
+                    self.warehouse.ingest(self.warehouse_source, pset,
+                                          epoch=epoch)
         except (OSError, ValueError):
             self.warehouse_flush_errors += 1
-            return
-        self._flushed_epochs.add(segment.index)
+            for index, _ in self._flush_queue:
+                self._flushed_epochs.discard(index)
+        self._flush_queue.clear()
+
+    def flush(self) -> None:
+        """Force any batched-but-uncommitted closed segments to disk."""
+        with self._lock:
+            self._flush_queued()
 
     def _segment_evicted(self, segment) -> None:
         # The store's on_evict hook: the last exit from memory.  Closed
-        # segments were already flushed in _observe_closed; this
-        # re-check catches any segment that slipped past (and keeps the
-        # flushed-epoch set from growing with the ring).
+        # segments were already queued in _observe_closed; this
+        # re-check catches any segment that slipped past, and the
+        # forced flush guarantees nothing pending outlives the ring
+        # (which also keeps the flushed-epoch set from growing).
         self._flush_segment(segment)
+        self._flush_queued()
         self._flushed_epochs.discard(segment.index)
 
     # -- queries -----------------------------------------------------------
@@ -303,6 +340,7 @@ class ProfileService:
                 f"{self.warehouse.gc_evictions_total if self.warehouse else 0}",
                 f"osprof_warehouse_flush_errors_total "
                 f"{self.warehouse_flush_errors}",
+                f"osprof_warehouse_flush_pending {len(self._flush_queue)}",
             ]
             per_op: dict = {}
             for alert in self._alerts:

@@ -58,6 +58,20 @@ class PushLedger:
         """Highest sequence ingested for *client_id* (0 if none)."""
         return self._last.get(client_id, 0)
 
+    def as_dict(self) -> dict:
+        """The high-water marks as a plain dict (for persistence).
+
+        A relay folds this into its durable state file so a restart
+        keeps deduplicating its downstream clients — see
+        :mod:`repro.service.relay`.
+        """
+        return dict(self._last)
+
+    def update_from(self, marks: dict) -> None:
+        """Fold persisted high-water marks back in (monotonic merge)."""
+        for client_id, seq in marks.items():
+            self.record(str(client_id), int(seq))
+
     def __len__(self) -> int:
         return len(self._last)
 

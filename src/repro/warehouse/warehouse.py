@@ -150,28 +150,65 @@ class Warehouse:
         source.  Multiple segments may share an epoch (concurrent
         collectors); queries merge them.  Returns the committed meta.
         """
+        return self.ingest_many(source, [(pset, epoch)])[0]
+
+    def ingest_many(self, source: str, items) -> List[SegmentMeta]:
+        """Persist a batch of ``(pset, epoch)`` segments with one commit.
+
+        The write-then-commit discipline holds batch-wide: every
+        segment file lands first (atomic rename each), then all commit
+        records are journaled through
+        :meth:`~repro.warehouse.log.SegmentLog.append_many` — one fsync
+        for the whole batch, which is what lets the service flush many
+        closed segments per durable write under fleet-scale ingest.  A
+        crash mid-batch commits a prefix of the records (each line is
+        CRC-framed) and leaves the rest as orphan files for
+        :meth:`gc`, exactly the single-ingest crash contract.
+        ``epoch=None`` entries append after everything stored, in batch
+        order.  Returns the committed metas, batch order.
+        """
         _check_name("source", source)
         with self._lock:
-            if epoch is None:
-                epoch = self.index.next_epoch(source)
-            epoch = int(epoch)
-            if epoch < 0:
-                raise WarehouseError(f"negative epoch {epoch}")
-            seg_id = self.index.next_id
-            payload = pset.to_bytes()
-            resid = []
-            for prof in pset:
-                components = prof.histogram.latency_residual()
-                if components:
-                    resid.append((prof.operation, tuple(components)))
-            meta = SegmentMeta(
-                seg_id=seg_id, source=source, tier=0, epoch=epoch, span=1,
-                file=self._segment_file(source, 0, epoch, seg_id),
-                nbytes=len(payload),
-                ops=tuple(sorted((prof.layer, prof.operation)
-                                 for prof in pset)),
-                resid=tuple(sorted(resid)))
-            return self._commit(meta, payload, "warehouse.ingest")
+            metas: List[SegmentMeta] = []
+            payloads: List[bytes] = []
+            next_epoch = None
+            for offset, (pset, epoch) in enumerate(items):
+                if epoch is None:
+                    if next_epoch is None:
+                        next_epoch = self.index.next_epoch(source)
+                    epoch = next_epoch
+                    next_epoch += 1
+                else:
+                    epoch = int(epoch)
+                    next_epoch = max(next_epoch, epoch + 1) \
+                        if next_epoch is not None else epoch + 1
+                if epoch < 0:
+                    raise WarehouseError(f"negative epoch {epoch}")
+                seg_id = self.index.next_id + offset
+                payload = pset.to_bytes()
+                resid = []
+                for prof in pset:
+                    components = prof.histogram.latency_residual()
+                    if components:
+                        resid.append((prof.operation, tuple(components)))
+                metas.append(SegmentMeta(
+                    seg_id=seg_id, source=source, tier=0, epoch=epoch,
+                    span=1,
+                    file=self._segment_file(source, 0, epoch, seg_id),
+                    nbytes=len(payload),
+                    ops=tuple(sorted((prof.layer, prof.operation)
+                                     for prof in pset)),
+                    resid=tuple(sorted(resid))))
+                payloads.append(payload)
+            for meta, payload in zip(metas, payloads):
+                self._write_atomic(meta.file, payload)
+                self._fire("warehouse.ingest", "after-file")
+            records = [meta.to_record(inputs=()) for meta in metas]
+            self.log.append_many(records)
+            self._fire("warehouse.ingest", "after-log")
+            for record in records:
+                self.index.apply(record)
+            return metas
 
     # -- reading -------------------------------------------------------------
 

@@ -187,6 +187,83 @@ class TestSinkFaultMatrix:
         assert fan.metrics()["osprof_sink_errors_total"] == 0
 
 
+class TestRelayFaultMatrix:
+    """Wire faults on the leaf→root hop heal — or degrade loudly.
+
+    The relay forwards with a full :class:`ResilientServiceClient`, so
+    the same fault sites collectors face downstream are armable on the
+    upstream hop.  The contract does not change at the middle of the
+    tree: whatever fires, the root's merge is byte-identical to a
+    fault-free flat merge, or the data stays spooled and the relay says
+    so — never silently wrong, never silently short.
+    """
+
+    CASES = [
+        pytest.param(FaultPoint("client.connect", "error"),
+                     id="relay-connect-refused"),
+        pytest.param(FaultPoint("client.connect", "delay", seconds=0.01),
+                     id="relay-connect-slow"),
+        pytest.param(FaultPoint("client.send", "error"),
+                     id="relay-send-reset"),
+        pytest.param(FaultPoint("client.send", "corrupt", mode="tail"),
+                     id="relay-batch-corrupted-in-transit"),
+        pytest.param(FaultPoint("client.recv", "error"),
+                     id="relay-ack-lost"),
+    ]
+
+    def run_tree(self, tmp_path, fault_plan):
+        from repro.service.aio_server import AsyncProfileServer
+        from repro.service.relay import RelayService
+
+        root_service = ProfileService(ServiceConfig(segment_seconds=3600.0))
+        root = AsyncProfileServer(root_service)
+        root.serve_in_thread()
+        relay = RelayService(
+            tmp_path / "leaf", upstream=root.address, batch=2,
+            retries=3, backoff=Backoff(base=0.001),
+            sleep=lambda seconds: None, fault_plan=fault_plan)
+        try:
+            segments = [pset(latency=100.0 * (i + 1), ops=10)
+                        for i in range(4)]
+            for i, segment in enumerate(segments):
+                relay.accept_sequenced("c1", i + 1, segment.to_bytes())
+            try:
+                relay.forward()
+            except Exception:
+                pass  # judged below: spool must still hold the data
+            expected = ProfileSet.merged(segments)
+            return relay, root_service, expected
+        finally:
+            relay.close()
+            root.server_close()
+
+    @pytest.mark.parametrize("point", CASES)
+    def test_forward_heals_byte_identically(self, tmp_path, point):
+        relay, root_service, expected = self.run_tree(
+            tmp_path, plan(point))
+        assert relay.pending_entries() == []
+        assert root_service.snapshot().to_bytes() == expected.to_bytes()
+
+    def test_lost_ack_replay_deduplicated_at_root(self, tmp_path):
+        point = FaultPoint("client.recv", "error", attempts=(0,))
+        relay, root_service, expected = self.run_tree(
+            tmp_path, plan(point))
+        assert root_service.snapshot().to_bytes() == expected.to_bytes()
+        assert root_service.ingest_duplicates >= 1  # replay was absorbed
+
+    def test_dead_upstream_degrades_never_lies(self, tmp_path):
+        # Every attempt fails: the batch must stay spooled, counted,
+        # and replayable — not half-delivered, not dropped.
+        point = FaultPoint("client.connect", "error", attempts=())
+        relay, root_service, expected = self.run_tree(
+            tmp_path, plan(point))
+        assert len(relay.pending_entries()) == 4
+        assert relay.forward_errors >= 1
+        assert root_service.snapshot().to_bytes() != expected.to_bytes()
+        metrics = relay.metrics_text()
+        assert "osprof_relay_spool_pending 4" in metrics
+
+
 class TestKillServerMidPush:
     """The acceptance e2e: spool drains to zero loss across a restart."""
 

@@ -1,0 +1,193 @@
+"""Fleet-scale soak: 1k+ pushers through a two-level aggregation tree.
+
+The north-star deployment: a root service fed by leaf relays, each leaf
+absorbing hundreds of collectors over the event-loop transport.  The
+test the whole PR hangs on is byte-identity — after every push has
+settled through spools, batch merges and idempotent forwarding, the
+root's merged profile must equal ``ProfileSet.merged`` over every raw
+client segment, in one flat merge, to the byte.  That must hold on the
+happy path, under duplicate replays, and across an injected leaf crash
+and restart whose spool drains losslessly.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.service.aio_server import AsyncProfileServer
+from repro.service.client import ServiceClient
+from repro.service.relay import RelayServer, RelayService
+from repro.service.server import ProfileService, ServiceConfig
+
+N_CLIENTS = 1056          # > 1k simulated pushers
+SEGMENTS_PER_CLIENT = 2   # one per phase, crash between phases
+CONNECTIONS_PER_LEAF = 8  # pushers multiplex over a few sockets
+
+
+def client_segment(client, seq):
+    """The deterministic segment pusher *client* sends as push *seq*."""
+    base = client * 31 + seq * 7
+    return ProfileSet.from_operation_latencies(
+        {"read": [120 + base + i * 3 for i in range(6)],
+         "write": [5200 + base + i * 11 for i in range(3)]})
+
+
+def push_phase(address, clients, seq, failures):
+    """Push one segment per client, multiplexed over a few sockets."""
+    host, port = address
+    groups = [clients[i::CONNECTIONS_PER_LEAF]
+              for i in range(CONNECTIONS_PER_LEAF)]
+
+    def worker(group):
+        try:
+            with ServiceClient(host, port) as conn:
+                for client in group:
+                    status = conn.push_sequenced(
+                        f"client-{client}", seq,
+                        client_segment(client, seq).to_bytes())
+                    assert "relayed" in status or "duplicate" in status
+        except Exception as exc:  # noqa: BLE001 - collected for the test
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(group,))
+               for group in groups if group]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+
+
+def expected_flat_merge():
+    return ProfileSet.merged(
+        client_segment(c, s)
+        for c in range(N_CLIENTS)
+        for s in range(1, SEGMENTS_PER_CLIENT + 1))
+
+
+@pytest.fixture()
+def tree_root():
+    service = ProfileService(config=ServiceConfig(segment_seconds=1e9,
+                                                  max_pending=64))
+    server = AsyncProfileServer(service)
+    server.serve_in_thread()
+    yield service, server
+    server.server_close()
+
+
+def make_leaf(tmp_path, name, upstream, flush_interval):
+    relay = RelayService(tmp_path / name, upstream=upstream, batch=64,
+                         config=ServiceConfig(max_pending=64),
+                         sleep=lambda s: None)
+    server = RelayServer(relay, flush_interval=flush_interval)
+    server.serve_in_thread()
+    return relay, server
+
+
+class TestFleetIngest:
+
+    def test_thousand_pushers_merge_byte_identically(self, tmp_path,
+                                                     tree_root):
+        root_service, root_server = tree_root
+        leaves = [make_leaf(tmp_path, f"leaf{i}", root_server.address,
+                            flush_interval=0.05) for i in range(2)]
+        try:
+            failures = []
+            halves = [list(range(0, N_CLIENTS, 2)),
+                      list(range(1, N_CLIENTS, 2))]
+            for seq in range(1, SEGMENTS_PER_CLIENT + 1):
+                phases = []
+                for (relay, server), clients in zip(leaves, halves):
+                    thread = threading.Thread(
+                        target=push_phase,
+                        args=(server.address, clients, seq, failures))
+                    thread.start()
+                    phases.append(thread)
+                for thread in phases:
+                    thread.join(timeout=120.0)
+            assert failures == []
+
+            # Replay a sample of already-acked pushes: the tree must
+            # absorb duplicates without changing the merge.
+            host, port = leaves[0][1].address
+            with ServiceClient(host, port) as conn:
+                for client in halves[0][:25]:
+                    status = conn.push_sequenced(
+                        f"client-{client}", 1,
+                        client_segment(client, 1).to_bytes())
+                    assert "duplicate" in status
+
+            for relay, server in leaves:
+                assert server.drain(timeout=30.0)
+                assert relay.pending_entries() == []
+            snap = root_service.snapshot()
+            assert snap.to_bytes() == expected_flat_merge().to_bytes()
+            # The tree collapsed >2k pushes into a few dozen upstream
+            # batches — that is what lets the root absorb a fleet.
+            assert root_service.ingest_requests < N_CLIENTS
+        finally:
+            for _, server in leaves:
+                server.server_close()
+
+    def test_leaf_crash_and_restart_is_lossless(self, tmp_path,
+                                                tree_root):
+        root_service, root_server = tree_root
+        # The crashing leaf runs WITHOUT a forwarder: everything it
+        # acks is still sitting in its spool when it dies, so the
+        # restart genuinely has to drain the spool to win.
+        crash_relay, crash_server = make_leaf(
+            tmp_path, "leaf-crash", root_server.address,
+            flush_interval=None)
+        steady_relay, steady_server = make_leaf(
+            tmp_path, "leaf-steady", root_server.address,
+            flush_interval=0.05)
+        reborn_server = None
+        try:
+            failures = []
+            crash_clients = list(range(0, N_CLIENTS, 2))
+            steady_clients = list(range(1, N_CLIENTS, 2))
+
+            push_phase(crash_server.address, crash_clients, 1, failures)
+            push_phase(steady_server.address, steady_clients, 1, failures)
+            assert failures == []
+            spooled = len(crash_relay.pending_entries())
+            assert spooled == len(crash_clients)
+
+            # Crash: abrupt close, no drain, no forward.  Everything
+            # acked lives only in the spool + state file.
+            crash_server.server_close()
+
+            # Restart on the same directory (new port: the old one may
+            # linger in TIME_WAIT).  The spool must survive verbatim.
+            reborn_relay = RelayService(
+                tmp_path / "leaf-crash", upstream=root_server.address,
+                batch=64, config=ServiceConfig(max_pending=64),
+                sleep=lambda s: None)
+            assert reborn_relay.relay_id == crash_relay.relay_id
+            assert len(reborn_relay.pending_entries()) == spooled
+            reborn_server = RelayServer(reborn_relay, flush_interval=0.05)
+            reborn_server.serve_in_thread()
+
+            # A replayed push from before the crash is still a
+            # duplicate: the ledger was rebuilt from the spool scan.
+            host, port = reborn_server.address
+            with ServiceClient(host, port) as conn:
+                status = conn.push_sequenced(
+                    f"client-{crash_clients[0]}", 1,
+                    client_segment(crash_clients[0], 1).to_bytes())
+                assert "duplicate" in status
+
+            push_phase(reborn_server.address, crash_clients, 2, failures)
+            push_phase(steady_server.address, steady_clients, 2, failures)
+            assert failures == []
+
+            assert reborn_server.drain(timeout=30.0)
+            assert steady_server.drain(timeout=30.0)
+            assert reborn_relay.pending_entries() == []
+            assert steady_relay.pending_entries() == []
+            snap = root_service.snapshot()
+            assert snap.to_bytes() == expected_flat_merge().to_bytes()
+        finally:
+            steady_server.server_close()
+            if reborn_server is not None:
+                reborn_server.server_close()

@@ -1,0 +1,229 @@
+"""Property tests: the sans-IO parser equals the blocking one, always.
+
+The event-loop server (:mod:`repro.service.aio_server`) cuts frames out
+of the byte stream with :class:`~repro.service.protocol.FrameParser`,
+the threaded server with the blocking
+:func:`~repro.service.protocol.recv_frame`.  The wire contract only
+holds if the two judge *every* stream identically — same frames, same
+errors, same header-only oversize rejection — no matter how the kernel
+chunks the bytes.  Hypothesis drives that equivalence over random frame
+sequences, random chunk boundaries, truncations, corrupted magics and
+hostile declared lengths.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (MAGIC, FrameParser, FrameTooLarge,
+                                    ProtocolError, recv_frame, _HEADER)
+
+MAX = 4096  # parser payload limit used throughout; small for fast fuzz
+
+
+class ScriptedSocket:
+    """Just enough of a socket for recv_frame: scripted recv chunks."""
+
+    def __init__(self, chunks):
+        self._chunks = [bytes(c) for c in chunks if c]
+
+    def recv(self, n):
+        if not self._chunks:
+            return b""  # EOF
+        chunk = self._chunks[0]
+        out, rest = chunk[:n], chunk[n:]
+        if rest:
+            self._chunks[0] = rest
+        else:
+            self._chunks.pop(0)
+        return out
+
+
+def frame_bytes(ftype, payload):
+    return _HEADER.pack(MAGIC, ftype, len(payload)) + payload
+
+
+def drain_blocking(chunks):
+    """Run recv_frame to exhaustion; returns (frames, error or None)."""
+    sock = ScriptedSocket(chunks)
+    frames = []
+    while True:
+        try:
+            frame = recv_frame(sock, max_payload=MAX)
+        except ProtocolError as exc:
+            return frames, exc
+        if frame is None:
+            return frames, None
+        frames.append(frame)
+
+
+def drain_incremental(chunks):
+    """Run FrameParser to exhaustion; returns (frames, error or None)."""
+    parser = FrameParser(max_payload=MAX)
+    frames = []
+    try:
+        for chunk in chunks:
+            parser.feed(chunk)
+            while True:
+                frame = parser.next_frame()
+                if frame is None:
+                    break
+                frames.append(frame)
+        parser.eof()
+    except ProtocolError as exc:
+        return frames, exc
+    return frames, None
+
+
+def chop(stream, cuts):
+    """Split one byte string at the given (sorted, in-range) offsets."""
+    points = sorted({min(c % (len(stream) + 1), len(stream))
+                     for c in cuts}) if stream else []
+    chunks = []
+    prev = 0
+    for point in points:
+        if point > prev:
+            chunks.append(stream[prev:point])
+            prev = point
+    chunks.append(stream[prev:])
+    return [c for c in chunks if c]
+
+
+frames_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255),
+              st.binary(max_size=64)),
+    max_size=6)
+
+
+@st.composite
+def stream_and_chunks(draw):
+    """A frame stream (possibly damaged), chopped at arbitrary points."""
+    frames = draw(frames_strategy)
+    stream = b"".join(frame_bytes(t, p) for t, p in frames)
+    # Optional damage: truncate the tail, or splice garbage bytes in.
+    damage = draw(st.sampled_from(["none", "truncate", "garbage"]))
+    if damage == "truncate" and stream:
+        stream = stream[:draw(st.integers(0, len(stream) - 1))]
+    elif damage == "garbage":
+        stream += draw(st.binary(min_size=1, max_size=16))
+    cuts = draw(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                         max_size=8))
+    return chop(stream, cuts)
+
+
+class TestEquivalence:
+    """The core property: both parsers judge any stream identically."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(stream_and_chunks())
+    def test_same_frames_same_errors(self, chunks):
+        blocking_frames, blocking_err = drain_blocking(chunks)
+        incremental_frames, incremental_err = drain_incremental(chunks)
+        assert incremental_frames == blocking_frames
+        assert type(incremental_err) is type(blocking_err)
+        if blocking_err is not None:
+            assert str(incremental_err) == str(blocking_err)
+
+    @settings(max_examples=100, deadline=None)
+    @given(frames_strategy)
+    def test_byte_at_a_time_equals_one_shot(self, frames):
+        stream = b"".join(frame_bytes(t, p) for t, p in frames)
+        dribble, _ = drain_incremental(
+            [stream[i:i + 1] for i in range(len(stream))])
+        one_shot, _ = drain_incremental([stream])
+        assert dribble == one_shot == frames
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.binary(max_size=32), min_size=1, max_size=6),
+           st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    max_size=8))
+    def test_pipelined_pushes_roundtrip(self, payloads, cuts):
+        frames = [(0x01, p) for p in payloads]
+        stream = b"".join(frame_bytes(t, p) for t, p in frames)
+        got, err = drain_incremental(chop(stream, cuts))
+        assert err is None
+        assert got == frames
+
+
+class TestHostileHeaders:
+    """Oversize and corrupt headers are judged without buffering payload."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=MAX + 1, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=255))
+    def test_oversize_judged_from_header_alone(self, length, ftype):
+        parser = FrameParser(max_payload=MAX)
+        parser.feed(struct.pack("<4sBI", MAGIC, ftype, length))
+        with pytest.raises(FrameTooLarge):
+            parser.next_frame()
+        # Only the 9 header bytes were ever buffered — the declared
+        # payload was never read, exactly like recv_frame.
+        assert parser.max_buffered == _HEADER.size
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=4, max_size=4).filter(lambda m: m != MAGIC),
+           st.binary(max_size=16))
+    def test_bad_magic_raises_protocol_error(self, magic, tail):
+        parser = FrameParser(max_payload=MAX)
+        parser.feed(magic + b"\x01\x00\x00\x00\x00" + tail)
+        with pytest.raises(ProtocolError) as exc_info:
+            parser.next_frame()
+        assert not isinstance(exc_info.value, FrameTooLarge)
+
+    def test_oversize_split_across_reads(self):
+        header = struct.pack("<4sBI", MAGIC, 0x01, MAX + 1)
+        parser = FrameParser(max_payload=MAX)
+        for i in range(len(header) - 1):
+            parser.feed(header[i:i + 1])
+            assert parser.next_frame() is None
+        parser.feed(header[-1:])
+        with pytest.raises(FrameTooLarge):
+            parser.next_frame()
+
+
+class TestTruncation:
+    """EOF classification matches recv_frame's three cases exactly."""
+
+    def test_eof_at_boundary_is_clean(self):
+        stream = frame_bytes(0x01, b"abc")
+        frames, err = drain_incremental([stream])
+        assert frames == [(0x01, b"abc")] and err is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=48),
+           st.integers(min_value=1, max_value=56))
+    def test_truncated_tail_matches_blocking(self, payload, cut):
+        stream = frame_bytes(0x01, payload)
+        cut = min(cut, len(stream) - 1)
+        chunks = [stream[:cut]]
+        blocking_frames, blocking_err = drain_blocking(chunks)
+        incremental_frames, incremental_err = drain_incremental(chunks)
+        assert incremental_frames == blocking_frames == []
+        assert isinstance(blocking_err, ProtocolError)
+        assert type(incremental_err) is type(blocking_err)
+        assert str(incremental_err) == str(blocking_err)
+
+
+class TestBufferHygiene:
+    """The compaction keeps long-lived connections from growing a tail."""
+
+    def test_consumed_prefix_is_compacted(self):
+        parser = FrameParser(max_payload=MAX)
+        frame = frame_bytes(0x01, b"x" * 1024)
+        for _ in range(256):  # >> _COMPACT_AT consumed bytes
+            parser.feed(frame)
+            assert parser.next_frame() == (0x01, b"x" * 1024)
+        assert len(parser._buf) < 2 * FrameParser._COMPACT_AT
+        assert parser.frames_parsed == 256
+
+    def test_max_buffered_tracks_high_water(self):
+        parser = FrameParser(max_payload=MAX)
+        frame = frame_bytes(0x01, b"y" * 100)
+        parser.feed(frame * 3)
+        assert parser.max_buffered == 3 * len(frame)
+        for _ in range(3):
+            assert parser.next_frame() is not None
+        assert parser.next_frame() is None
+        assert parser.at_boundary()
