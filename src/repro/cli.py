@@ -29,10 +29,12 @@ them into one CLI over the library:
   optionally its plaintext metrics page).
 * ``osprof trace <workload>`` — per-request cross-layer event slices
   from the probe pipeline's unified stream.
-* ``osprof db {ingest,query,compact,gc,baseline,gate}`` — the durable
-  profile warehouse: persist closed segments, query time ranges,
-  tier-compact aged history, manage named baselines, and gate a fresh
-  capture against a stored baseline (nonzero exit on breach).
+* ``osprof db {ingest,query,sql,compact,gc,baseline,gate}`` — the
+  durable profile warehouse: persist closed segments, query time
+  ranges, run SQL-style analytics over the stored history (local
+  directory or live service), tier-compact aged history, manage named
+  baselines, and gate a fresh capture against a stored baseline
+  (nonzero exit on breach).
 
 All dump-reading commands auto-detect the format, so text and binary
 profiles mix freely.
@@ -52,6 +54,8 @@ Examples::
     osprof watch 127.0.0.1:7461 --once --metrics
     osprof db ingest --db wh --source web rr.ospb
     osprof db query --db wh --source web --since 0 --until 99 -o out.prof
+    osprof db sql "SELECT op, count() GROUP BY op ORDER BY count() DESC" \\
+        --db wh
     osprof db baseline save clean --db wh --from before.prof
     osprof db gate after.prof --db wh --baseline clean
 """
@@ -59,6 +63,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from typing import List, Optional
 
@@ -337,6 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--format", choices=("text", "binary"),
                        default="text")
     query.add_argument("-o", "--output", default="-")
+
+    dbsql = dbsub.add_parser(
+        "sql", help="run an analytics query over the stored history")
+    dbsql.add_argument("query",
+                       help="the SELECT statement (quote it; see "
+                            "docs/QUERY.md)")
+    dbsql.add_argument("--db", default=None, metavar="DIR",
+                       help="warehouse directory to query")
+    dbsql.add_argument("--endpoint", default=None, metavar="HOST:PORT",
+                       help="query a live 'osprof serve --db' service "
+                            "instead of a local directory")
+    dbsql.add_argument("--format", choices=("table", "csv", "json"),
+                       default="table",
+                       help="output format (default: table)")
 
     compact = dbsub.add_parser(
         "compact", help="merge aged segments into coarser tiers")
@@ -826,6 +846,8 @@ def _open_warehouse(args):
 
 def cmd_db(args) -> int:
     """Dispatch for the warehouse subcommands (``osprof db ...``)."""
+    if args.db_command == "sql":
+        return cmd_db_sql(args)
     warehouse = _open_warehouse(args)
     if args.db_command == "ingest":
         epoch = args.epoch
@@ -862,6 +884,54 @@ def cmd_db(args) -> int:
     if args.db_command == "gate":
         return cmd_db_gate(args, warehouse)
     raise ValueError(f"unknown db command {args.db_command!r}")
+
+
+def cmd_db_sql(args) -> int:
+    """``osprof db sql``: analytics queries over a warehouse or service."""
+    if (args.db is None) == (args.endpoint is None):
+        print("osprof db sql: give exactly one of --db or --endpoint",
+              file=sys.stderr)
+        return 2
+    if args.endpoint is not None:
+        from .service.client import ServiceClient, parse_endpoint
+        host, port = parse_endpoint(args.endpoint)
+        client = ServiceClient(host, port)
+        try:
+            columns, rows = client.sql(args.query)
+        finally:
+            client.close()
+    else:
+        from .warehouse import Warehouse, execute_sql
+        result = execute_sql(Warehouse(args.db), args.query)
+        columns, rows = result.columns, list(result.rows)
+    _write_sql_result(columns, rows, args.format)
+    return 0
+
+
+def _write_sql_result(columns, rows, fmt: str) -> None:
+    if fmt == "json":
+        json.dump({"columns": list(columns),
+                   "rows": [list(r) for r in rows]},
+                  sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+    if fmt == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return
+    cells = [[("-" if v is None
+               else f"{v:.6g}" if isinstance(v, float) else str(v))
+              for v in row] for row in rows]
+    widths = [max([len(name)] + [len(r[i]) for r in cells])
+              for i, name in enumerate(columns)]
+    print("  ".join(n.ljust(w) for n, w in zip(columns, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    print(f"({len(rows)} row{'' if len(rows) == 1 else 's'})",
+          file=sys.stderr)
 
 
 def cmd_db_baseline(args, warehouse) -> int:

@@ -353,6 +353,11 @@ class AsyncProfileServer:
             await self._send(writer, FrameType.ALERT_LOG, encode_json(
                 {"cursor": next_cursor,
                  "alerts": [a.to_dict() for a in alerts]}))
+        elif ftype == FrameType.SQL:
+            request = decode_json(payload) if payload else {}
+            await self._send(writer, FrameType.TABLE,
+                             encode_json(service.sql(
+                                 str(request.get("sql", "")))))
         else:
             await self._send(writer, FrameType.ERROR,
                              f"unsupported frame type "

@@ -223,6 +223,20 @@ class ServiceClient:
             raise ProtocolError(f"bad alert log reply: {exc}") from None
         return next_cursor, [Alert.from_dict(r) for r in records]
 
+    def sql(self, query: str) -> Tuple[List[str], List[List]]:
+        """Run an ``osprof db sql`` query against the server's warehouse.
+
+        Returns ``(columns, rows)``.  Query errors (bad syntax, unknown
+        column, missing baseline, server started without ``--db``)
+        arrive as :class:`ServiceError` with the server's message.
+        """
+        reply = decode_json(self._roundtrip(
+            FrameType.SQL, encode_json({"sql": query}), FrameType.TABLE))
+        try:
+            return list(reply["columns"]), [list(r) for r in reply["rows"]]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad sql reply: {exc}") from None
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

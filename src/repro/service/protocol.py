@@ -17,8 +17,9 @@ Frame layout::
     payload length bytes
 
 Conversations are strict request/response: a client sends ``PUSH``,
-``PUSH_SEQ``, ``METRICS``, ``SNAPSHOT`` or ``ALERTS`` and reads exactly
-one frame back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``, ``ERROR``
+``PUSH_SEQ``, ``METRICS``, ``SNAPSHOT``, ``ALERTS`` or ``SQL`` and reads
+exactly one frame back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``/
+``TABLE``, ``ERROR``
 carrying a UTF-8 message, or ``RETRY_AFTER`` asking the client to back
 off).  Multiple requests may reuse one connection.
 
@@ -80,11 +81,14 @@ class FrameType:
     ALERT_LOG = 0x09  #: reply: JSON ``{"cursor": n, "alerts": [...]}``
     PUSH_SEQ = 0x0A   #: request: :func:`encode_push_seq` payload
     RETRY_AFTER = 0x0B  #: reply: f64 seconds the client should back off
+    SQL = 0x0C        #: request: JSON ``{"sql": query}`` (needs ``--db``)
+    TABLE = 0x0D      #: reply: JSON ``{"columns": [...], "rows": [...]}``
 
     _NAMES = {
         0x01: "PUSH", 0x02: "OK", 0x03: "ERROR", 0x04: "METRICS",
         0x05: "TEXT", 0x06: "SNAPSHOT", 0x07: "PROFILE", 0x08: "ALERTS",
         0x09: "ALERT_LOG", 0x0A: "PUSH_SEQ", 0x0B: "RETRY_AFTER",
+        0x0C: "SQL", 0x0D: "TABLE",
     }
 
     @classmethod

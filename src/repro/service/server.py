@@ -307,6 +307,23 @@ class ProfileService:
             fresh = self._alerts[start:]
             return base + len(self._alerts), list(fresh)
 
+    def sql(self, query: str) -> dict:
+        """Run one ``osprof db sql`` query against the attached warehouse.
+
+        Batched-but-uncommitted closed segments are flushed first, so
+        the query sees everything the service has closed, not just what
+        the last batch boundary happened to commit.  Raises
+        :class:`ValueError` (a clean ``ERROR`` frame) without a
+        warehouse, on a malformed query, or on a missing baseline.
+        """
+        if self.warehouse is None:
+            raise ValueError(
+                "sql queries need a warehouse: start the server with "
+                "--db DIR")
+        from ..warehouse.sql import execute_sql
+        self.flush()
+        return execute_sql(self.warehouse, query).as_dict()
+
     def metrics_text(self) -> str:
         """The plaintext metrics page (Prometheus exposition style)."""
         with self._lock:
@@ -341,6 +358,10 @@ class ProfileService:
                 f"osprof_warehouse_flush_errors_total "
                 f"{self.warehouse_flush_errors}",
                 f"osprof_warehouse_flush_pending {len(self._flush_queue)}",
+                f"osprof_warehouse_cache_hits_total "
+                f"{getattr(self.warehouse, 'cache_hits_total', 0)}",
+                f"osprof_warehouse_cache_misses_total "
+                f"{getattr(self.warehouse, 'cache_misses_total', 0)}",
             ]
             per_op: dict = {}
             for alert in self._alerts:
@@ -461,6 +482,11 @@ class _Handler(socketserver.BaseRequestHandler):
             send_frame(self.request, FrameType.ALERT_LOG, encode_json(
                 {"cursor": next_cursor,
                  "alerts": [a.to_dict() for a in alerts]}))
+        elif ftype == FrameType.SQL:
+            request = decode_json(payload) if payload else {}
+            send_frame(self.request, FrameType.TABLE,
+                       encode_json(service.sql(str(request.get("sql",
+                                                               "")))))
         else:
             send_frame(self.request, FrameType.ERROR,
                        f"unsupported frame type "

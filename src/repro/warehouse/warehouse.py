@@ -31,12 +31,20 @@ from typing import Dict, List, Optional
 
 from ..core.faults import FaultPlan
 from ..core.profileset import ProfileSet
+from .columnar import ColumnarSegment, merged_profile_set
 from .index import SegmentMeta, WarehouseIndex
 from .log import SegmentLog
 from .tiers import CompactionGroup, CompactionPolicy, plan_compactions, \
     plan_gc
 
 __all__ = ["Warehouse", "WarehouseError"]
+
+#: Query/compaction engines: ``columnar`` (the default) decodes
+#: segments once into flat column arrays and merges those; ``legacy``
+#: is the original per-segment ProfileSet decode + dict merge, kept as
+#: the benchmark baseline and the reference the property tests compare
+#: against.  Both produce byte-identical results.
+ENGINES = ("columnar", "legacy")
 
 _NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
 _SUFFIX = ".ospb"
@@ -80,9 +88,15 @@ class Warehouse:
     """
 
     def __init__(self, root, policy: Optional[CompactionPolicy] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 engine: str = "columnar"):
+        if engine not in ENGINES:
+            raise WarehouseError(
+                f"unknown warehouse engine {engine!r} "
+                f"(choose from {', '.join(ENGINES)})")
         self.root = Path(root)
         self.policy = policy if policy is not None else CompactionPolicy()
+        self.engine = engine
         self._plan = fault_plan if fault_plan is not None else FaultPlan()
         self._fault_attempts: Dict[str, int] = {}
         self._lock = threading.Lock()
@@ -93,6 +107,16 @@ class Warehouse:
         for record in self.log.recover():
             self.index.apply(record)
         self.orphans_removed = 0  #: uncommitted files swept by gc()
+        # Decoded-columns cache: seg_id -> ColumnarSegment.  Segment
+        # files are immutable once committed, but a hit still re-reads
+        # the 4-byte codec trailer and compares it against the cached
+        # entry's CRC, so a file swapped or damaged underneath us is
+        # decoded (and CRC-checked) afresh instead of served stale.
+        # Entries die with their segment: compaction supersede and gc
+        # eviction both invalidate.
+        self._columns: Dict[int, ColumnarSegment] = {}
+        self.cache_hits_total = 0
+        self.cache_misses_total = 0
 
     # -- counters (exported by the service metrics page) --------------------
 
@@ -236,6 +260,55 @@ class Warehouse:
                 prof.histogram.correct_total_latency(components)
         return pset
 
+    def _trailer_crc(self, meta: SegmentMeta) -> int:
+        """The stored CRC-32 trailer of a segment file (4-byte read)."""
+        path = self.root / meta.file
+        try:
+            with open(path, "rb") as f:
+                f.seek(-4, os.SEEK_END)
+                trailer = f.read(4)
+        except (FileNotFoundError, OSError):
+            raise WarehouseError(
+                f"committed segment {meta.seg_id} missing on disk: "
+                f"{meta.file}") from None
+        if len(trailer) != 4:
+            raise WarehouseError(
+                f"segment {meta.seg_id} ({meta.file}) damaged: "
+                f"truncated binary profile: missing trailer")
+        return int.from_bytes(trailer, "little")
+
+    def load_columns(self, meta: SegmentMeta) -> ColumnarSegment:
+        """Columnar decode of one committed segment, through the cache.
+
+        A hit is validated against the file's CRC trailer (cache key =
+        segment id + CRC); a miss — or a trailer that no longer matches
+        the cached entry — reads and decodes the file, CRC enforced.
+        """
+        cached = self._columns.get(meta.seg_id)
+        if cached is not None and cached.crc == self._trailer_crc(meta):
+            self.cache_hits_total += 1
+            return cached
+        path = self.root / meta.file
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise WarehouseError(
+                f"committed segment {meta.seg_id} missing on disk: "
+                f"{meta.file}") from None
+        try:
+            cols = ColumnarSegment.from_bytes(data)
+        except ValueError as exc:
+            raise WarehouseError(
+                f"segment {meta.seg_id} ({meta.file}) damaged: {exc}") \
+                from None
+        self._columns[meta.seg_id] = cols
+        self.cache_misses_total += 1
+        return cols
+
+    def _invalidate_columns(self, metas) -> None:
+        for meta in metas:
+            self._columns.pop(meta.seg_id, None)
+
     def sources(self) -> List[str]:
         with self._lock:
             return self.index.sources()
@@ -265,6 +338,12 @@ class Warehouse:
         with self._lock:
             metas = self.index.select(source, layer=layer, op=op,
                                       t0=t0, t1=t1)
+            if self.engine == "columnar":
+                pairs = [(self.load_columns(meta), meta) for meta in metas]
+        if self.engine == "columnar":
+            return merged_profile_set(
+                ((cols, dict(meta.resid)) for cols, meta in pairs),
+                layer=layer, op=op)
         psets = [_filtered(self.load_segment(meta), layer, op)
                  for meta in metas]
         return ProfileSet.merged(psets)
@@ -316,8 +395,13 @@ class Warehouse:
     def _compact_group(self, group: CompactionGroup) -> SegmentMeta:
         # Lock held.  Merge order is pinned by the plan's (epoch,
         # seg_id) sort, so equal histories compact to identical bytes.
-        merged = ProfileSet.merged(
-            self.load_segment(meta) for meta in group.inputs)
+        if self.engine == "columnar":
+            merged = merged_profile_set(
+                (self.load_columns(meta), dict(meta.resid))
+                for meta in group.inputs)
+        else:
+            merged = ProfileSet.merged(
+                self.load_segment(meta) for meta in group.inputs)
         payload = merged.to_bytes()
         resid = []
         for prof in merged:
@@ -337,6 +421,7 @@ class Warehouse:
             resid=resid)
         self._commit(meta, payload, "warehouse.compact",
                      inputs=group.inputs)
+        self._invalidate_columns(group.inputs)
         self._sweep_dead()
         return meta
 
@@ -359,6 +444,7 @@ class Warehouse:
                           "ids": sorted(m.seg_id for m in victims)}
                 self.log.append(record)
                 self.index.apply(record)
+                self._invalidate_columns(victims)
             self._sweep_dead()
             self._sweep_orphans()
             return len(victims)

@@ -1,0 +1,69 @@
+"""docs/QUERY.md stays in sync with the SQL engine.
+
+Every ``worked-setup``/``worked-query`` console block in the document
+is extracted and executed: the setup commands build the llseek-fix
+warehouse exactly as shown, then each documented query must print
+exactly the documented table.  If the engine, the CLI formatter, or
+the simulation drifts, this fails until the page is fixed.
+"""
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+QUERY_MD = Path(__file__).resolve().parents[2] / "docs" / "QUERY.md"
+
+
+def console_blocks(tag: str):
+    text = QUERY_MD.read_text()
+    blocks = re.findall(
+        rf"<!-- {tag} -->\s*```console\n(.*?)```", text, re.DOTALL)
+    assert blocks, f"no {tag} blocks in QUERY.md"
+    return blocks
+
+
+def commands_of(block: str):
+    """The ``$ osprof ...`` commands, with ``\\`` continuations joined."""
+    joined = block.replace("\\\n", " ")
+    return [line[len("$ osprof "):].strip()
+            for line in joined.splitlines()
+            if line.startswith("$ osprof ")]
+
+
+@pytest.fixture(scope="module")
+def doc_warehouse(tmp_path_factory):
+    """Run the documented setup commands verbatim in a scratch dir."""
+    root = tmp_path_factory.mktemp("querydoc")
+    [setup] = console_blocks("worked-setup")
+    commands = commands_of(setup)
+    assert len(commands) == 5
+    for command in commands:
+        args = [arg if not arg.endswith((".prof", "wh"))
+                else str(root / arg) for arg in shlex.split(command)]
+        assert main(args) == 0
+    return root
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_documented_query_output_is_real(doc_warehouse, capsys, index):
+    block = console_blocks("worked-query")[index]
+    [command] = commands_of(block)
+    expected = "\n".join(
+        line for line in block.splitlines()
+        if not line.startswith("$ ")).strip("\n")
+    args = [arg if arg != "wh" else str(doc_warehouse / "wh")
+            for arg in shlex.split(command)]
+    capsys.readouterr()
+    assert main(args) == 0
+    out = capsys.readouterr().out.strip("\n")
+    assert out == expected, (
+        f"QUERY.md block {index} is stale:\n--- documented ---\n"
+        f"{expected}\n--- actual ---\n{out}")
+
+
+def test_every_worked_query_block_is_covered():
+    assert len(console_blocks("worked-query")) == 4

@@ -1,0 +1,266 @@
+"""Tests for the columnar segment engine behind warehouse queries.
+
+The engine exists for speed, but its license to exist is byte
+determinism: decoding a segment into flat arrays and merging those
+arrays must reproduce ``ProfileSet.merged`` over the decoded sets
+bit-for-bit — through layer/op filters, resid folding, tiered
+compaction, and a directory reopen.  These tests pin that contract,
+plus the decoded-columns cache that makes repeated queries cheap.
+"""
+
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buckets import BucketSpec
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+from repro.warehouse import (ColumnarSegment, CompactionPolicy, Warehouse,
+                             WarehouseError, merged_profile_set)
+
+SMALL = CompactionPolicy(fanout=2, keep=(2, 2, 2))
+
+op_names = st.text(alphabet="abcdefgh_", min_size=1, max_size=10)
+latency_lists = st.lists(st.floats(min_value=0, max_value=1e14),
+                         min_size=1, max_size=40)
+layers = st.sampled_from([Layer.USER, Layer.FILESYSTEM, Layer.DRIVER,
+                          Layer.NETWORK])
+
+
+@st.composite
+def profile_sets(draw):
+    pset = ProfileSet(name=draw(st.text(alphabet="abcxyz", max_size=8)),
+                      spec=BucketSpec(draw(st.integers(min_value=1,
+                                                       max_value=4))),
+                      attributes=draw(st.dictionaries(
+                          st.text(alphabet="kv_", min_size=1, max_size=6),
+                          st.text(alphabet="kv_", max_size=6),
+                          max_size=3)))
+    samples = draw(st.dictionaries(op_names, latency_lists, max_size=6))
+    for (op, latencies), layer in zip(
+            samples.items(), (draw(layers) for _ in samples)):
+        for lat in latencies:
+            pset.profile(op, layer).add(lat)
+    return pset
+
+
+def random_pset(seed):
+    rng = random.Random(seed)
+    layer_pool = (Layer.FILESYSTEM, Layer.USER, Layer.DRIVER)
+    out = ProfileSet()
+    for op in rng.sample(["read", "write", "llseek", "readdir", "fsync",
+                          "mmap", "open"], rng.randint(1, 4)):
+        prof = Profile(op, layer=rng.choice(layer_pool))
+        for _ in range(rng.randint(1, 40)):
+            prof.add(rng.uniform(1.0, 1e6))
+        out.insert(prof)
+    return out
+
+
+class TestDecode:
+    @given(profile_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_reencodes_byte_identical(self, pset):
+        blob = pset.to_bytes()
+        cols = ColumnarSegment.from_bytes(blob)
+        assert cols.to_profile_set().to_bytes() == blob
+
+    @given(profile_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_decode_matches_reference_decoder(self, pset):
+        blob = pset.to_bytes()
+        assert ColumnarSegment.from_bytes(blob).to_profile_set() \
+            == ProfileSet.from_bytes(blob)
+
+    def test_crc_is_the_stored_trailer(self):
+        blob = random_pset(1).to_bytes()
+        cols = ColumnarSegment.from_bytes(blob)
+        assert cols.crc == int.from_bytes(blob[-4:], "little")
+        assert cols.crc == zlib.crc32(blob[8:-4])
+        assert cols.nbytes == len(blob)
+
+    @pytest.mark.parametrize("mangle", [
+        lambda b: b"XXXXXXXX" + b[8:],            # bad magic
+        lambda b: b[:12],                          # truncated header
+        lambda b: b[:-1],                          # truncated trailer
+        lambda b: b + b"\x00",                     # trailing garbage
+        lambda b: b[:-4] + bytes(4),               # wrong CRC
+        lambda b: b[:20] + bytes([b[20] ^ 0xFF]) + b[21:],  # flipped byte
+    ])
+    def test_corruption_raises_value_error(self, mangle):
+        blob = random_pset(2).to_bytes()
+        with pytest.raises(ValueError):
+            ColumnarSegment.from_bytes(mangle(blob))
+
+
+class TestColumnarMerge:
+    def segments(self, psets):
+        return [(ColumnarSegment.from_bytes(p.to_bytes()), {})
+                for p in psets]
+
+    def test_merge_matches_profileset_merged(self):
+        # Without resid sidecars the reference is a merge of the decoded
+        # segments (rounded totals), exactly like the legacy query path.
+        psets = [random_pset(seed) for seed in range(8)]
+        merged = merged_profile_set(self.segments(psets))
+        want = ProfileSet.merged([ProfileSet.from_bytes(p.to_bytes())
+                                  for p in psets])
+        assert merged.to_bytes() == want.to_bytes()
+
+    def test_resid_components_restore_sum_exactness(self):
+        # With each segment's residual folded back in, the merge is
+        # byte-identical to merging the *original* in-memory sets,
+        # whose Shewchuk partials never saw the encode rounding.
+        psets = [random_pset(seed) for seed in range(8)]
+        pairs = []
+        for p in psets:
+            resid = {prof.operation: tuple(prof.histogram
+                                           .latency_residual())
+                     for prof in p}
+            pairs.append((ColumnarSegment.from_bytes(p.to_bytes()),
+                          {op: comps for op, comps in resid.items()
+                           if comps}))
+        merged = merged_profile_set(pairs)
+        assert merged.to_bytes() == ProfileSet.merged(psets).to_bytes()
+
+    @pytest.mark.parametrize("layer,op", [
+        (Layer.FILESYSTEM, None), (None, "read"),
+        (Layer.USER, "llseek"), (Layer.NETWORK, None)])
+    def test_filtered_merge_matches_legacy_filtering(self, layer, op):
+        from repro.warehouse.warehouse import _filtered
+        psets = [random_pset(seed) for seed in range(6)]
+        merged = merged_profile_set(self.segments(psets),
+                                    layer=layer, op=op)
+        want = ProfileSet.merged([_filtered(p, layer, op) for p in psets])
+        assert merged.to_bytes() == want.to_bytes()
+
+    def test_empty_merge_is_default_empty_set(self):
+        assert merged_profile_set([]).to_bytes() \
+            == ProfileSet.merged([]).to_bytes()
+
+    def test_resolution_mismatch_raises(self):
+        a = ProfileSet(spec=BucketSpec(2))
+        a.profile("read", Layer.FILESYSTEM).add(10.0)
+        b = ProfileSet(spec=BucketSpec(3))
+        b.profile("read", Layer.FILESYSTEM).add(10.0)
+        with pytest.raises(ValueError, match="resolution"):
+            merged_profile_set(self.segments([a, b]))
+
+
+class TestEngineParity:
+    """columnar and legacy engines agree byte-for-byte on disk state."""
+
+    def fill(self, wh, seeds):
+        for epoch, seed in enumerate(seeds):
+            wh.ingest("web", random_pset(seed), epoch=epoch)
+
+    @pytest.mark.parametrize("seed0", [100, 200, 300])
+    def test_query_parity(self, tmp_path, seed0):
+        wh = Warehouse(tmp_path, policy=SMALL)
+        self.fill(wh, range(seed0, seed0 + 12))
+        legacy = Warehouse(tmp_path, policy=SMALL, engine="legacy")
+        for kwargs in ({}, {"op": "read"}, {"layer": Layer.USER},
+                       {"t0": 3, "t1": 9},
+                       {"layer": Layer.FILESYSTEM, "op": "write"}):
+            assert wh.query("web", **kwargs).to_bytes() \
+                == legacy.query("web", **kwargs).to_bytes()
+
+    def test_parity_through_compaction_and_reopen(self, tmp_path):
+        raw = [random_pset(seed) for seed in range(40, 56)]
+        wh = Warehouse(tmp_path, policy=SMALL)
+        for epoch, pset in enumerate(raw):
+            wh.ingest("web", pset, epoch=epoch)
+        while wh.compact():
+            pass
+        reopened = Warehouse(tmp_path, policy=SMALL)
+        legacy = Warehouse(tmp_path, policy=SMALL, engine="legacy")
+        want = ProfileSet.merged(raw).to_bytes()
+        assert reopened.query("web").to_bytes() == want
+        assert legacy.query("web").to_bytes() == want
+
+    def test_compaction_outputs_identical_across_engines(self, tmp_path):
+        for engine in ("columnar", "legacy"):
+            wh = Warehouse(tmp_path / engine, policy=SMALL, engine=engine)
+            self.fill(wh, range(70, 82))
+            while wh.compact():
+                pass
+        columnar = Warehouse(tmp_path / "columnar", policy=SMALL)
+        legacy = Warehouse(tmp_path / "legacy", policy=SMALL)
+        cols_segs = columnar.segments("web")
+        legacy_segs = legacy.segments("web")
+        assert [(m.tier, m.epoch, m.epoch_end) for m in cols_segs] \
+            == [(m.tier, m.epoch, m.epoch_end) for m in legacy_segs]
+        for a, b in zip(cols_segs, legacy_segs):
+            assert columnar.load_segment(a).to_bytes() \
+                == legacy.load_segment(b).to_bytes()
+
+    def test_bad_engine_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="engine"):
+            Warehouse(tmp_path, engine="vectorized")
+
+
+class TestColumnCache:
+    def test_repeat_queries_hit_the_cache(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for epoch in range(4):
+            wh.ingest("web", random_pset(epoch), epoch=epoch)
+        wh.query("web")
+        assert (wh.cache_hits_total, wh.cache_misses_total) == (0, 4)
+        wh.query("web")
+        assert (wh.cache_hits_total, wh.cache_misses_total) == (4, 4)
+        wh.query("web", op="read")  # postings narrow the selection
+        assert wh.cache_misses_total == 4
+        assert wh.cache_hits_total >= 4
+
+    def test_compaction_invalidates_consumed_segments(self, tmp_path):
+        wh = Warehouse(tmp_path, policy=SMALL)
+        for epoch in range(6):
+            wh.ingest("web", random_pset(epoch), epoch=epoch)
+        wh.query("web")
+        wh.compact()
+        live = {m.seg_id for m in wh.segments("web")}
+        assert set(wh._columns) <= live
+
+    def test_gc_invalidates_evicted_segments(self, tmp_path):
+        wh = Warehouse(tmp_path, policy=CompactionPolicy(fanout=2,
+                                                         keep=(1, 1, 1)))
+        for epoch in range(10):
+            wh.ingest("web", random_pset(epoch), epoch=epoch)
+        while wh.compact():
+            pass
+        wh.query("web")
+        wh.gc()
+        live = {m.seg_id for m in wh.segments("web")}
+        assert set(wh._columns) <= live
+
+    def test_cache_hit_validates_the_trailer_crc(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest("web", random_pset(5))
+        wh.query("web")
+        # Replace the segment file behind the cache's back: the stale
+        # entry must be dropped, not served.
+        replacement = random_pset(6).to_bytes()
+        (tmp_path / meta.file).write_bytes(replacement)
+        misses = wh.cache_misses_total
+        cols = wh.load_columns(wh.segments("web")[0])
+        assert wh.cache_misses_total == misses + 1
+        assert cols.to_profile_set().to_bytes() == replacement
+
+    def test_truncated_file_raises_warehouse_error(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest("web", random_pset(7))
+        blob = (tmp_path / meta.file).read_bytes()
+        (tmp_path / meta.file).write_bytes(blob[:2])
+        wh._columns.clear()
+        with pytest.raises(WarehouseError):
+            wh.load_columns(wh.segments("web")[0])
+
+    def test_legacy_engine_does_not_populate_the_cache(self, tmp_path):
+        wh = Warehouse(tmp_path, engine="legacy")
+        wh.ingest("web", random_pset(8))
+        wh.query("web")
+        assert not wh._columns
+        assert (wh.cache_hits_total, wh.cache_misses_total) == (0, 0)
