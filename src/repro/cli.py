@@ -44,6 +44,8 @@ Examples::
     osprof run grep --scale 0.02 -o before.prof
     osprof run grep --scale 0.02 --patched-llseek -o after.prof
     osprof run randomread --shards 4 --workers 4 --format binary -o rr.ospb
+    osprof run --list-scenarios
+    osprof run --scenario ssd-gc --layer driver -o ssd.prof
     osprof merge rr.ospb other.prof -o merged.prof
     osprof compare before.prof after.prof --metric emd
     osprof compare before.prof after.prof --threshold emd=0.5
@@ -87,15 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a workload and dump profiles")
-    run.add_argument("workload", choices=WORKLOADS)
+    run.add_argument("workload", choices=WORKLOADS, nargs="?",
+                     default=None,
+                     help="workload to drive (optional when --scenario "
+                          "supplies one)")
+    run.add_argument("--scenario", default=None, metavar="NAME",
+                     help="build the machine from a scenario registry "
+                          "row (device model + workload defaults); see "
+                          "--list-scenarios")
+    run.add_argument("--list-scenarios", action="store_true",
+                     help="print the scenario registry and exit")
+    # fs/scale/processes/iterations default to None here so cmd_run can
+    # resolve precedence: explicit flag > scenario default > global
+    # default (ext2 / 0.02 / 2 / 1000).
     run.add_argument("--fs", choices=("ext2", "reiserfs"),
-                     default="ext2")
+                     default=None)
     run.add_argument("--cpus", type=int, default=1)
     run.add_argument("--seed", type=int, default=2006)
-    run.add_argument("--scale", type=float, default=0.02,
+    run.add_argument("--scale", type=float, default=None,
                      help="source tree scale (grep)")
-    run.add_argument("--processes", type=int, default=2)
-    run.add_argument("--iterations", type=int, default=1000)
+    run.add_argument("--processes", type=int, default=None)
+    run.add_argument("--iterations", type=int, default=None)
     run.add_argument("--patched-llseek", action="store_true")
     run.add_argument("--kernel-preemption", action="store_true")
     run.add_argument("--layer", choices=("user", "fs", "driver"),
@@ -277,14 +291,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace", help="cross-layer request traces of a workload")
-    trace.add_argument("workload", choices=WORKLOADS)
+    trace.add_argument("workload", choices=WORKLOADS, nargs="?",
+                       default=None,
+                       help="workload to trace (optional when "
+                            "--scenario supplies one)")
+    trace.add_argument("--scenario", default=None, metavar="NAME",
+                       help="trace on a scenario's device model "
+                            "(see 'osprof run --list-scenarios')")
     trace.add_argument("--fs", choices=("ext2", "reiserfs"),
-                       default="ext2")
+                       default=None)
     trace.add_argument("--cpus", type=int, default=1)
     trace.add_argument("--seed", type=int, default=2006)
-    trace.add_argument("--scale", type=float, default=0.02)
-    trace.add_argument("--processes", type=int, default=2)
-    trace.add_argument("--iterations", type=int, default=1000)
+    trace.add_argument("--scale", type=float, default=None)
+    trace.add_argument("--processes", type=int, default=None)
+    trace.add_argument("--iterations", type=int, default=None)
     trace.add_argument("--requests", type=int, default=10,
                        help="print the N slowest requests")
     trace.add_argument("--limit", type=int, default=200_000,
@@ -429,14 +449,51 @@ def _write_pset(pset: ProfileSet, output: str, format: str) -> None:
 
 def cmd_run(args) -> int:
     from .core.shard import DEGRADED_ATTRIBUTE, collect_sharded
+    from .scenarios import (UnknownScenarioError, get_scenario,
+                            render_scenarios)
+    if args.list_scenarios:
+        print(render_scenarios())
+        return 0
+    scenario = None
+    if args.scenario is not None:
+        try:
+            scenario = get_scenario(args.scenario)
+        except UnknownScenarioError as exc:
+            print(f"osprof run: {exc}", file=sys.stderr)
+            return 2
+    workload = args.workload
+    if workload is None:
+        if scenario is None:
+            print("osprof run: give a workload or --scenario",
+                  file=sys.stderr)
+            return 2
+        workload = scenario.workload
+
+    # Explicit flags beat scenario defaults beat the global defaults.
+    def resolve(explicit, scenario_value, fallback):
+        if explicit is not None:
+            return explicit
+        if scenario_value is not None:
+            return scenario_value
+        return fallback
+
+    fs_type = resolve(args.fs, scenario.fs_type if scenario else None,
+                      "ext2")
+    scale = resolve(args.scale, scenario.scale if scenario else None,
+                    0.02)
+    processes = resolve(args.processes,
+                        scenario.processes if scenario else None, 2)
+    iterations = resolve(args.iterations,
+                         scenario.iterations if scenario else None, 1000)
     shards = args.shards if args.shards is not None else max(args.workers, 1)
     pset = collect_sharded(
-        args.workload, shards=shards, workers=args.workers,
-        seed=args.seed, layer=args.layer, fs_type=args.fs,
-        num_cpus=args.cpus, scale=args.scale,
-        processes=args.processes, iterations=args.iterations,
+        workload, shards=shards, workers=args.workers,
+        seed=args.seed, layer=args.layer, fs_type=fs_type,
+        num_cpus=args.cpus, scale=scale,
+        processes=processes, iterations=iterations,
         patched_llseek=args.patched_llseek,
         kernel_preemption=args.kernel_preemption,
+        scenario=args.scenario,
         deadline=args.deadline, max_retries=args.shard_retries,
         salvage=args.salvage)
     if DEGRADED_ATTRIBUTE in pset.attributes:
@@ -789,15 +846,40 @@ def cmd_trace(args) -> int:
     its syscall, file-system, and driver activity as one tree.
     """
     from .core.pipeline import TraceSink
+    from .scenarios import (UnknownScenarioError, build_system,
+                            get_scenario)
     from .workloads.runner import run_named_workload
 
-    system = System.build(fs_type=args.fs, num_cpus=args.cpus,
-                          seed=args.seed, with_timer=False)
+    scenario = None
+    if args.scenario is not None:
+        try:
+            scenario = get_scenario(args.scenario)
+        except UnknownScenarioError as exc:
+            print(f"osprof trace: {exc}", file=sys.stderr)
+            return 2
+    workload = args.workload
+    if workload is None:
+        if scenario is None:
+            print("osprof trace: give a workload or --scenario",
+                  file=sys.stderr)
+            return 2
+        workload = scenario.workload
+    fs_type = args.fs if args.fs is not None else \
+        (scenario.fs_type if scenario else "ext2")
+    scale = args.scale if args.scale is not None else \
+        (scenario.scale if scenario else 0.02)
+    processes = args.processes if args.processes is not None else \
+        (scenario.processes if scenario else 2)
+    iterations = args.iterations if args.iterations is not None else \
+        (scenario.iterations if scenario else 1000)
+    system = build_system(args.scenario, fs_type=fs_type,
+                          num_cpus=args.cpus, seed=args.seed,
+                          with_timer=False)
     sink = TraceSink(limit=args.limit)
     system.pipeline.add_global_sink(sink)
-    run_named_workload(system, args.workload, seed=args.seed,
-                       scale=args.scale, processes=args.processes,
-                       iterations=args.iterations)
+    run_named_workload(system, workload, seed=args.seed,
+                       scale=scale, processes=processes,
+                       iterations=iterations)
     system.pipeline.flush(final=True)
 
     def root_latency(events) -> float:

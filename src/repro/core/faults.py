@@ -25,6 +25,9 @@ site              where it fires                  kinds
 ``warehouse.compact`` between a merged super-     crash
                   segment landing and its log
                   commit / input deletion
+``device.service``a simulated device servicing a  error
+                  request (media error -> the
+                  drive's transparent retry)
 ================  ==============================  =======================
 
 Determinism is the design constraint: every injection decision is a
@@ -73,6 +76,12 @@ FAULT_SITES = {
     "sink.consume": frozenset({"error"}),
     "warehouse.ingest": frozenset({"crash"}),
     "warehouse.compact": frozenset({"crash"}),
+    # Fired inside the simulator, not the collection stack: a matching
+    # point marks the in-service disk request as a media error, so the
+    # engine's transparent-retry path runs under any device model.  The
+    # key is "read"/"write"; the attempt number is the request's retry
+    # count, so attempts=() drives a request to retry exhaustion.
+    "device.service": frozenset({"error"}),
 }
 
 #: The union of kinds across all sites.

@@ -71,7 +71,8 @@ class ShardError(RuntimeError):
 
 #: Workloads whose ``iterations`` are divided across shards; the rest
 #: replicate the full workload per shard (with a derived seed).
-ITERATION_SHARDED = ("randomread", "postmark", "zerobyte", "clone")
+ITERATION_SHARDED = ("randomread", "randomread-private", "postmark",
+                     "zerobyte", "clone")
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,7 @@ class ShardTask:
     iterations: int = 1000
     patched_llseek: bool = False
     kernel_preemption: bool = False
+    scenario: Optional[str] = None  # registry name; device is rebuilt per shard
 
 
 def plan_shards(workload: str, *, shards: int = 1, seed: int = 2006,
@@ -101,8 +103,18 @@ def plan_shards(workload: str, *, shards: int = 1, seed: int = 2006,
                 num_cpus: int = 1, scale: float = 0.02,
                 processes: int = 2, iterations: int = 1000,
                 patched_llseek: bool = False,
-                kernel_preemption: bool = False) -> List[ShardTask]:
-    """Deterministically split a workload into per-shard tasks."""
+                kernel_preemption: bool = False,
+                scenario: Optional[str] = None) -> List[ShardTask]:
+    """Deterministically split a workload into per-shard tasks.
+
+    ``scenario`` travels by *name*: each worker rebuilds a fresh device
+    model from the registry, because model instances carry run state
+    (head positions, GC counters, token buckets) that must not be shared
+    across shard machines.
+    """
+    if scenario is not None:
+        from ..scenarios import get_scenario  # validate before fan-out
+        get_scenario(scenario)
     if workload not in WORKLOAD_NAMES:
         raise ValueError(
             f"unknown workload {workload!r}; expected one of "
@@ -129,7 +141,8 @@ def plan_shards(workload: str, *, shards: int = 1, seed: int = 2006,
             fs_type=fs_type, num_cpus=num_cpus, scale=scale,
             processes=processes, iterations=share,
             patched_llseek=patched_llseek,
-            kernel_preemption=kernel_preemption))
+            kernel_preemption=kernel_preemption,
+            scenario=scenario))
     return tasks
 
 
@@ -145,7 +158,8 @@ def run_shard(task: ShardTask) -> bytes:
         num_cpus=task.num_cpus, seed=task.seed, scale=task.scale,
         processes=task.processes, iterations=task.iterations,
         patched_llseek=task.patched_llseek,
-        kernel_preemption=task.kernel_preemption)
+        kernel_preemption=task.kernel_preemption,
+        scenario=task.scenario)
     return pset.to_bytes()
 
 
@@ -270,6 +284,7 @@ def collect_sharded(workload: str, *, shards: int = 1,
                     processes: int = 2, iterations: int = 1000,
                     patched_llseek: bool = False,
                     kernel_preemption: bool = False,
+                    scenario: Optional[str] = None,
                     deadline: Optional[float] = None,
                     max_retries: int = 2, salvage: bool = False,
                     fault_plan: Optional[FaultPlan] = None) -> ProfileSet:
@@ -295,7 +310,7 @@ def collect_sharded(workload: str, *, shards: int = 1,
         workload, shards=shards, seed=seed, layer=layer, fs_type=fs_type,
         num_cpus=num_cpus, scale=scale, processes=processes,
         iterations=iterations, patched_llseek=patched_llseek,
-        kernel_preemption=kernel_preemption)
+        kernel_preemption=kernel_preemption, scenario=scenario)
     workers = len(tasks) if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be >= 1")

@@ -1,15 +1,22 @@
-"""Disk substrate: geometry/timing, segment cache, device, driver.
+"""Disk substrate: geometry/timing, cache, device models, engine, driver.
 
-Models the paper's 15 kRPM SCSI benchmark disk: 0.3 ms track-to-track
-seek, 8 ms full stroke, 4 ms rotation, an internal track-readahead
-cache, an elevator request queue, and the instrumented SCSI driver used
-for driver-level profiling.
+The queue/completion engine (:class:`Disk`) fronts a pluggable
+:class:`DeviceModel`.  The default :class:`SpindleModel` is the paper's
+15 kRPM SCSI benchmark disk: 0.3 ms track-to-track seek, 8 ms full
+stroke, 4 ms rotation, an internal track-readahead cache and an
+elevator request queue.  :class:`SSDModel`, :class:`RAID0Model` and
+:class:`ThrottledModel` open the scenario matrix beyond one spindle.
+The instrumented driver (:class:`ScsiDriver`) profiles any of them
+dispatch-to-completion.
 """
 
 from .cache import SegmentCache
 from .device import DEFAULT_COMMAND_OVERHEAD, Disk, DiskRequest
 from .driver import ScsiDriver
 from .geometry import BLOCK_SIZE, DiskGeometry
+from .model import (DeviceModel, RAID0Model, SpindleModel, SSDModel,
+                    ThrottledModel)
 
 __all__ = ["SegmentCache", "DEFAULT_COMMAND_OVERHEAD", "Disk", "DiskRequest",
-           "ScsiDriver", "BLOCK_SIZE", "DiskGeometry"]
+           "ScsiDriver", "BLOCK_SIZE", "DiskGeometry", "DeviceModel",
+           "SpindleModel", "SSDModel", "RAID0Model", "ThrottledModel"]

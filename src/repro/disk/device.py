@@ -1,40 +1,35 @@
-"""The disk device: request queue, head, segment cache, completions.
+"""The disk device: a model-agnostic queue/completion engine.
 
 The device is autonomous: requests are submitted to its queue and served
-one at a time without consuming any simulated CPU — the submitting
-process may continue (asynchronous write) or block on the request's
-completion condition (synchronous read), which is exactly why "file
-system writes and asynchronous I/O requests return immediately after
-scheduling the I/O request [so] their latency contains no information
-about the associated I/O times" (Section 4) — and why the paper added a
+without consuming any simulated CPU — the submitting process may
+continue (asynchronous write) or block on the request's completion
+condition (synchronous read), which is exactly why "file system writes
+and asynchronous I/O requests return immediately after scheduling the
+I/O request [so] their latency contains no information about the
+associated I/O times" (Section 4) — and why the paper added a
 driver-level profiler.
 
-Service time per request:
-
-* **segment-cache hit** (read of a cached track): command + bus overhead
-  only — Figure 7's sharp third peak (~40-75 us), or
-* **media access**: seek (0-8 ms) + rotational delay (0-4 ms) +
-  transfer — the broad fourth peak,
-
-after which the whole track is resident (readahead fill).
+Where the time *goes* is delegated to a pluggable
+:class:`~repro.disk.model.DeviceModel`: the engine owns per-channel
+request queues, completion conditions and listeners, and the
+media-error retry loop; the model owns service times, the queue
+discipline, and the request→channel mapping (a RAID array services one
+channel per child device).  The default model is the paper's 15 kRPM
+:class:`~repro.disk.model.SpindleModel`, byte-identical to the
+pre-refactor hard-wired spindle.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim.engine import seconds
 from ..sim.process import Condition, ProcBody, WaitCondition
 from ..sim.rng import SimRandom
 from ..sim.scheduler import Kernel
-from .cache import SegmentCache
 from .geometry import DiskGeometry
+from .model import DEFAULT_COMMAND_OVERHEAD, DeviceModel, SpindleModel
 
 __all__ = ["DiskRequest", "Disk", "DEFAULT_COMMAND_OVERHEAD"]
-
-#: Controller command processing + bus transfer overhead (~45 us): the
-#: floor for any disk request, and nearly all of a cache hit's latency.
-DEFAULT_COMMAND_OVERHEAD = seconds(45e-6)
 
 
 class DiskRequest:
@@ -72,7 +67,19 @@ class DiskRequest:
 
 
 class Disk:
-    """A single-spindle disk with an optional elevator scheduler."""
+    """The block device engine fronting a pluggable device model.
+
+    With no ``model``, builds the classic single-spindle disk from the
+    legacy keyword arguments (``geometry``/``cache_segments``/
+    ``elevator``/``command_overhead``) — the byte-identity reference.
+    With ``model``, those knobs belong to the model and must be left at
+    their defaults.
+
+    ``fault_plan`` arms the ``device.service`` site: a matching point
+    marks the in-service attempt as a media error, exercising the same
+    transparent-retry path organic ``error_rate`` failures take —
+    OSprof's visible symptom either way is only the added latency.
+    """
 
     def __init__(self, kernel: Kernel,
                  geometry: Optional[DiskGeometry] = None,
@@ -81,16 +88,16 @@ class Disk:
                  command_overhead: float = DEFAULT_COMMAND_OVERHEAD,
                  rng: Optional[SimRandom] = None,
                  error_rate: float = 0.0,
-                 max_retries: int = 3):
+                 max_retries: int = 3,
+                 model: Optional[DeviceModel] = None,
+                 fault_plan=None):
         if not 0.0 <= error_rate < 1.0:
             raise ValueError("error_rate must be in [0, 1)")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if model is not None and geometry is not None:
+            raise ValueError("give geometry or model, not both")
         self.kernel = kernel
-        self.geometry = geometry if geometry is not None else DiskGeometry()
-        self.cache = SegmentCache(cache_segments)
-        self.elevator = elevator
-        self.command_overhead = command_overhead
         #: Failure injection: probability a media access fails and the
         #: drive retries internally (ECC error, remapped sector...).
         #: Retries are transparent to callers except in latency — the
@@ -100,16 +107,54 @@ class Disk:
         self.media_errors = 0
         self.retries_performed = 0
         self.rng = rng if rng is not None else kernel.rng.fork("disk")
-        self.head_track = 0
-        self.busy = False
-        self.queue: List[DiskRequest] = []
+        self.total_seek_cycles = 0.0
+        self._fault_plan = fault_plan
+        if model is None:
+            model = SpindleModel(
+                geometry=geometry if geometry is not None else DiskGeometry(),
+                cache_segments=cache_segments, elevator=elevator,
+                command_overhead=command_overhead)
+        self.model = model
+        model.attach(self)
+        channels = model.channels()
+        if channels < 1:
+            raise ValueError("device model must expose >= 1 channel")
+        self.queues: List[List[DiskRequest]] = [[] for _ in range(channels)]
+        self.busy_channels: List[bool] = [False] * channels
         self.requests_served = 0
         self.reads = 0
         self.writes = 0
-        self.total_seek_cycles = 0.0
         #: Completion listeners, called with each finished request —
         #: how the instrumented driver observes asynchronous writes.
         self.on_complete: List = []
+
+    # -- model attribute pass-throughs ----------------------------------------
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """The model's block-address space (allocators read num_blocks)."""
+        return self.model.geometry
+
+    @property
+    def cache(self):
+        """The spindle segment cache (models without one have no attr)."""
+        return self.model.cache
+
+    @property
+    def elevator(self) -> bool:
+        return self.model.elevator
+
+    @elevator.setter
+    def elevator(self, value: bool) -> None:
+        self.model.elevator = value
+
+    @property
+    def head_track(self) -> int:
+        return getattr(self.model, "head_track", 0)
+
+    @property
+    def busy(self) -> bool:
+        return any(self.busy_channels)
 
     # -- submission ----------------------------------------------------------
 
@@ -117,10 +162,11 @@ class Disk:
         """Queue a request; returns it immediately (fire-and-forget OK)."""
         request = DiskRequest(block, is_write)
         request.submitted_at = self.kernel.now
-        self.geometry.track_of(block)  # validates the block number
-        self.queue.append(request)
-        if not self.busy:
-            self._start_next()
+        self.model.validate(block)  # raises on a bad block number
+        channel = self.model.channel_of(request)
+        self.queues[channel].append(request)
+        if not self.busy_channels[channel]:
+            self._start_next(channel)
         return request
 
     def read(self, block: int) -> ProcBody:
@@ -145,52 +191,28 @@ class Disk:
 
     # -- service loop ------------------------------------------------------------
 
-    def _pick_next(self) -> DiskRequest:
-        """Elevator: nearest track first; otherwise FIFO."""
-        if not self.elevator or len(self.queue) == 1:
-            return self.queue.pop(0)
-        best_index = 0
-        best_distance = None
-        for i, req in enumerate(self.queue):
-            distance = abs(self.geometry.track_of(req.block)
-                           - self.head_track)
-            if best_distance is None or distance < best_distance:
-                best_index, best_distance = i, distance
-        return self.queue.pop(best_index)
-
-    def _service_time(self, request: DiskRequest) -> float:
-        track = self.geometry.track_of(request.block)
-        overhead = self.rng.jitter(self.command_overhead, sigma=0.1)
-        if not request.is_write and self.cache.lookup(track):
-            request.cache_hit = True
-            return overhead
-        seek = self.geometry.seek_time(self.head_track, track)
-        request.seek_cycles = seek
-        self.total_seek_cycles += seek
-        rotation = self.geometry.rotational_delay(self.rng)
-        transfer = self.geometry.transfer_time()
-        self.head_track = track
-        if self.error_rate > 0 and self.rng.chance(self.error_rate):
-            # The media access failed: the sector must be re-read on a
-            # later rotation.  No readahead fill for a failed access.
-            request._attempt_failed = True
-            self.media_errors += 1
-        else:
-            request._attempt_failed = False
-            self.cache.fill(track)
-        return overhead + seek + rotation + transfer
-
-    def _start_next(self) -> None:
-        if not self.queue:
+    def _start_next(self, channel: int) -> None:
+        queue = self.queues[channel]
+        if not queue:
             return
-        self.busy = True
-        request = self._pick_next()
+        self.busy_channels[channel] = True
+        request = self.model.pick_next(queue, channel)
         request.started_at = self.kernel.now
-        service = self._service_time(request)
+        service, cache_hit = self.model.service_time(request, self.rng)
+        request.cache_hit = cache_hit
+        if self._fault_plan is not None:
+            point = self._fault_plan.point_at(
+                "device.service",
+                key="write" if request.is_write else "read",
+                attempt=request.retries)
+            if point is not None:
+                request._attempt_failed = True
+        if request._attempt_failed:
+            self.media_errors += 1
         self.kernel.engine.schedule(
-            service, lambda r=request: self._complete(r))
+            service, lambda r=request, c=channel: self._complete(r, c))
 
-    def _complete(self, request: DiskRequest) -> None:
+    def _complete(self, request: DiskRequest, channel: int) -> None:
         if request._attempt_failed:
             request._attempt_failed = False
             if request.retries < self.max_retries:
@@ -198,9 +220,9 @@ class Disk:
                 # caller only sees the added latency.
                 request.retries += 1
                 self.retries_performed += 1
-                self.queue.insert(0, request)
-                self.busy = False
-                self._start_next()
+                self.queues[channel].insert(0, request)
+                self.busy_channels[channel] = False
+                self._start_next(channel)
                 return
             request.failed = True
         request.completed_at = self.kernel.now
@@ -213,14 +235,16 @@ class Disk:
                                    wake_all=True)
         for listener in self.on_complete:
             listener(request)
-        self.busy = False
-        self._start_next()
+        self.busy_channels[channel] = False
+        self._start_next(channel)
 
     # -- introspection -------------------------------------------------------------
 
     def queue_depth(self) -> int:
-        return len(self.queue) + (1 if self.busy else 0)
+        return (sum(len(queue) for queue in self.queues)
+                + sum(1 for b in self.busy_channels if b))
 
     def __repr__(self) -> str:
-        return (f"<Disk track={self.head_track} queue={len(self.queue)} "
+        queued = sum(len(queue) for queue in self.queues)
+        return (f"<Disk model={self.model.name} queue={queued} "
                 f"served={self.requests_served}>")

@@ -1,0 +1,358 @@
+"""Pluggable device models behind one queue/completion engine.
+
+The paper's case studies all ride on a single hardware assumption — one
+15 kRPM SCSI spindle — so the profile corpus could only ever contain the
+latency shapes that spindle produces.  This module splits the *device
+physics* out of :class:`~repro.disk.device.Disk` into a
+:class:`DeviceModel` interface so the same queue/completion engine can
+front very different hardware:
+
+* :class:`SpindleModel` — the original mechanical disk (seek + rotation
+  + transfer, segment-cache readahead, elevator scheduling).  The
+  default, and pinned byte-identical to the pre-refactor ``Disk``.
+* :class:`SSDModel` — no seek: constant read/program latency plus
+  deterministic erase-block garbage-collection pauses, giving writes the
+  bimodal profile real flash shows.
+* :class:`RAID0Model` — N child devices with block-interleaved striping
+  and per-child queues; a request completes when its child completes.
+* :class:`ThrottledModel` — a token-bucket IOPS cap wrapped around any
+  inner model, modelling cgroup-style I/O throttling plateaus.
+
+The contract: a model owns *where time goes* (``service_time``), the
+queue discipline (``pick_next``), and the request→channel mapping for
+devices with internal parallelism; the engine owns queues, completion
+conditions, retry-on-media-error, and listener dispatch.  All
+randomness flows through the :class:`~repro.sim.rng.SimRandom` the
+engine hands in (or streams forked from it), so every model is
+seed-deterministic and scenario captures pin byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.engine import CYCLES_PER_SECOND, seconds
+from ..sim.rng import SimRandom
+from .cache import SegmentCache
+from .geometry import DiskGeometry
+
+__all__ = ["DeviceModel", "SpindleModel", "SSDModel", "RAID0Model",
+           "ThrottledModel", "DEFAULT_COMMAND_OVERHEAD"]
+
+#: Controller command processing + bus transfer overhead (~45 us): the
+#: floor for any spindle request, and nearly all of a cache hit's latency.
+DEFAULT_COMMAND_OVERHEAD = seconds(45e-6)
+
+
+class DeviceModel:
+    """Interface between the queue engine and a device's physics.
+
+    Subclasses override :meth:`service_time` (always) and the
+    queue-discipline hooks (:meth:`pick_next`, :meth:`channel_of`,
+    :meth:`channels`) when the device has a smarter scheduler or
+    internal parallelism.  ``attach`` is called once by the engine; the
+    base implementation stores the back-reference models use to reach
+    the simulated clock and the engine's failure-injection knobs
+    (``disk.error_rate``).
+    """
+
+    #: Human-readable label (scenario listings, fault keys).
+    name = "device"
+
+    #: Block-address space; the engine validates submissions against it
+    #: and mkfs-time allocators read ``num_blocks`` from it.
+    geometry: DiskGeometry
+
+    def attach(self, disk) -> None:
+        """Engine hookup; called once from ``Disk.__init__``."""
+        self.disk = disk
+
+    def validate(self, block: int) -> None:
+        """Raise ``ValueError`` for an out-of-range block."""
+        self.geometry.track_of(block)
+
+    def channels(self) -> int:
+        """Independent service channels (1 unless the device is parallel)."""
+        return 1
+
+    def channel_of(self, request) -> int:
+        """Which channel's queue a request joins."""
+        return 0
+
+    def pick_next(self, queue: List, channel: int):
+        """Queue discipline: remove and return the next request."""
+        return queue.pop(0)
+
+    def service_time(self, request, rng: SimRandom) -> Tuple[float, bool]:
+        """Service one request: ``(latency_cycles, cache_hit)``.
+
+        May set ``request._attempt_failed`` to signal a media error the
+        engine should retry (the caller only sees the added latency).
+        """
+        raise NotImplementedError
+
+
+class SpindleModel(DeviceModel):
+    """The paper's 15 kRPM SCSI spindle, extracted verbatim.
+
+    Service time per request:
+
+    * **segment-cache hit** (read of a cached track): command + bus
+      overhead only — Figure 7's sharp third peak (~40-75 us), or
+    * **media access**: seek (0-8 ms) + rotational delay (0-4 ms) +
+      transfer — the broad fourth peak,
+
+    after which the whole track is resident (readahead fill).  The RNG
+    draw order is the pre-refactor ``Disk._service_time`` order exactly,
+    so default-scenario captures stay byte-identical through the
+    engine/model split.
+    """
+
+    name = "spindle"
+
+    def __init__(self, geometry: Optional[DiskGeometry] = None,
+                 cache_segments: int = 8, elevator: bool = True,
+                 command_overhead: float = DEFAULT_COMMAND_OVERHEAD):
+        self.geometry = geometry if geometry is not None else DiskGeometry()
+        self.cache = SegmentCache(cache_segments)
+        self.elevator = elevator
+        self.command_overhead = command_overhead
+        self.head_track = 0
+
+    def pick_next(self, queue: List, channel: int):
+        """Elevator: nearest track first; otherwise FIFO."""
+        if not self.elevator or len(queue) == 1:
+            return queue.pop(0)
+        best_index = 0
+        best_distance = None
+        for i, req in enumerate(queue):
+            distance = abs(self.geometry.track_of(req.block)
+                           - self.head_track)
+            if best_distance is None or distance < best_distance:
+                best_index, best_distance = i, distance
+        return queue.pop(best_index)
+
+    def service_time(self, request, rng: SimRandom) -> Tuple[float, bool]:
+        return self.service_block(request.block, request, rng)
+
+    def service_block(self, block: int, request,
+                      rng: SimRandom) -> Tuple[float, bool]:
+        """Service a (possibly translated) block address.
+
+        Split out from :meth:`service_time` so array models (RAID) can
+        delegate with a child-local block number while the request keeps
+        its global identity.
+        """
+        disk = self.disk
+        track = self.geometry.track_of(block)
+        overhead = rng.jitter(self.command_overhead, sigma=0.1)
+        if not request.is_write and self.cache.lookup(track):
+            return overhead, True
+        seek = self.geometry.seek_time(self.head_track, track)
+        request.seek_cycles = seek
+        disk.total_seek_cycles += seek
+        rotation = self.geometry.rotational_delay(rng)
+        transfer = self.geometry.transfer_time()
+        self.head_track = track
+        if disk.error_rate > 0 and rng.chance(disk.error_rate):
+            # The media access failed: the sector must be re-read on a
+            # later rotation.  No readahead fill for a failed access.
+            request._attempt_failed = True
+        else:
+            request._attempt_failed = False
+            self.cache.fill(track)
+        return overhead + seek + rotation + transfer, False
+
+
+class SSDModel(DeviceModel):
+    """Flash device: no seek, constant latencies, periodic GC pauses.
+
+    Reads cost a (jittered) constant ``read_latency``.  Programs cost
+    ``program_latency`` — except that every ``gc_period``-th programmed
+    page fills an erase block and triggers foreground garbage
+    collection, stalling that write by ``gc_pause``.  The write profile
+    is therefore bimodal: a tall fast peak at the program latency and a
+    short slow peak several buckets to the right — the signature shape
+    the warehouse gate's EMD/chi-squared metrics are stress-tested
+    against.  GC is a pure function of the program counter, so the
+    pauses land on the same requests in every same-seed run.
+    """
+
+    name = "ssd"
+
+    def __init__(self, num_blocks: int = 262_144,
+                 read_latency: float = seconds(55e-6),
+                 program_latency: float = seconds(250e-6),
+                 gc_pause: float = seconds(2.5e-3),
+                 gc_period: int = 64):
+        if gc_period < 1:
+            raise ValueError("gc_period must be >= 1")
+        if read_latency <= 0 or program_latency <= 0 or gc_pause < 0:
+            raise ValueError("latencies must be positive")
+        # Erase blocks play tracks' role in the address space: the
+        # geometry maps blocks to erase blocks and validates ranges,
+        # but contributes no mechanical timing.
+        self.geometry = DiskGeometry(num_blocks=num_blocks,
+                                     blocks_per_track=gc_period)
+        self.read_latency = read_latency
+        self.program_latency = program_latency
+        self.gc_pause = gc_pause
+        self.gc_period = gc_period
+        self.pages_programmed = 0
+        self.gc_pauses = 0
+
+    def service_time(self, request, rng: SimRandom) -> Tuple[float, bool]:
+        return self.service_block(request.block, request, rng)
+
+    def service_block(self, block: int, request,
+                      rng: SimRandom) -> Tuple[float, bool]:
+        disk = self.disk
+        if request.is_write:
+            latency = rng.jitter(self.program_latency, sigma=0.1)
+            self.pages_programmed += 1
+            if self.pages_programmed % self.gc_period == 0:
+                # The erase block is full: collect before programming.
+                latency += rng.jitter(self.gc_pause, sigma=0.1)
+                self.gc_pauses += 1
+        else:
+            latency = rng.jitter(self.read_latency, sigma=0.1)
+        if disk.error_rate > 0 and rng.chance(disk.error_rate):
+            request._attempt_failed = True
+        else:
+            request._attempt_failed = False
+        return latency, False
+
+
+class RAID0Model(DeviceModel):
+    """Block-interleaved striping over N child devices.
+
+    Stripe ``s = block // stripe_blocks`` lives on child ``s % N`` at
+    child-local stripe ``s // N``.  Each child is an independent service
+    channel with its own queue (FIFO — the array controller dispatches
+    in arrival order; the child's head state still shapes its service
+    times), so concurrent requests to different children overlap and
+    queueing narrows versus one spindle.  A request completes when its
+    child completes — there is no array-level barrier.
+
+    Children default to spindles but can be any models implementing
+    ``service_block`` (e.g. an SSD array).  Each child draws from its
+    own RNG stream forked at attach, so per-child timing is independent
+    of how requests interleave across the array.
+    """
+
+    name = "raid0"
+
+    def __init__(self, num_children: int = 2, stripe_blocks: int = 128,
+                 num_blocks: int = 262_144, children: Optional[List] = None):
+        if num_children < 1:
+            raise ValueError("raid0 needs at least one child device")
+        if stripe_blocks < 1:
+            raise ValueError("stripe_blocks must be >= 1")
+        self.stripe_blocks = stripe_blocks
+        self.geometry = DiskGeometry(num_blocks=num_blocks,
+                                     blocks_per_track=stripe_blocks)
+        if children is None:
+            stripes = (num_blocks + stripe_blocks - 1) // stripe_blocks
+            child_stripes = (stripes + num_children - 1) // num_children
+            child_blocks = child_stripes * stripe_blocks
+            children = [
+                SpindleModel(DiskGeometry(num_blocks=child_blocks,
+                                          blocks_per_track=stripe_blocks))
+                for _ in range(num_children)]
+        elif len(children) != num_children:
+            raise ValueError("children must match num_children")
+        self.children = children
+        self._child_rngs: List[SimRandom] = []
+
+    def attach(self, disk) -> None:
+        super().attach(disk)
+        self._child_rngs = [disk.rng.fork(f"raid:{i}")
+                            for i in range(len(self.children))]
+        for child in self.children:
+            child.attach(disk)
+
+    def channels(self) -> int:
+        return len(self.children)
+
+    def channel_of(self, request) -> int:
+        return (request.block // self.stripe_blocks) % len(self.children)
+
+    def child_block(self, block: int) -> int:
+        """Translate a global block to its child-local address."""
+        stripe, offset = divmod(block, self.stripe_blocks)
+        return (stripe // len(self.children)) * self.stripe_blocks + offset
+
+    def service_time(self, request, rng: SimRandom) -> Tuple[float, bool]:
+        index = self.channel_of(request)
+        return self.children[index].service_block(
+            self.child_block(request.block), request,
+            self._child_rngs[index])
+
+
+class ThrottledModel(DeviceModel):
+    """Token-bucket IOPS cap around any inner model (cgroup io.max).
+
+    The bucket holds up to ``burst`` tokens and refills continuously at
+    ``iops`` tokens per second.  Each request consumes one token; with
+    the bucket empty, service is delayed until its token accrues.  Under
+    saturation completions pace at exactly ``1/iops``, so latencies
+    collapse onto a plateau at ``queue_depth / iops`` — several buckets
+    above anything the inner device would produce — which is the
+    signature shape of cgroup-style throttling in a latency profile.
+    """
+
+    name = "throttled"
+
+    def __init__(self, inner: DeviceModel, iops: float = 600.0,
+                 burst: float = 4.0):
+        if iops <= 0:
+            raise ValueError("iops must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        self.inner = inner
+        self.iops = iops
+        self.burst = float(burst)
+        #: Tokens per simulated cycle.
+        self._rate = iops / CYCLES_PER_SECOND
+        self._tokens = float(burst)
+        self._last = 0.0
+        self.throttle_delays = 0
+        self.name = f"throttled({inner.name})"
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        return self.inner.geometry
+
+    def attach(self, disk) -> None:
+        super().attach(disk)
+        self.inner.attach(disk)
+
+    def validate(self, block: int) -> None:
+        self.inner.validate(block)
+
+    def channels(self) -> int:
+        return self.inner.channels()
+
+    def channel_of(self, request) -> int:
+        return self.inner.channel_of(request)
+
+    def pick_next(self, queue: List, channel: int):
+        return self.inner.pick_next(queue, channel)
+
+    def service_time(self, request, rng: SimRandom) -> Tuple[float, bool]:
+        now = self.disk.kernel.now
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self._rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self._last = now
+            delay = 0.0
+        else:
+            # Wait for the fractional remainder of the next token; it
+            # is consumed the moment it accrues.
+            delay = (1.0 - self._tokens) / self._rate
+            self._tokens = 0.0
+            self._last = now + delay
+            self.throttle_delays += 1
+        latency, cache_hit = self.inner.service_time(request, rng)
+        return delay + latency, cache_hit

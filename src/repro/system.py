@@ -32,6 +32,7 @@ from .core.sampling import SampledProfiler
 from .disk.device import Disk
 from .disk.driver import ScsiDriver
 from .disk.geometry import DiskGeometry
+from .disk.model import DeviceModel
 from .fs.ext2 import Ext2
 from .fs.ext3 import Ext3
 from .fs.mkfs import BlockAllocator, TreeBuilder
@@ -104,6 +105,7 @@ class System:
               sample_interval: Optional[float] = None,
               spec: Optional[BucketSpec] = None,
               geometry: Optional[DiskGeometry] = None,
+              device: Optional[DeviceModel] = None,
               fs_factory=None) -> "System":
         """Assemble a machine; see class docstring for the layout.
 
@@ -112,15 +114,24 @@ class System:
         and the FS layer (``off``/``empty``/``tsc_only``/``full``).
         ``sample_interval`` (cycles), when given, additionally attaches
         a :class:`SampledProfiler` at the FS layer for Figure 9-style
-        3-D profiles.
+        3-D profiles.  ``device`` mounts a non-default device model
+        (SSD, RAID-0, throttled...) behind the same driver; ``geometry``
+        only reshapes the default spindle and is mutually exclusive
+        with it.  Scenario names resolve to devices one level up, in
+        :func:`repro.scenarios.build_system`.
         """
+        if device is not None and geometry is not None:
+            raise ValueError("give geometry or device, not both")
         rng = SimRandom(seed)
         kernel = Kernel(num_cpus=num_cpus, quantum=quantum,
                         kernel_preemption=kernel_preemption, rng=rng)
         # One pipeline spans the machine: every layer's probe shares its
         # request-id space and drains through the same batch buffers.
         pipeline = Pipeline(num_cpus=num_cpus)
-        disk = Disk(kernel, geometry=geometry)
+        if device is not None:
+            disk = Disk(kernel, model=device)
+        else:
+            disk = Disk(kernel, geometry=geometry)
         driver_profiler = Profiler(name="driver", layer=Layer.DRIVER,
                                    clock=lambda: kernel.engine.now,
                                    spec=spec)

@@ -19,7 +19,11 @@ __all__ = ["WORKLOAD_NAMES", "PROFILE_LAYERS", "run_named_workload",
            "iter_segment_profiles"]
 
 #: Workloads the runner (and therefore ``osprof run``) knows how to drive.
-WORKLOAD_NAMES = ("grep", "randomread", "postmark", "zerobyte", "clone")
+#: ``randomread-private`` is the random-read loop with one file per
+#: process instead of the paper's single shared file: no shared i_sem,
+#: so direct reads overlap and the device sees real queue depth.
+WORKLOAD_NAMES = ("grep", "randomread", "randomread-private", "postmark",
+                  "zerobyte", "clone")
 
 #: Profiling layers a collection can be read from (Figure 2).
 PROFILE_LAYERS = ("user", "fs", "driver")
@@ -42,6 +46,11 @@ def run_named_workload(system: System, workload: str, *,
         from .randomread import RandomReadConfig, run_random_read
         run_random_read(system, RandomReadConfig(
             processes=processes, iterations=iterations))
+    elif workload == "randomread-private":
+        from .randomread import RandomReadConfig, run_random_read
+        run_random_read(system, RandomReadConfig(
+            processes=processes, iterations=iterations,
+            files=processes))
     elif workload == "postmark":
         from .postmark import PostmarkConfig, run_postmark
         run_postmark(system, PostmarkConfig(
@@ -64,21 +73,24 @@ def collect_profiles(workload: str, *, layer: str = "fs",
                      seed: int = 2006, scale: float = 0.02,
                      processes: int = 2, iterations: int = 1000,
                      patched_llseek: bool = False,
-                     kernel_preemption: bool = False) -> ProfileSet:
-    """Build a machine, run *workload*, return one layer's profile set."""
+                     kernel_preemption: bool = False,
+                     scenario: Optional[str] = None) -> ProfileSet:
+    """Build a machine, run *workload*, return one layer's profile set.
+
+    A thin selection over :func:`collect_layer_profiles` — all three
+    profiling layers are always attached, so extracting one costs
+    nothing extra and both entry points share a single construction
+    path through the scenario registry.
+    """
     if layer not in PROFILE_LAYERS:
         raise ValueError(
             f"unknown layer {layer!r}; expected one of "
             f"{', '.join(PROFILE_LAYERS)}")
-    system = System.build(fs_type=fs_type, num_cpus=num_cpus, seed=seed,
-                          patched_llseek=patched_llseek,
-                          kernel_preemption=kernel_preemption,
-                          with_timer=False)
-    run_named_workload(system, workload, seed=seed, scale=scale,
-                       processes=processes, iterations=iterations)
-    return {"user": system.user_profiles,
-            "fs": system.fs_profiles,
-            "driver": system.driver_profiles}[layer]()
+    return collect_layer_profiles(
+        workload, fs_type=fs_type, num_cpus=num_cpus, seed=seed,
+        scale=scale, processes=processes, iterations=iterations,
+        patched_llseek=patched_llseek,
+        kernel_preemption=kernel_preemption, scenario=scenario)[layer]
 
 
 def collect_layer_profiles(workload: str, *, fs_type: str = "ext2",
@@ -87,6 +99,7 @@ def collect_layer_profiles(workload: str, *, fs_type: str = "ext2",
                            iterations: int = 1000,
                            patched_llseek: bool = False,
                            kernel_preemption: bool = False,
+                           scenario: Optional[str] = None,
                            ) -> Dict[str, ProfileSet]:
     """One run, all of Figure 2's layers: layer name -> profile set.
 
@@ -95,9 +108,14 @@ def collect_layer_profiles(workload: str, *, fs_type: str = "ext2",
     driver profiles together — the cross-layer comparison input of
     Section 3.1 without three per-layer reruns (and without the
     cross-run seed-alignment caveats those carry).
+
+    ``scenario`` mounts that registry row's device model (SSD, RAID-0,
+    throttled...); the workload and its parameters stay whatever the
+    caller passed — scenario *defaults* are resolved by the CLI.
     """
-    system = System.build(fs_type=fs_type, num_cpus=num_cpus, seed=seed,
-                          patched_llseek=patched_llseek,
+    from ..scenarios import build_system
+    system = build_system(scenario, fs_type=fs_type, num_cpus=num_cpus,
+                          seed=seed, patched_llseek=patched_llseek,
                           kernel_preemption=kernel_preemption,
                           with_timer=False)
     run_named_workload(system, workload, seed=seed, scale=scale,

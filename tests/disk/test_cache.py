@@ -3,6 +3,8 @@
 import pytest
 
 from repro.disk.cache import SegmentCache
+from repro.disk.device import Disk
+from repro.sim.scheduler import Kernel
 
 
 class TestSegmentCache:
@@ -63,3 +65,110 @@ class TestSegmentCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             SegmentCache(segments=-1)
+
+
+class TestEvictionOrder:
+    """The LRU order is part of the model: byte-identity runs depend on
+    exactly which track leaves when the buffer is full."""
+
+    def test_cold_fills_evict_in_insertion_order(self):
+        cache = SegmentCache(segments=3)
+        for track in (1, 2, 3, 4, 5):
+            cache.fill(track)
+        survivors = [t for t in (1, 2, 3, 4, 5) if cache.resident(t)]
+        assert survivors == [3, 4, 5]
+
+    def test_interleaved_lookups_reorder_eviction(self):
+        cache = SegmentCache(segments=3)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(3)
+        cache.lookup(1)   # order now 2, 3, 1
+        cache.lookup(2)   # order now 3, 1, 2
+        cache.fill(4)     # evicts 3
+        cache.fill(5)     # evicts 1
+        assert not cache.resident(3)
+        assert not cache.resident(1)
+        assert cache.resident(2)
+        assert cache.resident(4)
+        assert cache.resident(5)
+
+    def test_missed_lookup_does_not_disturb_order(self):
+        cache = SegmentCache(segments=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(99)  # miss: must not touch residency or order
+        cache.fill(3)     # still evicts 1
+        assert not cache.resident(1)
+        assert cache.resident(2)
+        assert len(cache) == 2
+
+
+class TestInvalidate:
+    def test_invalidate_preserves_statistics(self):
+        cache = SegmentCache(segments=4)
+        cache.lookup(1)
+        cache.fill(1)
+        cache.lookup(1)
+        cache.invalidate()
+        # The barrier drops data, not accounting.
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert not cache.resident(1)
+
+    def test_refill_after_invalidate_starts_fresh(self):
+        cache = SegmentCache(segments=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.invalidate()
+        cache.fill(3)
+        cache.fill(4)
+        cache.fill(5)  # evicts 3: old entries play no part in LRU order
+        assert not cache.resident(3)
+        assert cache.resident(4)
+        assert cache.resident(5)
+
+
+def make_disk(**kwargs):
+    k = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+    return k, Disk(k, **kwargs)
+
+
+class TestReadaheadFill:
+    """The fill path through the spindle model: what lands in the
+    segment buffer after each kind of media access."""
+
+    def test_read_miss_fills_the_whole_track(self):
+        k, disk = make_disk()
+        per_track = disk.geometry.blocks_per_track
+        disk.submit(0)
+        k.run(max_events=100)
+        assert disk.cache.resident(0)
+        # Any other block of track 0 now hits; track 1 stays cold.
+        neighbor = disk.submit(per_track - 1)
+        k.run(max_events=100)
+        assert neighbor.cache_hit
+        beyond = disk.submit(per_track)
+        k.run(max_events=100)
+        assert not beyond.cache_hit
+
+    def test_write_fills_its_track_for_later_reads(self):
+        # The head read the track to reach the sector; the segment
+        # buffer keeps it, so a write primes readahead for reads.
+        k, disk = make_disk()
+        disk.submit(100, is_write=True)
+        k.run(max_events=100)
+        assert disk.cache.resident(disk.geometry.track_of(100))
+        read = disk.submit(101)
+        k.run(max_events=100)
+        assert read.cache_hit
+
+    def test_failed_media_access_does_not_fill(self):
+        # Every attempt fails (error_rate ~1, no retries): the sector
+        # never came off the platter, so nothing enters the buffer.
+        k, disk = make_disk(error_rate=0.999, max_retries=0)
+        request = disk.submit(100)
+        k.run(max_events=100)
+        assert request.failed
+        assert not disk.cache.resident(disk.geometry.track_of(100))
+        assert len(disk.cache) == 0

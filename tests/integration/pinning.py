@@ -21,9 +21,10 @@ from typing import Callable, Dict
 
 from repro.core.profileset import ProfileSet
 from repro.net.mount import build_cifs_mount, build_nfs_mount
+from repro.scenarios import SCENARIOS
 from repro.system import System
 from repro.workloads import run_grep
-from repro.workloads.runner import run_named_workload
+from repro.workloads.runner import collect_profiles, run_named_workload
 
 #: (workload, fs_type, kwargs for run_named_workload)
 _SYSTEM_RUNS = (
@@ -59,6 +60,22 @@ def _capture_nfs() -> ProfileSet:
     return mount.client.fs_profiles()
 
 
+def _capture_scenario(name: str) -> ProfileSet:
+    """One scenario's driver-layer capture at its registry defaults.
+
+    Runs through the same :func:`collect_profiles` funnel as ``osprof
+    run``, so these pins freeze both the device model's physics and the
+    registry's workload parameters.
+    """
+    scenario = SCENARIOS[name]
+    return collect_profiles(scenario.workload, layer="driver",
+                            scenario=name, seed=2006,
+                            fs_type=scenario.fs_type,
+                            scale=scenario.scale,
+                            processes=scenario.processes,
+                            iterations=scenario.iterations)
+
+
 def _system_captures() -> Dict[str, Callable[[], ProfileSet]]:
     captures: Dict[str, Callable[[], ProfileSet]] = {}
     for workload, fs_type, kwargs in _SYSTEM_RUNS:
@@ -70,8 +87,14 @@ def _system_captures() -> Dict[str, Callable[[], ProfileSet]]:
     return captures
 
 
+def _scenario_captures() -> Dict[str, Callable[[], ProfileSet]]:
+    return {f"scenario-{name}": (lambda n=name: _capture_scenario(n))
+            for name in sorted(SCENARIOS)}
+
+
 CAPTURES: Dict[str, Callable[[], ProfileSet]] = {
     **_system_captures(),
+    **_scenario_captures(),
     "grep-cifs-windows-fs": lambda: _capture_cifs("windows"),
     "grep-cifs-linux-fs": lambda: _capture_cifs("linux"),
     "grep-nfs-fs": _capture_nfs,

@@ -336,3 +336,83 @@ class TestKillServerMidPush:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestDeviceServiceFaults:
+    """The ``device.service`` site through the new device models.
+
+    A media error on an SSD or a RAID member takes the same
+    transparent-retry path organic ``error_rate`` failures take: a
+    matched attempt re-queues the request with one retry's worth of
+    added latency, and only retry exhaustion surfaces ``failed``.
+    """
+
+    @staticmethod
+    def run_one(model, fault_plan, *, is_write=False, max_retries=3):
+        from repro.disk.device import Disk
+        from repro.sim.scheduler import Kernel
+        kernel = Kernel(num_cpus=1, tsc_skew_seconds=0.0)
+        disk = Disk(kernel, model=model, fault_plan=fault_plan,
+                    max_retries=max_retries)
+        request = disk.submit(100, is_write=is_write)
+        kernel.run(max_events=200)
+        return disk, request
+
+    def test_ssd_write_media_error_heals_via_retry(self):
+        from repro.disk.model import SSDModel
+        disk, request = self.run_one(
+            SSDModel(),
+            plan(FaultPoint(site="device.service", kind="error",
+                            key="write")),
+            is_write=True)
+        assert request.completed_at > 0
+        assert not request.failed
+        assert request.retries == 1
+        assert disk.retries_performed == 1
+        assert disk.media_errors == 1
+
+    def test_raid_read_media_error_heals_via_retry(self):
+        from repro.disk.model import RAID0Model
+        disk, request = self.run_one(
+            RAID0Model(num_children=2),
+            plan(FaultPoint(site="device.service", kind="error",
+                            key="read")))
+        assert request.completed_at > 0
+        assert not request.failed
+        assert request.retries == 1
+        assert disk.retries_performed == 1
+
+    def test_read_fault_key_does_not_touch_writes(self):
+        from repro.disk.model import SSDModel
+        disk, request = self.run_one(
+            SSDModel(),
+            plan(FaultPoint(site="device.service", kind="error",
+                            key="read")),
+            is_write=True)
+        assert not request.failed
+        assert request.retries == 0
+        assert disk.media_errors == 0
+
+    def test_every_attempt_faulted_exhausts_retries(self):
+        from repro.disk.model import SSDModel
+        disk, request = self.run_one(
+            SSDModel(),
+            plan(FaultPoint(site="device.service", kind="error",
+                            key="write", attempts=())),
+            is_write=True, max_retries=2)
+        assert request.failed
+        assert request.completed_at > 0   # completion still fires
+        assert request.retries == 2
+        assert disk.media_errors == 3     # initial attempt + 2 retries
+
+    def test_faulted_retry_costs_extra_service_time(self):
+        from repro.disk.model import SSDModel
+        _, clean = self.run_one(SSDModel(), None, is_write=True)
+        _, faulted = self.run_one(
+            SSDModel(),
+            plan(FaultPoint(site="device.service", kind="error",
+                            key="write")),
+            is_write=True)
+        clean_latency = clean.completed_at - clean.submitted_at
+        faulted_latency = faulted.completed_at - faulted.submitted_at
+        assert faulted_latency > clean_latency * 1.5

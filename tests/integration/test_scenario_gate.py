@@ -1,0 +1,86 @@
+"""The warehouse gate over the device-model scenario matrix.
+
+Each committed fixture in ``tests/fixtures`` is the clean driver-layer
+capture of one device-model scenario.  CI replays this exact flow in
+its ``gate`` job; tier-1 keeps the fixtures honest from the inside:
+
+* the fixture regenerates byte-for-byte from its pinned command line
+  (else it is stale and must be regenerated and committed);
+* a fresh clean capture under a *different* seed passes the gate —
+  the scenario's shape is a property of the model, not of one seed;
+* the paired regression scenario (worn SSD, degraded array, tighter
+  throttle) breaches with exit 3 — the gate provably catches each
+  model's pathology, not just the spindle's.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures"
+
+STALE_HINT = ("committed gate fixture is stale — regenerate with "
+              "'PYTHONPATH=src python tools/gen_gate_fixture.py' "
+              "and commit the result")
+
+#: (fixture file, clean scenario, regression scenario, breaching op)
+MATRIX = (
+    ("ssd_gc_clean_baseline.ospb", "ssd-gc", "ssd-gc-worn",
+     "disk_write"),
+    ("raid0_stripe_clean_baseline.ospb", "raid0-stripe",
+     "raid0-degraded", "disk_read"),
+    ("throttled_iops_clean_baseline.ospb", "throttled-iops",
+     "throttled-iops-tight", "disk_read"),
+)
+
+IDS = [clean for _, clean, _, _ in MATRIX]
+
+
+def scenario_capture(tmp_path, scenario: str, seed: int) -> str:
+    path = tmp_path / f"{scenario}-{seed}.ospb"
+    assert main(["run", "--scenario", scenario, "--seed", str(seed),
+                 "--layer", "driver", "--format", "binary",
+                 "-o", str(path)]) == 0
+    return str(path)
+
+
+def saved_baseline(tmp_path, fixture: str) -> str:
+    db_dir = str(tmp_path / "wh")
+    assert main(["db", "baseline", "save", "clean", "--db", db_dir,
+                 "--from", str(FIXTURE_DIR / fixture)]) == 0
+    return db_dir
+
+
+@pytest.mark.parametrize("fixture,clean,regression,op", MATRIX, ids=IDS)
+def test_fixture_matches_regeneration_pins(tmp_path, fixture, clean,
+                                           regression, op):
+    from tools.gen_gate_fixture import FIXTURES
+    fresh = tmp_path / "regen.ospb"
+    assert main(FIXTURES[fixture] + ["-o", str(fresh)]) == 0
+    assert fresh.read_bytes() == (FIXTURE_DIR / fixture).read_bytes(), \
+        STALE_HINT
+
+
+@pytest.mark.parametrize("fixture,clean,regression,op", MATRIX, ids=IDS)
+def test_clean_scenario_passes_under_a_fresh_seed(tmp_path, capsys,
+                                                  fixture, clean,
+                                                  regression, op):
+    db = saved_baseline(tmp_path, fixture)
+    fresh = scenario_capture(tmp_path, clean, seed=2026)
+    rc = main(["db", "gate", fresh, "--db", db, "--baseline", "clean"])
+    assert rc == 0, STALE_HINT
+    assert "gate: PASS" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fixture,clean,regression,op", MATRIX, ids=IDS)
+def test_regression_scenario_breaches(tmp_path, capsys, fixture, clean,
+                                      regression, op):
+    db = saved_baseline(tmp_path, fixture)
+    bad = scenario_capture(tmp_path, regression, seed=2006)
+    rc = main(["db", "gate", bad, "--db", db, "--baseline", "clean"])
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert f"BREACH {op}" in out
+    assert "gate: FAIL" in out

@@ -1,29 +1,39 @@
 #!/usr/bin/env python
-"""Regenerate the CI regression-gate golden baseline fixture.
+"""Regenerate the CI regression-gate golden baseline fixtures.
 
-The fixture is a clean (uncontended) capture of the §6.1 random-read
-scenario: one process doing llseek+read, so the llseek profile shows no
-``i_sem`` contention peak.  CI saves it as a warehouse baseline and
-gates fresh captures against it — an identical workload must pass, the
-two-process contended variant must breach (exit 3).
+Each fixture is a clean capture the warehouse gate treats as the
+healthy reference distribution:
 
-Run after any simulator change that legitimately shifts the clean
+* ``llseek_clean_baseline.ospb`` — the §6.1 random-read scenario with
+  one process, so the llseek profile shows no ``i_sem`` contention
+  peak.  The two-process contended variant must breach (exit 3).
+* ``ssd_gc_clean_baseline.ospb`` / ``raid0_stripe_clean_baseline.ospb``
+  / ``throttled_iops_clean_baseline.ospb`` — the driver-layer profile
+  of each clean device-model scenario from the registry
+  (``osprof run --list-scenarios``).  The matching regression scenario
+  (``ssd-gc-worn``, ``raid0-degraded``, ``throttled-iops-tight``) must
+  breach.
+
+Run after any simulator change that legitimately shifts a clean
 distribution:
 
     PYTHONPATH=src python tools/gen_gate_fixture.py
 
-and commit the result.  ``tests/integration/test_gate_fixture.py``
-fails loudly when the fixture goes stale instead.
+and commit the result.  ``tests/integration/test_gate_fixture.py`` and
+``tests/integration/test_scenario_gate.py`` fail loudly when a fixture
+goes stale instead.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Dict, List
 
 from repro.cli import main
 
-OUT = (Path(__file__).resolve().parent.parent / "tests" / "fixtures"
-       / "llseek_clean_baseline.ospb")
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+
+OUT = FIXTURE_DIR / "llseek_clean_baseline.ospb"
 
 #: One clean capture: the gate's reference distribution.  Seed and size
 #: are pinned so the fixture regenerates reproducibly.
@@ -32,14 +42,33 @@ CAPTURE_ARGS = ["run", "randomread", "--processes", "1",
                 "--format", "binary"]
 
 
-def generate() -> Path:
-    OUT.parent.mkdir(parents=True, exist_ok=True)
-    rc = main(CAPTURE_ARGS + ["-o", str(OUT)])
-    if rc != 0:
-        raise SystemExit(rc)
-    return OUT
+def _scenario_args(name: str) -> List[str]:
+    return ["run", "--scenario", name, "--seed", "2006",
+            "--layer", "driver", "--format", "binary"]
+
+
+#: Every committed gate fixture and the pinned command line producing it.
+FIXTURES: Dict[str, List[str]] = {
+    "llseek_clean_baseline.ospb": CAPTURE_ARGS,
+    "ssd_gc_clean_baseline.ospb": _scenario_args("ssd-gc"),
+    "raid0_stripe_clean_baseline.ospb": _scenario_args("raid0-stripe"),
+    "throttled_iops_clean_baseline.ospb":
+        _scenario_args("throttled-iops"),
+}
+
+
+def generate() -> List[Path]:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, args in FIXTURES.items():
+        out = FIXTURE_DIR / filename
+        rc = main(args + ["-o", str(out)])
+        if rc != 0:
+            raise SystemExit(rc)
+        written.append(out)
+    return written
 
 
 if __name__ == "__main__":
-    path = generate()
-    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    for path in generate():
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
