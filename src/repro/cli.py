@@ -29,11 +29,13 @@ them into one CLI over the library:
   optionally its plaintext metrics page).
 * ``osprof trace <workload>`` — per-request cross-layer event slices
   from the probe pipeline's unified stream.
-* ``osprof db {ingest,query,sql,compact,gc,baseline,gate}`` — the
-  durable profile warehouse: persist closed segments, query time
+* ``osprof db {ingest,query,sql,compact,gc,scrub,baseline,gate}`` —
+  the durable profile warehouse: persist closed segments, query time
   ranges, run SQL-style analytics over the stored history (local
-  directory or live service), tier-compact aged history, manage named
-  baselines, and gate a fresh capture against a stored baseline
+  directory or live service), tier-compact aged history, re-verify
+  every committed byte in place (``scrub``, exit 3 on unrepaired
+  damage; ``--repair`` restores from a ``--mirror`` tree), manage
+  named baselines, and gate a fresh capture against a stored baseline
   (nonzero exit on breach).
 
 All dump-reading commands auto-detect the format, so text and binary
@@ -220,6 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable warehouse directory: closed "
                             "segments are flushed to it and the alert "
                             "baseline is seeded from its history")
+    serve.add_argument("--db-mirror", default=None, metavar="DIR",
+                       help="mirror tree double-committed with every "
+                            "warehouse segment (see 'osprof db scrub')")
     serve.add_argument("--db-source", default="service",
                        help="warehouse source name for flushed segments")
     serve.add_argument("--engine", choices=("async", "thread"),
@@ -328,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     def _db_dir(p):
         p.add_argument("--db", required=True, metavar="DIR",
                        help="warehouse directory")
+        p.add_argument("--mirror", default=None, metavar="DIR",
+                       help="mirror tree double-committed with every "
+                            "segment (the redundancy 'scrub --repair' "
+                            "restores from)")
 
     def _db_policy(p):
         p.add_argument("--fanout", type=int, default=4,
@@ -391,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
     _db_policy(gc)
     gc.add_argument("--source", default=None,
                     help="one source (default: all)")
+
+    scrub = dbsub.add_parser(
+        "scrub", help="re-verify every committed byte in place "
+                      "(exit 3 on unrepaired damage)")
+    _db_dir(scrub)
+    scrub.add_argument("--repair", action="store_true",
+                       help="restore quarantined segments from the "
+                            "--mirror tree (byte-identity re-checked)")
 
     baseline = dbsub.add_parser(
         "baseline", help="manage named reference profiles")
@@ -645,7 +662,10 @@ def cmd_serve(args) -> int:
     warehouse = None
     if args.db is not None:
         from .warehouse import Warehouse
-        warehouse = Warehouse(args.db)
+        warehouse = Warehouse(args.db, mirror_dir=args.db_mirror)
+    elif args.db_mirror is not None:
+        print("osprof serve: --db-mirror needs --db", file=sys.stderr)
+        return 2
     service = ProfileService(config, warehouse=warehouse,
                              warehouse_source=args.db_source)
     if args.engine == "async":
@@ -790,6 +810,10 @@ def cmd_push(args) -> int:
     if client.spool is not None and len(client.spool):
         print(f"{len(client.spool)} push(es) still spooled in "
               f"{args.spool_dir}", file=sys.stderr)
+    if client.spool is not None and client.spool.corrupted:
+        print(f"warning: {client.spool.corrupted} corrupt spooled "
+              f"push(es) quarantined in {args.spool_dir} (*.corrupt)",
+              file=sys.stderr)
     return 0
 
 
@@ -816,7 +840,18 @@ def cmd_watch(args) -> int:
                 for alert in alerts:
                     print(alert.describe())
                 if args.metrics:
-                    sys.stdout.write(client.metrics())
+                    metrics = client.metrics()
+                    sys.stdout.write(metrics)
+                    for line in metrics.splitlines():
+                        # A relay quarantining spooled pushes means
+                        # data is being delayed — loud, not buried in
+                        # the counter dump.
+                        if line.startswith("osprof_spool_corrupt_total"):
+                            count = int(line.rsplit(" ", 1)[-1])
+                            if count:
+                                print(f"warning: {count} corrupt "
+                                      f"spooled push(es) quarantined",
+                                      file=sys.stderr)
                 if args.once:
                     if not alerts:
                         print("no alerts")
@@ -923,7 +958,8 @@ def _open_warehouse(args):
                 f"bad --keep {args.keep!r}: expected comma-separated "
                 f"integers, e.g. 8,8,8") from None
         policy = CompactionPolicy(fanout=args.fanout, keep=keep)
-    return Warehouse(args.db, policy=policy)
+    return Warehouse(args.db, policy=policy,
+                     mirror_dir=getattr(args, "mirror", None))
 
 
 def cmd_db(args) -> int:
@@ -961,6 +997,8 @@ def cmd_db(args) -> int:
                  if warehouse.orphans_removed else ""),
               file=sys.stderr)
         return 0
+    if args.db_command == "scrub":
+        return cmd_db_scrub(args, warehouse)
     if args.db_command == "baseline":
         return cmd_db_baseline(args, warehouse)
     if args.db_command == "gate":
@@ -1014,6 +1052,27 @@ def _write_sql_result(columns, rows, fmt: str) -> None:
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
     print(f"({len(rows)} row{'' if len(rows) == 1 else 's'})",
           file=sys.stderr)
+
+
+def cmd_db_scrub(args, warehouse) -> int:
+    """``osprof db scrub``: verify committed bytes, optionally repair.
+
+    Exit 0 when everything verified (or every damaged segment was
+    restored byte-identically from the mirror), exit 3 when unrepaired
+    damage remains — same contract as ``osprof db gate``.
+    """
+    if args.repair and warehouse.mirror is None:
+        print("osprof db scrub: --repair needs --mirror (nothing to "
+              "restore from)", file=sys.stderr)
+        return 2
+    report = warehouse.scrub(repair=args.repair)
+    for issue in report.issues:
+        print(f"osprof db scrub: {issue}", file=sys.stderr)
+    print(f"scanned {report.scanned} segment(s), "
+          f"{report.journal_records} journal record(s): "
+          f"{report.corrupt} corrupt, {report.repaired} repaired",
+          file=sys.stderr)
+    return 0 if report.clean else 3
 
 
 def cmd_db_baseline(args, warehouse) -> int:

@@ -1,0 +1,203 @@
+"""The one durable-write funnel: fsync-correct atomic files + appends.
+
+Every component that claims crash safety — the warehouse's segment
+files and commit journal, the push spool, the relay's write-ahead state
+file — used to carry its own copy of the temp-file + ``os.replace``
+idiom.  All three copies shared the same latent bug: nothing ever
+fsynced the file contents before the rename, or the parent directory
+after it, so the "atomic" commit was atomic against *process* crashes
+only.  A power cut (or any crash that drops the page cache) could leave
+the rename durable while the payload was not — a committed-looking file
+full of zeros — or lose the rename entirely after the caller had
+already acked the data.
+
+This module is the single replacement.  :func:`write_atomic` performs
+the full four-step durable commit::
+
+    write temp  ->  fsync temp  ->  os.replace  ->  fsync parent dir
+
+and :func:`append_bytes` the append-side equivalent (write, flush,
+fsync).  Nothing in the tree opens a durable file any other way.
+
+Every operation is also *journaled* when a recorder is installed (see
+:mod:`repro.core.crashfs`): the recorder observes the exact op stream —
+writes, appends, fsyncs, renames, unlinks — and can later materialize
+any crash image of it, which is how the crash-consistency matrix proves
+these four steps are all present and all required.  Recording is a
+process-global hook intended for single-threaded test drivers; the
+production path never installs one and pays only a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "write_atomic",
+    "write_file",
+    "append_bytes",
+    "fsync_file",
+    "fsync_dir",
+    "ensure_dir",
+    "unlink",
+    "replace",
+    "truncate",
+    "set_recorder",
+    "recording",
+]
+
+#: The installed op recorder (a :class:`repro.core.crashfs.CrashFS` in
+#: tests, ``None`` in production).  Consulted, never required.
+_recorder = None
+
+
+def set_recorder(recorder) -> None:
+    """Install (or, with ``None``, remove) the global op recorder."""
+    global _recorder
+    _recorder = recorder
+
+
+@contextlib.contextmanager
+def recording(recorder):
+    """Scope a recorder over a block: ``with recording(fs): ...``."""
+    previous = _recorder
+    set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def _record(kind: str, path, data: Optional[bytes] = None,
+            dest=None, size: Optional[int] = None) -> None:
+    if _recorder is not None:
+        _recorder.record(kind, path, data=data, dest=dest, size=size)
+
+
+# -- directory plumbing ------------------------------------------------------
+
+def ensure_dir(path) -> None:
+    """``mkdir -p``, journaled."""
+    path = Path(path)
+    if path.is_dir():
+        return
+    path.mkdir(parents=True, exist_ok=True)
+    _record("mkdir", path)
+
+
+def fsync_dir(path) -> None:
+    """Make a directory's entries (creates/renames/unlinks) durable.
+
+    Best-effort on platforms that cannot open directories (the op is
+    still journaled, so the crash matrix judges the *intent*).
+    """
+    _record("fsync_dir", path)
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_file(path) -> None:
+    """fsync an existing file's contents in place."""
+    with open(path, "rb") as f:
+        os.fsync(f.fileno())
+    _record("fsync", path)
+
+
+# -- the durable write idioms ------------------------------------------------
+
+def write_atomic(path, data: bytes, *, fsync: bool = True) -> None:
+    """Durably publish *data* at *path* via the four-step commit.
+
+    The temp file is fsynced **before** the rename (so the payload can
+    never lag the name) and the parent directory **after** it (so the
+    name itself is durable).  ``fsync=False`` skips both syncs — that
+    is the historical bug, kept only so the crash matrix can prove the
+    harness catches it; never pass it from production code.
+    """
+    path = Path(path)
+    ensure_dir(path.parent)
+    tmp = path.with_name(f".tmp-{path.name}")
+    with open(tmp, "wb") as f:
+        _record("write", tmp, data=data)
+        f.write(data)
+        if fsync:
+            f.flush()
+            os.fsync(f.fileno())
+    if fsync:
+        _record("fsync", tmp)
+    os.replace(tmp, path)
+    _record("replace", tmp, dest=path)
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def write_file(path, data: bytes, *, fsync: bool = True) -> None:
+    """Durably create (or truncate) a plain file in place.
+
+    For files that are appended to afterwards (a journal header): the
+    content is fsynced and the parent directory synced so the file's
+    existence is durable before the first append relies on it.
+    """
+    path = Path(path)
+    ensure_dir(path.parent)
+    with open(path, "wb") as f:
+        _record("write", path, data=data)
+        f.write(data)
+        if fsync:
+            f.flush()
+            os.fsync(f.fileno())
+    if fsync:
+        _record("fsync", path)
+        fsync_dir(path.parent)
+
+
+def append_bytes(path, data: bytes, *, fsync: bool = True) -> None:
+    """Durably append *data* to *path* (one write, one fsync)."""
+    path = Path(path)
+    with open(path, "ab") as f:
+        _record("append", path, data=data)
+        f.write(data)
+        f.flush()
+        if fsync:
+            os.fsync(f.fileno())
+    if fsync:
+        _record("fsync", path)
+
+
+# -- namespace ops the crash matrix must see ---------------------------------
+
+def unlink(path, missing_ok: bool = True) -> bool:
+    """Journaled ``unlink``; returns whether a file was removed."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        if missing_ok:
+            return False
+        raise
+    _record("unlink", path)
+    return True
+
+
+def replace(src, dest) -> None:
+    """Journaled ``os.replace`` of an existing file (no data write)."""
+    os.replace(src, dest)
+    _record("replace", src, dest=dest)
+
+
+def truncate(path, size: int) -> None:
+    """Journaled truncate-in-place (journal tail repair)."""
+    with open(path, "r+b") as f:
+        f.truncate(size)
+    _record("truncate", path, size=size)

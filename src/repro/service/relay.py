@@ -38,12 +38,12 @@ spool — so no acked push is ever double-merged, even across a crash.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from ..core import durable
 from ..core.faults import FaultPlan
 from ..core.profileset import ProfileSet
 from .aio_server import AsyncProfileServer
@@ -99,7 +99,7 @@ class RelayState:
                        for k, v in raw.get("ledger", {}).items()}
 
     def save(self) -> None:
-        """Persist atomically (temp + rename); called at WAL points."""
+        """Persist durably (fsync + rename + dir fsync) at WAL points."""
         blob = json.dumps({
             "relay_id": self.relay_id,
             "forwarded": self.forwarded,
@@ -107,9 +107,7 @@ class RelayState:
             "inflight": list(self.inflight) if self.inflight else None,
             "ledger": self.ledger,
         }, sort_keys=True).encode("utf-8")
-        tmp = self.path.with_name(f".tmp-{self.path.name}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, self.path)
+        durable.write_atomic(self.path, blob)
 
 
 class RelayService:
@@ -284,12 +282,27 @@ class RelayService:
                 fault_plan=self._plan)
         return self._upstream_client
 
+    def _load_entry(self, seq: int) -> Optional[Tuple[str, int, ProfileSet]]:
+        """Decode one spooled entry, quarantining at-rest damage.
+
+        A spool file that no longer decodes (bit rot, torn write that
+        survived a crash) must not wedge the forwarder in a permanent
+        retry loop: it is moved aside as ``.corrupt`` (kept for
+        forensics, counted by ``osprof_spool_corrupt_total``) and the
+        batch proceeds without it — delayed or quarantined, never
+        silently wrong.
+        """
+        try:
+            client_id, client_seq, profile = decode_push_seq(
+                self.spool.payload(seq))
+            return client_id, client_seq, ProfileSet.from_bytes(profile)
+        except (OSError, ValueError):
+            self.spool.quarantine(seq)
+            return None
+
     def _merge_batch(self, entries: List[int]) -> ProfileSet:
-        psets = []
-        for seq in entries:
-            _, _, profile = decode_push_seq(self.spool.payload(seq))
-            psets.append(ProfileSet.from_bytes(profile))
-        return ProfileSet.merged(psets)
+        loaded = filter(None, (self._load_entry(seq) for seq in entries))
+        return ProfileSet.merged([pset for _, _, pset in loaded])
 
     def forward(self) -> int:
         """Push every complete-able batch upstream; returns entries sent.
@@ -321,8 +334,15 @@ class RelayService:
                 upper, up_seq = state.inflight
                 entries = [seq for seq in self.spool.pending()
                            if state.forwarded < seq <= upper]
-                if entries:
-                    merged = self._merge_batch(entries)
+                # Decode once: a damaged entry is quarantined here and
+                # drops out of the batch (and of the ledger fold below),
+                # so at-rest corruption delays one entry, not the tree.
+                loaded = [(seq, entry) for seq in entries
+                          for entry in [self._load_entry(seq)]
+                          if entry is not None]
+                if loaded:
+                    merged = ProfileSet.merged(
+                        [pset for _, (_, _, pset) in loaded])
                     try:
                         self._client().push_with_seq(up_seq,
                                                      merged.to_bytes())
@@ -334,9 +354,7 @@ class RelayService:
                 # Commit: fold the batch's downstream marks into the
                 # durable ledger (their spool entries are about to go),
                 # advance the watermark, clear the marker — atomically.
-                for seq in entries:
-                    client_id, client_seq, _ = decode_push_seq(
-                        self.spool.payload(seq))
+                for _, (client_id, client_seq, _) in loaded:
                     if client_id != _ANON and \
                             client_seq > state.ledger.get(client_id, 0):
                         state.ledger[client_id] = client_seq
@@ -344,12 +362,12 @@ class RelayService:
                 state.up_seq = up_seq
                 state.inflight = None
                 state.save()
-                for seq in entries:
+                for seq, _ in loaded:
                     self.spool.remove(seq)
                 with self._lock:
-                    self.forwarded_entries += len(entries)
+                    self.forwarded_entries += len(loaded)
                     self.forwarded_batches += 1
-                total += len(entries)
+                total += len(loaded)
             return total
 
     def _drop_client(self) -> None:
@@ -392,6 +410,7 @@ class RelayService:
                 f"osprof_relay_forwarded_batches_total "
                 f"{self.forwarded_batches}",
                 f"osprof_relay_forward_errors_total {self.forward_errors}",
+                f"osprof_spool_corrupt_total {self.spool.corrupted}",
                 f"osprof_relay_upstream_seq {self.state.up_seq}",
                 f"osprof_relay_clients {len(self.ledger)}",
                 f"osprof_backpressure_total {self.backpressure_rejections}",

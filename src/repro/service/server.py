@@ -362,6 +362,12 @@ class ProfileService:
                 f"{getattr(self.warehouse, 'cache_hits_total', 0)}",
                 f"osprof_warehouse_cache_misses_total "
                 f"{getattr(self.warehouse, 'cache_misses_total', 0)}",
+                f"osprof_warehouse_scrub_scanned_total "
+                f"{getattr(self.warehouse, 'scrub_scanned_total', 0)}",
+                f"osprof_warehouse_scrub_corrupt_total "
+                f"{getattr(self.warehouse, 'scrub_corrupt_total', 0)}",
+                f"osprof_warehouse_scrub_repaired_total "
+                f"{getattr(self.warehouse, 'scrub_repaired_total', 0)}",
             ]
             per_op: dict = {}
             for alert in self._alerts:

@@ -23,11 +23,11 @@ spool has fully drained.
 
 from __future__ import annotations
 
-import os
 import uuid
 from pathlib import Path
 from typing import Callable, List, Optional
 
+from ..core import durable
 from ..core.profileset import ProfileSet
 
 __all__ = ["Spool"]
@@ -43,7 +43,7 @@ class Spool:
 
     def __init__(self, root, client_id: Optional[str] = None):
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        durable.ensure_dir(self.root)
         self.client_id = self._load_client_id(client_id)
         self._last_seq = self._load_last_seq()
         self.corrupted = 0  #: files quarantined by this instance
@@ -53,14 +53,14 @@ class Spool:
     def _load_client_id(self, requested: Optional[str]) -> str:
         path = self.root / _ID_FILE
         if requested:
-            self._write_atomic(path, requested.encode("utf-8"))
+            durable.write_atomic(path, requested.encode("utf-8"))
             return requested
         if path.exists():
             stored = path.read_text(encoding="utf-8").strip()
             if stored:
                 return stored
         generated = f"osprof-{uuid.uuid4().hex[:12]}"
-        self._write_atomic(path, generated.encode("utf-8"))
+        durable.write_atomic(path, generated.encode("utf-8"))
         return generated
 
     def _load_last_seq(self) -> int:
@@ -76,11 +76,6 @@ class Spool:
             last = max(last, pending[-1])
         return last
 
-    def _write_atomic(self, path: Path, data: bytes) -> None:
-        tmp = path.with_name(f".tmp-{path.name}")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-
     def _path(self, seq: int) -> Path:
         return self.root / f"{seq:020d}{_SUFFIX}"
 
@@ -89,15 +84,16 @@ class Spool:
     def append(self, payload: bytes) -> int:
         """Persist one encoded profile; returns its sequence number.
 
-        The payload file lands via atomic rename, and the high-water
-        mark is advanced first — a crash between the two steps wastes a
-        sequence number, never reuses one.
+        The payload file lands via the fully-fsynced atomic commit
+        (:func:`repro.core.durable.write_atomic`), and the high-water
+        mark is advanced — same discipline — first: a crash between
+        the two steps wastes a sequence number, never reuses one.
         """
         seq = self._last_seq + 1
-        self._write_atomic(self.root / _SEQ_FILE,
-                           str(seq).encode("utf-8"))
+        durable.write_atomic(self.root / _SEQ_FILE,
+                             str(seq).encode("utf-8"))
         self._last_seq = seq
-        self._write_atomic(self._path(seq), payload)
+        durable.write_atomic(self._path(seq), payload)
         return seq
 
     def pending(self) -> List[int]:
@@ -115,16 +111,13 @@ class Spool:
         return self._path(seq).read_bytes()
 
     def remove(self, seq: int) -> None:
-        try:
-            self._path(seq).unlink()
-        except FileNotFoundError:
-            pass
+        durable.unlink(self._path(seq))
 
     def quarantine(self, seq: int) -> None:
         """Move a damaged entry aside (kept for forensics, never pushed)."""
         path = self._path(seq)
         try:
-            os.replace(path, path.with_suffix(_CORRUPT_SUFFIX))
+            durable.replace(path, path.with_suffix(_CORRUPT_SUFFIX))
         except FileNotFoundError:
             pass
         self.corrupted += 1

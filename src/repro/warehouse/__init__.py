@@ -25,7 +25,7 @@ sampled archives:
 * :mod:`repro.warehouse.gate` — the CI regression gate: score a fresh
   capture against a stored baseline, exit nonzero on breach.
 
-Exposed on the CLI as ``osprof db {ingest,query,sql,compact,gc,
+Exposed on the CLI as ``osprof db {ingest,query,sql,compact,gc,scrub,
 baseline,gate}`` and wired into ``osprof serve --db``.
 """
 
@@ -37,7 +37,7 @@ from .log import LogError, SegmentLog
 from .sql import (QueryError, QueryResult, SelectStatement, execute_sql,
                   parse_sql)
 from .tiers import CompactionPolicy, plan_compactions, plan_gc
-from .warehouse import ENGINES, Warehouse, WarehouseError
+from .warehouse import ENGINES, ScrubReport, Warehouse, WarehouseError
 
 __all__ = [
     "Breach",
@@ -49,6 +49,7 @@ __all__ = [
     "LogError",
     "QueryError",
     "QueryResult",
+    "ScrubReport",
     "SegmentLog",
     "SegmentMeta",
     "SelectStatement",

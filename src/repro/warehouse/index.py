@@ -41,6 +41,12 @@ class SegmentMeta:
     #: is what keeps tiered compaction sum-exact, hence
     #: byte-deterministic.  Empty for raw (tier-0) ingests.
     resid: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    #: CRC-32 trailer of the committed payload (the last four bytes of
+    #: the binary codec encoding), recorded so ``osprof db scrub`` can
+    #: re-verify a segment file against what the *journal* promised,
+    #: not just against the file's own (possibly co-damaged) trailer.
+    #: ``None`` for records committed before this field existed.
+    crc: Optional[int] = None
 
     @property
     def epoch_end(self) -> int:
@@ -64,6 +70,8 @@ class SegmentMeta:
             # repr-based JSON floats round-trip bit-exactly in Python,
             # so the residual survives the journal unchanged.
             record["resid"] = {op: list(comps) for op, comps in self.resid}
+        if self.crc is not None:
+            record["crc"] = self.crc
         return record
 
     @classmethod
@@ -81,7 +89,9 @@ class SegmentMeta:
                        resid=tuple(sorted(
                            (str(op), tuple(float(c) for c in comps))
                            for op, comps
-                           in record.get("resid", {}).items())))
+                           in record.get("resid", {}).items())),
+                       crc=int(record["crc"]) if "crc" in record
+                       else None)
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"bad segment record {record!r}: {exc}") \
                 from None

@@ -25,10 +25,11 @@ CRC-32 trailer.
 from __future__ import annotations
 
 import json
-import os
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from ..core import durable
 
 __all__ = ["LogError", "SegmentLog"]
 
@@ -45,9 +46,11 @@ class SegmentLog:
     def __init__(self, path):
         self.path = Path(path)
         if not self.path.exists() or self.path.stat().st_size == 0:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "wb") as f:
-                f.write(_HEADER)
+            # Atomic (temp + rename), not written in place: a power cut
+            # mid-creation must leave the journal absent — recreated on
+            # the next open — never present with a torn header, which
+            # would read as foreign-file damage instead of recovering.
+            durable.write_atomic(self.path, _HEADER)
         self.truncated_bytes = 0  #: distrusted tail dropped by recover()
 
     # -- writing -------------------------------------------------------------
@@ -79,10 +82,7 @@ class SegmentLog:
                                  separators=(",", ":")).encode("utf-8")
             crc = zlib.crc32(payload) & 0xFFFFFFFF
             lines.append(b"%08x " % crc + payload + b"\n")
-        with open(self.path, "ab") as f:
-            f.write(b"".join(lines))
-            f.flush()
-            os.fsync(f.fileno())
+        durable.append_bytes(self.path, b"".join(lines))
 
     # -- reading -------------------------------------------------------------
 
@@ -103,9 +103,18 @@ class SegmentLog:
         size = self.path.stat().st_size
         if good < size:
             self.truncated_bytes = size - good
-            with open(self.path, "r+b") as f:
-                f.truncate(good)
+            durable.truncate(self.path, good)
         return records
+
+    def verify(self) -> Tuple[int, int]:
+        """Re-check every frame CRC in place: ``(records, bad bytes)``.
+
+        Read-only — this is ``osprof db scrub``'s journal pass; any
+        distrusted tail is only *counted* here (truncating it remains
+        the open path's job, via :meth:`recover`).
+        """
+        records, good = self._scan()
+        return len(records), self.path.stat().st_size - good
 
     def _scan(self) -> Tuple[List[Dict], int]:
         data = self.path.read_bytes()

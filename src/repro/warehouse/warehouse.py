@@ -26,9 +26,11 @@ from __future__ import annotations
 import os
 import re
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..core import durable
 from ..core.faults import FaultPlan
 from ..core.profileset import ProfileSet
 from .columnar import ColumnarSegment, merged_profile_set
@@ -37,7 +39,7 @@ from .log import SegmentLog
 from .tiers import CompactionGroup, CompactionPolicy, plan_compactions, \
     plan_gc
 
-__all__ = ["Warehouse", "WarehouseError"]
+__all__ = ["ScrubReport", "Warehouse", "WarehouseError"]
 
 #: Query/compaction engines: ``columnar`` (the default) decodes
 #: segments once into flat column arrays and merges those; ``legacy``
@@ -52,6 +54,30 @@ _SUFFIX = ".ospb"
 
 class WarehouseError(ValueError):
     """A warehouse-level failure: bad name, missing segment, damage."""
+
+
+#: Suffix a scrub appends when it moves a damaged segment file aside.
+#: ``<file>.ospb.quarantined`` no longer matches the ``*.ospb`` sweep
+#: glob, so forensics evidence survives gc until a repair removes it.
+_QUARANTINE_SUFFIX = ".quarantined"
+
+
+@dataclass
+class ScrubReport:
+    """What one :meth:`Warehouse.scrub` pass saw and did."""
+
+    scanned: int = 0          #: live segment files verified
+    corrupt: int = 0          #: files that failed verification
+    repaired: int = 0         #: files restored byte-identically
+    journal_records: int = 0  #: CRC-good commit-log records
+    journal_bad_bytes: int = 0  #: distrusted journal tail, in bytes
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No unrepaired damage anywhere (the exit-0 condition)."""
+        return self.corrupt == self.repaired \
+            and self.journal_bad_bytes == 0
 
 
 def _check_name(kind: str, name: str) -> str:
@@ -89,7 +115,7 @@ class Warehouse:
 
     def __init__(self, root, policy: Optional[CompactionPolicy] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 engine: str = "columnar"):
+                 engine: str = "columnar", mirror_dir=None):
         if engine not in ENGINES:
             raise WarehouseError(
                 f"unknown warehouse engine {engine!r} "
@@ -100,13 +126,25 @@ class Warehouse:
         self._plan = fault_plan if fault_plan is not None else FaultPlan()
         self._fault_attempts: Dict[str, int] = {}
         self._lock = threading.Lock()
-        (self.root / "segments").mkdir(parents=True, exist_ok=True)
-        (self.root / "baselines").mkdir(parents=True, exist_ok=True)
+        durable.ensure_dir(self.root / "segments")
+        durable.ensure_dir(self.root / "baselines")
+        #: Optional second tree double-committed with every segment
+        #: payload: primary file, then mirror file, then the one log
+        #: record — so a committed record implies both copies landed,
+        #: and ``scrub(repair=True)`` can restore quarantined primaries
+        #: byte-identically.
+        self.mirror = Path(mirror_dir) if mirror_dir is not None else None
+        if self.mirror is not None:
+            durable.ensure_dir(self.mirror / "segments")
         self.log = SegmentLog(self.root / "wal.log")
         self.index = WarehouseIndex()
         for record in self.log.recover():
             self.index.apply(record)
         self.orphans_removed = 0  #: uncommitted files swept by gc()
+        # Scrub counters (exported by the service metrics page).
+        self.scrub_scanned_total = 0
+        self.scrub_corrupt_total = 0
+        self.scrub_repaired_total = 0
         # Decoded-columns cache: seg_id -> ColumnarSegment.  Segment
         # files are immutable once committed, but a hit still re-reads
         # the 4-byte codec trailer and compares it against the cached
@@ -142,11 +180,13 @@ class Warehouse:
         self._plan.fire(site, key=key, attempt=attempt)
 
     def _write_atomic(self, rel: str, payload: bytes) -> None:
-        path = self.root / rel
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".tmp-{path.name}")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)
+        durable.write_atomic(self.root / rel, payload)
+
+    def _write_segment(self, rel: str, payload: bytes) -> None:
+        """Land one segment payload: primary tree, then mirror copy."""
+        durable.write_atomic(self.root / rel, payload)
+        if self.mirror is not None:
+            durable.write_atomic(self.mirror / rel, payload)
 
     def _segment_file(self, source: str, tier: int, epoch: int,
                       seg_id: int) -> str:
@@ -156,7 +196,7 @@ class Warehouse:
     def _commit(self, meta: SegmentMeta, payload: bytes, site: str,
                 inputs: tuple = ()) -> SegmentMeta:
         """The two-step commit shared by ingest and compaction."""
-        self._write_atomic(meta.file, payload)
+        self._write_segment(meta.file, payload)
         self._fire(site, "after-file")
         record = meta.to_record(inputs=tuple(m.seg_id for m in inputs))
         self.log.append(record)
@@ -222,10 +262,11 @@ class Warehouse:
                     nbytes=len(payload),
                     ops=tuple(sorted((prof.layer, prof.operation)
                                      for prof in pset)),
-                    resid=tuple(sorted(resid))))
+                    resid=tuple(sorted(resid)),
+                    crc=int.from_bytes(payload[-4:], "little")))
                 payloads.append(payload)
             for meta, payload in zip(metas, payloads):
-                self._write_atomic(meta.file, payload)
+                self._write_segment(meta.file, payload)
                 self._fire("warehouse.ingest", "after-file")
             records = [meta.to_record(inputs=()) for meta in metas]
             self.log.append_many(records)
@@ -418,7 +459,8 @@ class Warehouse:
             nbytes=len(payload),
             ops=tuple(sorted((prof.layer, prof.operation)
                              for prof in merged)),
-            resid=resid)
+            resid=resid,
+            crc=int.from_bytes(payload[-4:], "little"))
         self._commit(meta, payload, "warehouse.compact",
                      inputs=group.inputs)
         self._invalidate_columns(group.inputs)
@@ -452,29 +494,126 @@ class Warehouse:
     def _sweep_dead(self) -> None:
         # Lock held.  Unlink files the log already declared dead;
         # idempotent, so a crash between commit and unlink just leaves
-        # work for the next sweep.
+        # work for the next sweep.  Mirror copies die with their
+        # primaries.
         for rel in list(self.index.dead_files):
-            try:
-                (self.root / rel).unlink()
-            except FileNotFoundError:
-                pass
+            durable.unlink(self.root / rel)
+            if self.mirror is not None:
+                durable.unlink(self.mirror / rel)
             self.index.dead_files.discard(rel)
 
     def _sweep_orphans(self) -> None:
         # Lock held.  A file under segments/ that no live meta claims
         # is either committed-dead (already handled) or a crash orphan
         # whose commit record never landed — per the log it does not
-        # exist, so remove it.
+        # exist, so remove it.  The mirror tree is swept by the same
+        # rule, so an orphaned mirror copy cannot outlive its segment.
         live = self.index.live_files()
-        base = self.root / "segments"
-        for path in base.rglob(f"*{_SUFFIX}"):
-            rel = path.relative_to(self.root).as_posix()
-            if rel not in live:
-                try:
-                    path.unlink()
+        roots = [self.root] if self.mirror is None \
+            else [self.root, self.mirror]
+        for root in roots:
+            for path in (root / "segments").rglob(f"*{_SUFFIX}"):
+                rel = path.relative_to(root).as_posix()
+                if rel not in live and durable.unlink(path):
                     self.orphans_removed += 1
-                except FileNotFoundError:
-                    pass
+
+    # -- scrub & repair ------------------------------------------------------
+
+    def _verify_payload(self, meta: SegmentMeta,
+                        data: bytes) -> Optional[str]:
+        """Why *data* is not the committed payload (``None`` if it is)."""
+        if len(data) != meta.nbytes:
+            return f"size {len(data)} != committed {meta.nbytes}"
+        if meta.crc is not None and \
+                int.from_bytes(data[-4:], "little") != meta.crc:
+            return "CRC trailer differs from the committed record"
+        try:
+            ProfileSet.from_bytes(data)
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+    def _verify_segment(self, meta: SegmentMeta) -> Optional[str]:
+        path = self.root / meta.file
+        try:
+            data = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return "missing from disk"
+        return self._verify_payload(meta, data)
+
+    def scrub(self, repair: bool = False) -> ScrubReport:
+        """Re-verify every committed byte in place; optionally repair.
+
+        Walks every live segment file and re-checks it against what the
+        commit log promised — exact size, CRC-32 trailer (for records
+        that carry one), and a full codec decode — plus every journal
+        frame CRC.  A file that fails is *quarantined*: renamed to
+        ``<file>.quarantined`` so it stops matching the sweep glob and
+        survives as forensics evidence, while the damage can no longer
+        be served.  With ``repair=True`` and a mirror tree attached,
+        each quarantined segment is restored from its mirror copy after
+        the mirror bytes pass the same verification — restoration is
+        byte-identical or it does not happen.
+
+        Counters accumulate on the instance
+        (``scrub_{scanned,corrupt,repaired}_total``); the returned
+        :class:`ScrubReport` covers this pass only, and
+        :attr:`ScrubReport.clean` is the CLI's exit-0 condition.
+        """
+        report = ScrubReport()
+        with self._lock:
+            report.journal_records, report.journal_bad_bytes = \
+                self.log.verify()
+            if report.journal_bad_bytes:
+                report.issues.append(
+                    f"wal.log: {report.journal_bad_bytes} distrusted "
+                    f"tail byte(s) after {report.journal_records} good "
+                    f"record(s)")
+            metas = [meta for src in self.index.sources()
+                     for meta in self.index.select(src)]
+            for meta in metas:
+                report.scanned += 1
+                reason = self._verify_segment(meta)
+                if reason is None:
+                    continue
+                report.corrupt += 1
+                path = self.root / meta.file
+                quarantined = path.with_name(
+                    path.name + _QUARANTINE_SUFFIX)
+                if path.exists():
+                    durable.replace(path, quarantined)
+                self._invalidate_columns([meta])
+                detail = f"segment {meta.seg_id} ({meta.file}): {reason}"
+                if repair and self.mirror is not None:
+                    restored = self._restore_from_mirror(meta, quarantined)
+                    if restored is None:
+                        report.repaired += 1
+                        report.issues.append(f"{detail} — repaired "
+                                             f"from mirror")
+                        continue
+                    detail += f"; mirror copy unusable: {restored}"
+                report.issues.append(detail)
+            self.scrub_scanned_total += report.scanned
+            self.scrub_corrupt_total += report.corrupt
+            self.scrub_repaired_total += report.repaired
+        return report
+
+    def _restore_from_mirror(self, meta: SegmentMeta,
+                             quarantined: Path) -> Optional[str]:
+        # Lock held.  Returns None on success, else why the mirror copy
+        # was rejected.  The mirror bytes must pass the exact checks
+        # the primary just failed before they are promoted.
+        mirror_path = self.mirror / meta.file
+        try:
+            data = mirror_path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return "missing from mirror tree"
+        reason = self._verify_payload(meta, data)
+        if reason is not None:
+            return reason
+        durable.write_atomic(self.root / meta.file, data)
+        durable.unlink(quarantined)
+        return None
 
     # -- named baselines -----------------------------------------------------
 
@@ -507,12 +646,7 @@ class Warehouse:
         return sorted(p.stem for p in base.glob(f"*{_SUFFIX}"))
 
     def remove_baseline(self, name: str) -> bool:
-        path = self._baseline_path(name)
-        try:
-            path.unlink()
-            return True
-        except FileNotFoundError:
-            return False
+        return durable.unlink(self._baseline_path(name))
 
     def __repr__(self) -> str:
         return (f"<Warehouse {str(self.root)!r} "

@@ -1,0 +1,159 @@
+"""Unit tests of the CrashFS op journal and its crash-image semantics.
+
+Each test drives :mod:`repro.core.durable` under a recorder and checks
+that :meth:`CrashFS.materialize` reconstructs exactly the states a real
+filesystem could be left in — per mode, per crash point.
+"""
+
+import pytest
+
+from repro.core import durable
+from repro.core.crashfs import MODES, CrashFS
+
+
+@pytest.fixture
+def root(tmp_path):
+    live = tmp_path / "live"
+    live.mkdir()
+    return live
+
+
+@pytest.fixture
+def fs(root):
+    shim = CrashFS(root)
+    with durable.recording(shim):
+        yield shim
+
+
+def image(fs, tmp_path, point, mode, seed=0):
+    return fs.materialize(tmp_path / "img", point, mode, seed=seed)
+
+
+class TestEndpoints:
+    """At the trivial crash points every mode agrees."""
+
+    def test_empty_prefix_is_empty_tree(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"x")
+        for mode in MODES:
+            img = image(fs, tmp_path, 0, mode)
+            assert list(img.iterdir()) == []
+
+    def test_full_prefix_after_full_sync_matches_live(self, fs, root,
+                                                      tmp_path):
+        durable.write_atomic(root / "a", b"alpha")
+        durable.write_atomic(root / "sub" / "b", b"beta")
+        end = fs.mark()
+        for mode in MODES:
+            img = image(fs, tmp_path, end, mode)
+            assert (img / "a").read_bytes() == b"alpha"
+            assert (img / "sub" / "b").read_bytes() == b"beta"
+
+
+class TestModeSemantics:
+    def test_strict_drops_unsynced_write(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"x", fsync=False)
+        img = image(fs, tmp_path, fs.mark(), "strict")
+        assert not (img / "f").exists()
+
+    def test_rename_no_data_keeps_name_drops_bytes(self, fs, root,
+                                                   tmp_path):
+        durable.write_atomic(root / "f", b"payload", fsync=False)
+        img = image(fs, tmp_path, fs.mark(), "rename-no-data")
+        assert (img / "f").read_bytes() == b""
+
+    def test_rename_no_data_keeps_synced_bytes(self, fs, root, tmp_path):
+        # The fixed protocol fsyncs before the rename, so the payload
+        # can never lag the name.
+        durable.write_atomic(root / "f", b"payload")
+        img = image(fs, tmp_path, fs.mark(), "rename-no-data")
+        assert (img / "f").read_bytes() == b"payload"
+
+    def test_data_no_rename_drops_unsynced_dirent(self, fs, root,
+                                                  tmp_path):
+        durable.write_atomic(root / "f", b"payload", fsync=False)
+        img = image(fs, tmp_path, fs.mark(), "data-no-rename")
+        assert not (img / "f").exists()
+
+    def test_data_no_rename_keeps_dirent_after_dir_fsync(self, fs, root,
+                                                         tmp_path):
+        durable.write_atomic(root / "f", b"payload")  # ends in fsync_dir
+        img = image(fs, tmp_path, fs.mark(), "data-no-rename")
+        assert (img / "f").read_bytes() == b"payload"
+
+    def test_flush_keeps_everything(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"payload", fsync=False)
+        img = image(fs, tmp_path, fs.mark(), "flush")
+        assert (img / "f").read_bytes() == b"payload"
+
+    def test_torn_append_loses_a_proper_suffix(self, fs, root, tmp_path):
+        durable.write_file(root / "log", b"HEAD;")
+        durable.append_bytes(root / "log", b"0123456789", fsync=False)
+        for seed in range(8):
+            img = image(fs, tmp_path, fs.mark(), "torn", seed=seed)
+            data = (img / "log").read_bytes()
+            assert data.startswith(b"HEAD;")
+            # At least one dirty byte is always lost: torn != flush.
+            assert len(data) < len(b"HEAD;0123456789")
+
+    def test_torn_is_deterministic_per_seed(self, fs, root, tmp_path):
+        durable.write_file(root / "log", b"H")
+        durable.append_bytes(root / "log", b"abcdefgh", fsync=False)
+        a = (image(fs, tmp_path, fs.mark(), "torn", seed=7)
+             / "log").read_bytes()
+        b = (image(fs, tmp_path, fs.mark(), "torn", seed=7)
+             / "log").read_bytes()
+        assert a == b
+
+    def test_fsynced_append_survives_torn(self, fs, root, tmp_path):
+        durable.write_file(root / "log", b"H")
+        durable.append_bytes(root / "log", b"committed")  # fsynced
+        img = image(fs, tmp_path, fs.mark(), "torn")
+        assert (img / "log").read_bytes() == b"Hcommitted"
+
+
+class TestCrashPoints:
+    def test_mid_protocol_windows(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"x")
+        # ops: mkdir? (root exists: no) write fsync replace fsync_dir
+        kinds = [op.kind for op in fs.ops]
+        assert kinds == ["write", "fsync", "replace", "fsync_dir"]
+        # Crash after replace but before fsync_dir: strict mode loses
+        # the rename (dirent never committed)...
+        img = image(fs, tmp_path, 3, "strict")
+        assert not (img / "f").exists()
+        # ...but the data-loss mode that keeps dirents serves the full
+        # payload, because the fsync landed before the rename.
+        img = image(fs, tmp_path, 3, "rename-no-data")
+        assert (img / "f").read_bytes() == b"x"
+
+    def test_unsynced_unlink_can_resurrect(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"x")
+        durable.unlink(root / "f")
+        img = image(fs, tmp_path, fs.mark(), "strict")
+        # The unlink dirent change was never fsynced: platter still
+        # has the file.  (Sweeps must therefore be idempotent.)
+        assert (img / "f").read_bytes() == b"x"
+        img = image(fs, tmp_path, fs.mark(), "flush")
+        assert not (img / "f").exists()
+
+    def test_validation(self, fs, root, tmp_path):
+        durable.write_atomic(root / "f", b"x")
+        with pytest.raises(ValueError):
+            fs.materialize(tmp_path / "img", 1, "gentle")
+        with pytest.raises(ValueError):
+            fs.materialize(tmp_path / "img", len(fs.ops) + 1, "flush")
+
+
+class TestNotes:
+    def test_notes_interleave_with_ops(self, fs, root, tmp_path):
+        durable.write_atomic(root / "a", b"1")
+        fs.note(("acked", 1))
+        durable.write_atomic(root / "b", b"2")
+        fs.note(("acked", 2))
+        mid = fs.ops.index(
+            next(op for op in fs.ops if op.kind == "note")) + 1
+        assert fs.notes_through(mid) == [("acked", 1)]
+        assert fs.notes_through(fs.mark()) == [("acked", 1), ("acked", 2)]
+        # Notes never become files.
+        img = image(fs, tmp_path, fs.mark(), "flush")
+        assert sorted(p.name for p in img.iterdir()) == ["a", "b"]

@@ -1,0 +1,127 @@
+"""Unit tests of the shared durable-write funnel (repro.core.durable).
+
+The crash-consistency matrix (tests/integration/test_crash_matrix.py)
+proves these primitives compose into safe commit protocols; this file
+pins their local contracts — bytes on disk, journaled op streams, and
+the exact fsync placement of the four-step atomic write.
+"""
+
+import pytest
+
+from repro.core import durable
+from repro.core.crashfs import CrashFS
+
+
+@pytest.fixture
+def fs(tmp_path):
+    """A CrashFS recording every durable op under tmp_path."""
+    shim = CrashFS(tmp_path)
+    with durable.recording(shim):
+        yield shim
+
+
+def ops(fs, kind=None):
+    if kind is None:
+        return [(op.kind, op.path) for op in fs.ops]
+    return [(op.kind, op.path) for op in fs.ops if op.kind == kind]
+
+
+class TestWriteAtomic:
+    def test_publishes_bytes(self, tmp_path):
+        durable.write_atomic(tmp_path / "f", b"hello")
+        assert (tmp_path / "f").read_bytes() == b"hello"
+
+    def test_overwrites(self, tmp_path):
+        durable.write_atomic(tmp_path / "f", b"old")
+        durable.write_atomic(tmp_path / "f", b"new")
+        assert (tmp_path / "f").read_bytes() == b"new"
+
+    def test_no_temp_residue(self, tmp_path):
+        durable.write_atomic(tmp_path / "sub" / "f", b"x")
+        names = [p.name for p in (tmp_path / "sub").iterdir()]
+        assert names == ["f"]
+
+    def test_op_sequence_is_the_four_step_commit(self, fs, tmp_path):
+        durable.write_atomic(tmp_path / "d" / "f", b"x")
+        kinds = [op.kind for op in fs.ops]
+        assert kinds == ["mkdir", "write", "fsync", "replace",
+                         "fsync_dir"]
+        # fsync targets the temp file (pre-rename), fsync_dir the parent.
+        assert fs.ops[2].path == "d/.tmp-f"
+        assert fs.ops[3].dest == "d/f"
+        assert fs.ops[4].path == "d"
+
+    def test_fsync_false_drops_both_syncs(self, fs, tmp_path):
+        # The historical bug, kept only for the regression matrix.
+        durable.write_atomic(tmp_path / "f", b"x", fsync=False)
+        kinds = [op.kind for op in fs.ops]
+        assert "fsync" not in kinds
+        assert "fsync_dir" not in kinds
+        assert (tmp_path / "f").read_bytes() == b"x"
+
+
+class TestAppendAndTruncate:
+    def test_append_accumulates(self, tmp_path):
+        durable.write_file(tmp_path / "log", b"head;")
+        durable.append_bytes(tmp_path / "log", b"a")
+        durable.append_bytes(tmp_path / "log", b"b")
+        assert (tmp_path / "log").read_bytes() == b"head;ab"
+
+    def test_append_journals_fsync(self, fs, tmp_path):
+        durable.write_file(tmp_path / "log", b"h")
+        durable.append_bytes(tmp_path / "log", b"a")
+        assert [op.kind for op in fs.ops].count("fsync") == 2
+
+    def test_truncate(self, fs, tmp_path):
+        durable.write_file(tmp_path / "log", b"abcdef")
+        durable.truncate(tmp_path / "log", 2)
+        assert (tmp_path / "log").read_bytes() == b"ab"
+        assert fs.ops[-1].kind == "truncate"
+        assert fs.ops[-1].size == 2
+
+
+class TestNamespaceOps:
+    def test_unlink_returns_whether_removed(self, tmp_path):
+        durable.write_atomic(tmp_path / "f", b"x")
+        assert durable.unlink(tmp_path / "f") is True
+        assert durable.unlink(tmp_path / "f") is False
+
+    def test_unlink_missing_not_ok_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            durable.unlink(tmp_path / "nope", missing_ok=False)
+
+    def test_replace_moves(self, tmp_path):
+        durable.write_atomic(tmp_path / "a", b"x")
+        durable.replace(tmp_path / "a", tmp_path / "b")
+        assert not (tmp_path / "a").exists()
+        assert (tmp_path / "b").read_bytes() == b"x"
+
+    def test_ensure_dir_records_only_on_create(self, fs, tmp_path):
+        durable.ensure_dir(tmp_path / "d")
+        durable.ensure_dir(tmp_path / "d")
+        assert len(ops(fs, "mkdir")) == 1
+
+
+class TestRecorderScoping:
+    def test_recording_restores_previous(self, tmp_path):
+        outer = CrashFS(tmp_path)
+        inner = CrashFS(tmp_path)
+        with durable.recording(outer):
+            with durable.recording(inner):
+                durable.write_atomic(tmp_path / "f", b"x")
+            durable.write_atomic(tmp_path / "g", b"y")
+        assert any(op.dest == "f" for op in inner.ops)
+        assert not any(op.dest == "f" for op in outer.ops)
+        assert any(op.dest == "g" for op in outer.ops)
+
+    def test_no_recorder_is_silent(self, tmp_path):
+        durable.set_recorder(None)
+        durable.write_atomic(tmp_path / "f", b"x")  # must not raise
+        assert (tmp_path / "f").read_bytes() == b"x"
+
+    def test_ops_outside_root_ignored(self, tmp_path):
+        shim = CrashFS(tmp_path / "inside")
+        (tmp_path / "inside").mkdir()
+        with durable.recording(shim):
+            durable.write_atomic(tmp_path / "outside.bin", b"x")
+        assert shim.ops == []

@@ -490,3 +490,29 @@ class TestDbCli:
         rc = main(["db", "gc", "--db", db, "--keep", "a,b"])
         assert rc == 1
         assert "bad --keep" in capsys.readouterr().err
+
+    def test_scrub_detect_repair_cycle(self, db, dumps, tmp_path, capsys):
+        # The full operator workflow: clean scrub exits 0, a bit-flip
+        # makes scrub exit 3, --repair from the mirror restores the
+        # exact bytes, and the re-scrub exits 0 again.
+        mirror = str(tmp_path / "mir")
+        assert main(["db", "ingest", "--db", db, "--mirror", mirror,
+                     "--source", "web"] + dumps) == 0
+        assert main(["db", "scrub", "--db", db, "--mirror", mirror]) == 0
+        from pathlib import Path
+        victim = next((Path(db) / "segments").rglob("*.ospb"))
+        data = bytearray(victim.read_bytes())
+        data[10] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        capsys.readouterr()
+        assert main(["db", "scrub", "--db", db, "--mirror", mirror]) == 3
+        assert "corrupt" in capsys.readouterr().err
+        assert main(["db", "scrub", "--db", db, "--mirror", mirror,
+                     "--repair"]) == 0
+        assert main(["db", "scrub", "--db", db, "--mirror", mirror]) == 0
+
+    def test_scrub_repair_needs_mirror(self, db, dumps, capsys):
+        main(["db", "ingest", "--db", db, "--source", "web"] + dumps)
+        capsys.readouterr()
+        assert main(["db", "scrub", "--db", db, "--repair"]) == 2
+        assert "--mirror" in capsys.readouterr().err

@@ -181,8 +181,9 @@ class TestCrashWindows:
         relay.forward()
         # Crash window 3: commit written, spool cleanup never ran.
         # Resurrect the forwarded entry by hand.
+        from repro.core import durable
         from repro.service.protocol import encode_push_seq
-        relay.spool._write_atomic(relay.spool._path(1), encode_push_seq(
+        durable.write_atomic(relay.spool._path(1), encode_push_seq(
             "c1", 1, pset(1).to_bytes()))
         reborn = make_relay(tmp_path, server.address)
         assert reborn.pending_entries() == []  # purged, not re-sent

@@ -1,0 +1,193 @@
+"""Scrub, quarantine, mirror double-commit, and mirror repair.
+
+The repair plane's contract: ``scrub`` turns silent at-rest damage
+into loud quarantine (exit 3 at the CLI), and ``scrub(repair=True)``
+restores each quarantined segment from the mirror tree only after the
+mirror bytes re-verify byte-identically against the commit record.
+"""
+
+import pytest
+
+from repro.core.profileset import ProfileSet
+from repro.warehouse import CompactionPolicy, Warehouse, WarehouseError
+
+SMALL = CompactionPolicy(fanout=2, keep=(2, 2, 2))
+
+
+def pset(epoch):
+    return ProfileSet.from_operation_latencies(
+        {"read": [100.0 + epoch] * 4, "write": [40.0 + epoch] * 2})
+
+
+def fill(root, epochs, mirror=None):
+    wh = Warehouse(root, policy=SMALL, mirror_dir=mirror)
+    for epoch in range(epochs):
+        wh.ingest("web", pset(epoch))
+    return wh
+
+
+def flip_byte(path, offset=10):
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestScrubDetection:
+    def test_clean_warehouse_is_clean(self, tmp_path):
+        wh = fill(tmp_path / "wh", 4)
+        report = wh.scrub()
+        assert report.clean
+        assert report.scanned == 4
+        assert report.corrupt == 0
+        assert report.journal_records == 4
+        assert wh.scrub_scanned_total == 4
+
+    def test_bit_flip_is_detected_and_quarantined(self, tmp_path):
+        wh = fill(tmp_path / "wh", 3)
+        victim = wh.segments("web")[1]
+        flip_byte(wh.root / victim.file)
+        report = wh.scrub()
+        assert not report.clean
+        assert report.corrupt == 1
+        assert report.repaired == 0
+        assert wh.scrub_corrupt_total == 1
+        # The damaged bytes were moved aside, not served and not lost.
+        assert not (wh.root / victim.file).exists()
+        quarantined = wh.root / (victim.file + ".quarantined")
+        assert quarantined.exists()
+        # gc must not reap the evidence.
+        wh.gc()
+        assert quarantined.exists()
+
+    def test_truncation_and_missing_detected(self, tmp_path):
+        wh = fill(tmp_path / "wh", 3)
+        segs = wh.segments("web")
+        path0 = wh.root / segs[0].file
+        path0.write_bytes(path0.read_bytes()[:-3])
+        (wh.root / segs[1].file).unlink()
+        report = wh.scrub()
+        assert report.corrupt == 2
+        assert any("missing" in issue for issue in report.issues)
+
+    def test_crc_mismatch_against_journal_record(self, tmp_path):
+        # A substituted payload that is itself a valid encoding still
+        # fails: the journal's recorded CRC is the truth.
+        wh = fill(tmp_path / "wh", 2)
+        segs = wh.segments("web")
+        imposter = pset(99).to_bytes()
+        (wh.root / segs[0].file).write_bytes(imposter)
+        report = wh.scrub()
+        assert report.corrupt >= 1
+
+    def test_journal_tail_damage_reported(self, tmp_path):
+        wh = fill(tmp_path / "wh", 2)
+        with open(wh.root / "wal.log", "ab") as f:
+            f.write(b"torn garbage")
+        report = Warehouse(tmp_path / "wh", policy=SMALL).scrub()
+        # Reopen already truncated the tail (recover()), so scrub a
+        # *non-reopened* handle to see the raw state instead:
+        assert report.clean  # reopen repaired it — that is the contract
+        with open(wh.root / "wal.log", "ab") as f:
+            f.write(b"torn garbage")
+        report = wh.scrub()
+        assert report.journal_bad_bytes == len(b"torn garbage")
+        assert not report.clean
+
+
+class TestMirror:
+    def test_double_commit_writes_both_trees(self, tmp_path):
+        wh = fill(tmp_path / "wh", 3, mirror=tmp_path / "mir")
+        for meta in wh.segments("web"):
+            primary = (wh.root / meta.file).read_bytes()
+            assert (wh.mirror / meta.file).read_bytes() == primary
+
+    def test_compaction_outputs_mirrored_and_inputs_swept(self, tmp_path):
+        wh = fill(tmp_path / "wh", 12, mirror=tmp_path / "mir")
+        created = wh.compact()
+        assert created
+        # Every *live* output is mirrored; intermediate outputs that a
+        # later round already superseded are swept from both trees.
+        for meta in wh.segments("web"):
+            assert (wh.mirror / meta.file).exists()
+        wh.gc()
+        live = {meta.file for meta in wh.segments("web")}
+        on_mirror = {p.relative_to(wh.mirror).as_posix()
+                     for p in (wh.mirror / "segments").rglob("*.ospb")}
+        assert on_mirror == live
+
+    def test_repair_restores_byte_identical(self, tmp_path):
+        wh = fill(tmp_path / "wh", 4, mirror=tmp_path / "mir")
+        before = wh.query("web").to_bytes()
+        victim = wh.segments("web")[2]
+        pristine = (wh.root / victim.file).read_bytes()
+        flip_byte(wh.root / victim.file)
+        report = wh.scrub(repair=True)
+        assert report.corrupt == 1
+        assert report.repaired == 1
+        assert report.clean
+        assert (wh.root / victim.file).read_bytes() == pristine
+        assert not (wh.root / (victim.file
+                               + ".quarantined")).exists()
+        assert wh.query("web").to_bytes() == before
+        # Re-scrub confirms: nothing left to flag.
+        assert wh.scrub().clean
+
+    def test_repair_rejects_damaged_mirror(self, tmp_path):
+        wh = fill(tmp_path / "wh", 2, mirror=tmp_path / "mir")
+        victim = wh.segments("web")[0]
+        flip_byte(wh.root / victim.file)
+        flip_byte(wh.mirror / victim.file)  # mirror rotted too
+        report = wh.scrub(repair=True)
+        assert report.corrupt == 1
+        assert report.repaired == 0
+        assert not report.clean
+        assert any("mirror" in issue for issue in report.issues)
+        # Evidence retained for forensics.
+        assert (wh.root / (victim.file + ".quarantined")).exists()
+
+    def test_repair_without_mirror_flags_only(self, tmp_path):
+        wh = fill(tmp_path / "wh", 2)
+        victim = wh.segments("web")[0]
+        flip_byte(wh.root / victim.file)
+        report = wh.scrub(repair=True)
+        assert report.corrupt == 1
+        assert report.repaired == 0
+
+    def test_scrub_fixes_query_after_repair(self, tmp_path):
+        # End to end: damage makes query raise, repair makes it serve.
+        wh = fill(tmp_path / "wh", 3, mirror=tmp_path / "mir")
+        expect = wh.query("web").to_bytes()
+        victim = wh.segments("web")[1]
+        flip_byte(wh.root / victim.file)
+        fresh = Warehouse(tmp_path / "wh", policy=SMALL,
+                          mirror_dir=tmp_path / "mir")
+        with pytest.raises(WarehouseError):
+            fresh.query("web")
+        fresh.scrub(repair=True)
+        assert fresh.query("web").to_bytes() == expect
+
+
+class TestBackwardCompat:
+    def test_old_records_without_crc_still_scrub(self, tmp_path):
+        # Strip the crc field from every journal record, the way a
+        # pre-upgrade warehouse would look, and verify scrub still
+        # passes on content checks alone.
+        import json
+        import zlib
+        wh = fill(tmp_path / "wh", 3)
+        lines = (wh.root / "wal.log").read_bytes().splitlines()
+        rewritten = [lines[0]]
+        for line in lines[1:]:
+            record = json.loads(line.split(b" ", 1)[1])
+            record.pop("crc", None)
+            payload = json.dumps(record, sort_keys=True,
+                                 separators=(",", ":")).encode()
+            crc = zlib.crc32(payload) & 0xFFFFFFFF
+            rewritten.append(b"%08x " % crc + payload)
+        (wh.root / "wal.log").write_bytes(b"\n".join(rewritten) + b"\n")
+        old = Warehouse(tmp_path / "wh", policy=SMALL)
+        assert old.segments("web")[0].crc is None
+        assert old.scrub().clean
+        # But damage is still caught by the size + decode checks.
+        flip_byte(old.root / old.segments("web")[0].file)
+        assert old.scrub().corrupt == 1
