@@ -25,6 +25,10 @@ them into one CLI over the library:
   and forward canonically merged batches upstream.
 * ``osprof push <host:port>`` — stream saved dumps, or live workload
   segments (``--workload``), to a running service.
+* ``osprof top <host:port>`` — live auto-refreshing view of the
+  service's sampled wait states: the hottest (state, layer, op,
+  wait_site) cells of the rolling state window, fed by
+  ``osprof run --sample-interval`` + ``osprof push --samples``.
 * ``osprof watch <host:port>`` — follow the service's alert log (and
   optionally its plaintext metrics page).
 * ``osprof trace <workload>`` — per-request cross-layer event slices
@@ -137,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append the collected profile to an on-disk "
                           "push spool (drained by 'osprof push "
                           "--spool-dir')")
+    run.add_argument("--sample-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="also arm the wait-state sampler, ticking "
+                          "every SECONDS of simulated time (single "
+                          "shard only; the measured profile is "
+                          "byte-identical either way)")
+    run.add_argument("--samples-output", default=None, metavar="PATH",
+                     help="where the sampled state profile lands "
+                          "(default: <output>.osps, or samples.osps "
+                          "when dumping to stdout)")
 
     merge = sub.add_parser("merge",
                            help="merge several profile dumps into one")
@@ -293,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="crash-safe on-disk spool; pushes survive a "
                            "down server and drain on reconnect (alone: "
                            "just drain the spool)")
+    push.add_argument("--samples", action="append", default=None,
+                      metavar="PATH",
+                      help="also push saved wait-state sample profiles "
+                           "(.osps from 'osprof run --sample-interval'); "
+                           "repeatable")
 
     trace = sub.add_parser(
         "trace", help="cross-layer request traces of a workload")
@@ -314,6 +333,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the N slowest requests")
     trace.add_argument("--limit", type=int, default=200_000,
                        help="cap on retained trace events")
+
+    top = sub.add_parser(
+        "top", help="live sampled wait-state view of a running service")
+    top.add_argument("endpoint", help="service address, host:port")
+    top.add_argument("--lines", type=int, default=10,
+                     help="hottest (state, wait_site) rows per frame")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clear)")
 
     watch = sub.add_parser(
         "watch", help="follow a service's alert log")
@@ -503,16 +532,50 @@ def cmd_run(args) -> int:
     iterations = resolve(args.iterations,
                          scenario.iterations if scenario else None, 1000)
     shards = args.shards if args.shards is not None else max(args.workers, 1)
-    pset = collect_sharded(
-        workload, shards=shards, workers=args.workers,
-        seed=args.seed, layer=args.layer, fs_type=fs_type,
-        num_cpus=args.cpus, scale=scale,
-        processes=processes, iterations=iterations,
-        patched_llseek=args.patched_llseek,
-        kernel_preemption=args.kernel_preemption,
-        scenario=args.scenario,
-        deadline=args.deadline, max_retries=args.shard_retries,
-        salvage=args.salvage)
+    if args.sample_interval is not None:
+        from .sim.engine import seconds
+        from .workloads.runner import collect_sampled_run
+        if args.sample_interval <= 0:
+            print("osprof run: --sample-interval must be positive",
+                  file=sys.stderr)
+            return 2
+        if shards != 1:
+            print("osprof run: --sample-interval needs a single shard "
+                  "(drop --shards/--workers)", file=sys.stderr)
+            return 2
+        # Same seed derivation as the one-shard plan, so the measured
+        # profile is byte-identical to an unsampled `osprof run`.
+        from .sim.rng import derive_seed
+        layers, sprof, health = collect_sampled_run(
+            workload,
+            state_sample_interval=seconds(args.sample_interval),
+            seed=derive_seed(args.seed, "shard:0"),
+            fs_type=fs_type, num_cpus=args.cpus,
+            scale=scale, processes=processes, iterations=iterations,
+            patched_llseek=args.patched_llseek,
+            kernel_preemption=args.kernel_preemption,
+            scenario=args.scenario)
+        pset = layers[args.layer]
+        samples_path = args.samples_output
+        if samples_path is None:
+            samples_path = "samples.osps" if args.output == "-" \
+                else args.output + ".osps"
+        sprof.save(samples_path)
+        print(f"sampled {sprof.total_samples()} state samples over "
+              f"{sprof.intervals} interval(s) "
+              f"({health['osprof_sampler_overhead_ns_total']} ns "
+              f"sampler overhead) to {samples_path}", file=sys.stderr)
+    else:
+        pset = collect_sharded(
+            workload, shards=shards, workers=args.workers,
+            seed=args.seed, layer=args.layer, fs_type=fs_type,
+            num_cpus=args.cpus, scale=scale,
+            processes=processes, iterations=iterations,
+            patched_llseek=args.patched_llseek,
+            kernel_preemption=args.kernel_preemption,
+            scenario=args.scenario,
+            deadline=args.deadline, max_retries=args.shard_retries,
+            salvage=args.salvage)
     if DEGRADED_ATTRIBUTE in pset.attributes:
         print(f"warning: profile is degraded "
               f"({pset.attributes[DEGRADED_ATTRIBUTE]})", file=sys.stderr)
@@ -761,14 +824,15 @@ def cmd_push(args) -> int:
                                  ServiceUnavailableError, parse_endpoint)
     from .workloads.runner import iter_segment_profiles
     sources = sum(
-        [bool(args.dumps), bool(args.workload), bool(args.spool_dir)])
+        [bool(args.dumps), bool(args.workload), bool(args.spool_dir),
+         bool(args.samples)])
     if bool(args.dumps) and bool(args.workload):
         print("osprof push: give saved dumps or --workload, not both",
               file=sys.stderr)
         return 2
     if sources == 0:
-        print("osprof push: give saved dumps, --workload, or --spool-dir",
-              file=sys.stderr)
+        print("osprof push: give saved dumps, --workload, --samples, "
+              "or --spool-dir", file=sys.stderr)
         return 2
     host, port = parse_endpoint(args.endpoint)
     client = ResilientServiceClient(
@@ -791,10 +855,15 @@ def cmd_push(args) -> int:
                 for index, pset in enumerate(stream):
                     status = client.push(pset)
                     print(f"segment {index}: {status}", file=sys.stderr)
-            else:
+            elif args.spool_dir:
                 delivered = client.drain()
                 print(f"drained {delivered} spooled push(es)",
                       file=sys.stderr)
+            if args.samples:
+                from .sampling import StateProfile
+                for path in args.samples:
+                    status = client.push_state(StateProfile.load_path(path))
+                    print(f"{path}: {status}", file=sys.stderr)
         except ServiceUnavailableError as exc:
             # With a spool the data is safe on disk; without one this
             # is a real failure the caller must see.
@@ -815,6 +884,60 @@ def cmd_push(args) -> int:
               f"push(es) quarantined in {args.spool_dir} (*.corrupt)",
               file=sys.stderr)
     return 0
+
+
+def _render_top_frame(sprof, lines: int, endpoint: str) -> str:
+    """One ``osprof top`` frame over a merged state snapshot."""
+    from .sim.engine import seconds as _seconds
+    total = sprof.total_samples()
+    header = (f"osprof top — {endpoint}  "
+              f"{total} samples / {sprof.intervals} interval(s)")
+    if sprof.interval:
+        header += f" @ {sprof.interval / _seconds(1.0) * 1e3:g} ms"
+    out = [header]
+    out.append(f"{'SAMPLES':>9}  {'%':>5}  {'STATE':<9}  {'LAYER':<12}  "
+               f"{'OP':<10}  WAIT_SITE")
+    for (state, layer, op, site), count in sprof.top(lines):
+        share = 100.0 * count / total if total else 0.0
+        out.append(f"{count:>9}  {share:>5.1f}  {state:<9}  {layer:<12}  "
+                   f"{op:<10}  {site}")
+    if not total:
+        out.append("(no state samples pushed yet)")
+    return "\n".join(out)
+
+
+def cmd_top(args) -> int:
+    """``osprof top``: auto-refreshing sampled wait-state view.
+
+    Each frame asks the service for its merged rolling state window
+    (``STATE_SNAPSHOT``) and prints the ``--lines`` hottest
+    ``(state, layer, op, wait_site)`` cells by sample count — the
+    "what is the system waiting on right now" view, fed by
+    ``osprof run --sample-interval`` pushes.
+    """
+    import time as _time
+
+    from .service.client import ServiceClient, parse_endpoint
+    if args.lines < 1:
+        print("osprof top: --lines must be >= 1", file=sys.stderr)
+        return 2
+    host, port = parse_endpoint(args.endpoint)
+    client = ServiceClient(host, port)
+    try:
+        while True:
+            frame = _render_top_frame(client.state_snapshot(),
+                                      args.lines, args.endpoint)
+            if args.once:
+                print(frame)
+                return 0
+            # ANSI clear + home keeps the view in place, like top(1).
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def cmd_watch(args) -> int:
@@ -842,6 +965,7 @@ def cmd_watch(args) -> int:
                 if args.metrics:
                     metrics = client.metrics()
                     sys.stdout.write(metrics)
+                    sampler = {}
                     for line in metrics.splitlines():
                         # A relay quarantining spooled pushes means
                         # data is being delayed — loud, not buried in
@@ -852,6 +976,19 @@ def cmd_watch(args) -> int:
                                 print(f"warning: {count} corrupt "
                                       f"spooled push(es) quarantined",
                                       file=sys.stderr)
+                        for key in ("osprof_samples_total",
+                                    "osprof_sample_intervals_total",
+                                    "osprof_sampler_overhead_ns_total"):
+                            if line.startswith(key + " "):
+                                sampler[key] = int(line.rsplit(" ", 1)[-1])
+                    if sampler.get("osprof_samples_total"):
+                        print(f"sampler: "
+                              f"{sampler['osprof_samples_total']} "
+                              f"samples over "
+                              f"{sampler.get('osprof_sample_intervals_total', 0)} "
+                              f"interval(s), "
+                              f"{sampler.get('osprof_sampler_overhead_ns_total', 0) / 1e6:.1f} "
+                              f"ms capture overhead", file=sys.stderr)
                 if args.once:
                     if not alerts:
                         print("no alerts")
@@ -1130,6 +1267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "relay": cmd_relay,
         "push": cmd_push,
+        "top": cmd_top,
         "watch": cmd_watch,
         "trace": cmd_trace,
         "db": cmd_db,

@@ -26,11 +26,19 @@ __all__ = ["SampledProfiler", "SampledProfileSeries"]
 class SampledProfileSeries:
     """The result of a sampled run: an ordered list of per-interval sets."""
 
-    def __init__(self, interval: float, segments: List[ProfileSet]):
+    def __init__(self, interval: float, segments: List[ProfileSet],
+                 tail_fraction: float = 1.0):
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if not 0.0 <= tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be within [0, 1]")
         self.interval = interval
         self.segments = segments
+        #: How much of the final segment's interval had elapsed when the
+        #: series was read (1.0 = a complete interval).  Rate-style
+        #: consumers must scale the last row by this instead of treating
+        #: a partial tail as a genuine dip.
+        self.tail_fraction = tail_fraction
 
     def __len__(self) -> int:
         return len(self.segments)
@@ -59,9 +67,18 @@ class SampledProfileSeries:
         return matrix
 
     def collapse(self) -> ProfileSet:
-        """Merge all segments back into a single complete profile."""
-        spec = self.segments[0].spec if self.segments else BucketSpec()
-        total = ProfileSet(name="collapsed", spec=spec)
+        """Merge all segments back into a single complete profile.
+
+        Raises :class:`ValueError` on an empty series: with no segments
+        there is no bucket spec to inherit, and inventing a default
+        would let a collapsed-empty profile silently merge into (and
+        corrupt) sets recorded under a non-default resolution.
+        """
+        if not self.segments:
+            raise ValueError(
+                "cannot collapse an empty sampled series (no segments, "
+                "so no bucket spec to inherit)")
+        total = ProfileSet(name="collapsed", spec=self.segments[0].spec)
         for seg in self.segments:
             total.merge(seg)
         return total
@@ -108,9 +125,17 @@ class SampledProfiler:
         self._flush_hooks: List[Callable[[], None]] = []
 
     def _segment_for(self, timestamp: float) -> ProfileSet:
+        if timestamp < self._epoch:
+            # A pre-epoch start means the clock ran backwards (or the
+            # caller replayed a stale timestamp); binning it into
+            # segment 0 would silently shift Figure 9's time axis.
+            # (Checked on the timestamp, not the derived index: int()
+            # truncates toward zero, so offsets less than one interval
+            # before the epoch would otherwise alias into segment 0.)
+            raise ValueError(
+                f"timestamp {timestamp} precedes the sampling epoch "
+                f"{self._epoch} (non-monotonic clock input)")
         index = int((timestamp - self._epoch) / self.interval)
-        if index < 0:
-            index = 0
         while len(self._segments) <= index:
             self._segments.append(
                 ProfileSet(name=f"{self.name}[{len(self._segments)}]",
@@ -142,7 +167,18 @@ class SampledProfiler:
         self._flush_hooks.append(hook)
 
     def series(self) -> SampledProfileSeries:
-        """The accumulated time-segmented profiles."""
+        """The accumulated time-segmented profiles.
+
+        The returned series carries ``tail_fraction``: how much of the
+        final segment's interval had elapsed at read time, so a
+        mid-interval read is distinguishable from a genuinely quiet
+        tail.
+        """
         for hook in self._flush_hooks:
             hook()
-        return SampledProfileSeries(self.interval, list(self._segments))
+        tail = 1.0
+        if self._segments:
+            elapsed = (self.clock() - self._epoch) / self.interval
+            tail = min(1.0, max(0.0, elapsed - (len(self._segments) - 1)))
+        return SampledProfileSeries(self.interval, list(self._segments),
+                                    tail_fraction=tail)

@@ -45,7 +45,8 @@ from typing import Optional, Tuple
 
 from .protocol import (MAGIC, FrameParser, FrameTooLarge, FrameType,
                        ProtocolError, decode_json, decode_push_seq,
-                       encode_json, encode_retry_after, _HEADER)
+                       decode_state_push, encode_json, encode_retry_after,
+                       _HEADER)
 from .server import ProfileService
 
 __all__ = ["AsyncProfileServer", "READ_CHUNK"]
@@ -358,6 +359,25 @@ class AsyncProfileServer:
             await self._send(writer, FrameType.TABLE,
                              encode_json(service.sql(
                                  str(request.get("sql", "")))))
+        elif ftype == FrameType.STATE_PUSH:
+            overhead_ns, profile = decode_state_push(payload)
+
+            async def state_work():
+                try:
+                    sprof = service.ingest_state(profile,
+                                                 overhead_ns=overhead_ns)
+                except ValueError as exc:
+                    await self._send(writer, FrameType.ERROR,
+                                     f"bad-payload: {exc}".encode("utf-8"))
+                    return
+                await self._send(writer, FrameType.OK,
+                                 f"sampled {sprof.total_samples()} samples "
+                                 f"over {sprof.intervals} interval(s)"
+                                 .encode("utf-8"))
+            await self._ingest_gated(writer, state_work)
+        elif ftype == FrameType.STATE_SNAPSHOT:
+            await self._send(writer, FrameType.STATE_PROFILE,
+                             service.state_snapshot().to_bytes())
         else:
             await self._send(writer, FrameType.ERROR,
                              f"unsupported frame type "

@@ -33,10 +33,11 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core.faults import FaultPlan, FaultySocket
 from ..core.profileset import ProfileSet
+from ..sampling.stateprofile import StateProfile
 from .alerts import Alert
 from .protocol import (FrameType, ProtocolError, decode_json,
                        decode_retry_after, encode_json, encode_push_seq,
-                       recv_frame, send_frame)
+                       encode_state_push, recv_frame, send_frame)
 from .spool import Spool
 
 __all__ = [
@@ -200,6 +201,26 @@ class ServiceClient:
                                 encode_push_seq(client_id, seq, payload),
                                 FrameType.OK)
         return reply.decode("utf-8", "replace")
+
+    def push_state(self, sprof: StateProfile,
+                   overhead_ns: int = 0) -> str:
+        """Push one wait-state sample profile; returns the status line.
+
+        ``overhead_ns`` is the sampler's wall-clock capture cost, which
+        rides beside the (deterministic) profile bytes so the server
+        can accumulate ``osprof_sampler_overhead_ns_total``.
+        """
+        reply = self._roundtrip(
+            FrameType.STATE_PUSH,
+            encode_state_push(overhead_ns, sprof.to_bytes()),
+            FrameType.OK)
+        return reply.decode("utf-8", "replace")
+
+    def state_snapshot(self) -> StateProfile:
+        """The merged rolling state window, decoded and CRC-verified."""
+        return StateProfile.from_bytes(
+            self._roundtrip(FrameType.STATE_SNAPSHOT, b"",
+                            FrameType.STATE_PROFILE))
 
     def metrics(self) -> str:
         """The server's plaintext metrics page."""
@@ -430,6 +451,18 @@ class ResilientServiceClient:
         return self._attempt_all(
             lambda client: client.push_sequenced(self.client_id, seq,
                                                  payload))
+
+    def push_state(self, sprof: StateProfile,
+                   overhead_ns: int = 0) -> str:
+        """Push one wait-state profile, healing transport failures.
+
+        State pushes are not sequenced: an ambiguous failure retried
+        here may double-count samples server-side, which the sampled
+        view tolerates (counts are a view, not a ledger).
+        """
+        return self._attempt_all(
+            lambda client: client.push_state(sprof,
+                                             overhead_ns=overhead_ns))
 
     # -- queries (same healing loop) ----------------------------------------
 

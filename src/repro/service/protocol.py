@@ -17,8 +17,9 @@ Frame layout::
     payload length bytes
 
 Conversations are strict request/response: a client sends ``PUSH``,
-``PUSH_SEQ``, ``METRICS``, ``SNAPSHOT``, ``ALERTS`` or ``SQL`` and reads
-exactly one frame back (``OK``/``TEXT``/``PROFILE``/``ALERT_LOG``/
+``PUSH_SEQ``, ``STATE_PUSH``, ``METRICS``, ``SNAPSHOT``,
+``STATE_SNAPSHOT``, ``ALERTS`` or ``SQL`` and reads exactly one frame
+back (``OK``/``TEXT``/``PROFILE``/``STATE_PROFILE``/``ALERT_LOG``/
 ``TABLE``, ``ERROR``
 carrying a UTF-8 message, or ``RETRY_AFTER`` asking the client to back
 off).  Multiple requests may reuse one connection.
@@ -55,6 +56,8 @@ __all__ = [
     "decode_push_seq",
     "encode_retry_after",
     "decode_retry_after",
+    "encode_state_push",
+    "decode_state_push",
 ]
 
 #: First four bytes of every frame.
@@ -83,12 +86,16 @@ class FrameType:
     RETRY_AFTER = 0x0B  #: reply: f64 seconds the client should back off
     SQL = 0x0C        #: request: JSON ``{"sql": query}`` (needs ``--db``)
     TABLE = 0x0D      #: reply: JSON ``{"columns": [...], "rows": [...]}``
+    STATE_PUSH = 0x0E      #: request: :func:`encode_state_push` payload
+    STATE_SNAPSHOT = 0x0F  #: request: empty payload
+    STATE_PROFILE = 0x10   #: reply: merged StateProfile, binary codec
 
     _NAMES = {
         0x01: "PUSH", 0x02: "OK", 0x03: "ERROR", 0x04: "METRICS",
         0x05: "TEXT", 0x06: "SNAPSHOT", 0x07: "PROFILE", 0x08: "ALERTS",
         0x09: "ALERT_LOG", 0x0A: "PUSH_SEQ", 0x0B: "RETRY_AFTER",
-        0x0C: "SQL", 0x0D: "TABLE",
+        0x0C: "SQL", 0x0D: "TABLE", 0x0E: "STATE_PUSH",
+        0x0F: "STATE_SNAPSHOT", 0x10: "STATE_PROFILE",
     }
 
     @classmethod
@@ -322,6 +329,33 @@ def decode_push_seq(data: bytes) -> Tuple[str, int, bytes]:
     if seq < 1:
         raise ProtocolError("push sequence numbers start at 1")
     return client_id, seq, data[end:]
+
+
+# -- wait-state sample payloads ----------------------------------------------
+
+_STATE_PUSH_HEADER = struct.Struct("<Q")
+
+
+def encode_state_push(overhead_ns: int, profile_bytes: bytes) -> bytes:
+    """Build a ``STATE_PUSH`` payload: ``u64 overhead_ns, state profile``.
+
+    The sampler's wall-clock overhead counter rides *beside* the
+    profile bytes, never inside them — the
+    :class:`~repro.sampling.StateProfile` codec stays deterministic
+    (digest-pinnable in CI) while the service still accumulates the
+    ``osprof_sampler_overhead_ns_total`` health counter from pushes.
+    """
+    if overhead_ns < 0:
+        raise ProtocolError("sampler overhead must be >= 0 ns")
+    return _STATE_PUSH_HEADER.pack(overhead_ns) + profile_bytes
+
+
+def decode_state_push(data: bytes) -> Tuple[int, bytes]:
+    """Split a ``STATE_PUSH`` payload into ``(overhead_ns, profile)``."""
+    if len(data) < _STATE_PUSH_HEADER.size:
+        raise ProtocolError("truncated STATE_PUSH payload")
+    (overhead_ns,) = _STATE_PUSH_HEADER.unpack_from(data)
+    return overhead_ns, data[_STATE_PUSH_HEADER.size:]
 
 
 # -- backpressure ------------------------------------------------------------

@@ -20,15 +20,18 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..core.buckets import BucketSpec
 from ..core.profileset import ProfileSet
+from ..sampling.stateprofile import StateProfile
 from .alerts import Alert, DifferentialAlerter
 from .protocol import (MAX_PAYLOAD, FrameTooLarge, FrameType, ProtocolError,
-                       decode_json, decode_push_seq, encode_json,
-                       encode_retry_after, recv_frame, send_frame)
+                       decode_json, decode_push_seq, decode_state_push,
+                       encode_json, encode_retry_after, recv_frame,
+                       send_frame)
 from .store import PushLedger, SegmentStore
 
 __all__ = ["ServiceConfig", "ProfileService", "ProfileServer"]
@@ -65,6 +68,10 @@ class ServiceConfig:
     #: the flush-per-close behaviour; eviction and :meth:`flush` always
     #: force the batch out regardless.
     flush_batch: int = 1
+    #: How many recent ``STATE_PUSH`` profiles the rolling state window
+    #: keeps; ``STATE_SNAPSHOT`` merges exactly this window ("last K
+    #: intervals" in ``osprof top``).
+    state_window: int = 64
 
 
 class ProfileService:
@@ -131,6 +138,18 @@ class ProfileService:
         self.backpressure_rejections = 0
         self.frames_oversize = 0
         self.read_timeouts = 0
+        if self.config.state_window < 1:
+            raise ValueError("state_window must be >= 1")
+        # Wait-state sampling: a rolling window of recent STATE_PUSH
+        # profiles plus fleet-wide sampler health counters (all guarded
+        # by the lock).
+        self._state_window: Deque[StateProfile] = deque(
+            maxlen=self.config.state_window)
+        self.state_pushes = 0
+        self.state_errors = 0
+        self.samples_total = 0
+        self.sample_intervals_total = 0
+        self.sampler_overhead_ns_total = 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -185,6 +204,45 @@ class ProfileService:
                 self.ledger.record(client_id, seq)
         return (f"merged {pset.total_ops()} ops over {len(pset)} "
                 f"operations (seq {seq})", True)
+
+    def ingest_state(self, payload: bytes,
+                     overhead_ns: int = 0) -> StateProfile:
+        """Decode one wait-state profile push and absorb it.
+
+        The profile joins the rolling state window (what
+        ``STATE_SNAPSHOT`` merges), bumps the fleet-wide sampler health
+        counters, and — with a warehouse attached — is committed
+        durably as a ``samples`` segment beside the latency history.
+        Raises :class:`ValueError` on a corrupt payload; nothing is
+        recorded in that case.
+        """
+        try:
+            sprof = StateProfile.from_bytes(payload)
+        except ValueError:
+            with self._lock:
+                self.state_errors += 1
+            raise
+        with self._lock:
+            self._state_window.append(sprof)
+            self.state_pushes += 1
+            self.samples_total += sprof.total_samples()
+            self.sample_intervals_total += sprof.intervals
+            self.sampler_overhead_ns_total += max(overhead_ns, 0)
+            if self.warehouse is not None:
+                ingest_state = getattr(self.warehouse, "ingest_state",
+                                       None)
+                if ingest_state is not None:
+                    try:
+                        ingest_state(self.warehouse_source, sprof)
+                    except (OSError, ValueError):
+                        self.warehouse_flush_errors += 1
+        return sprof
+
+    def state_snapshot(self) -> StateProfile:
+        """The merge of the rolling state window (canonical encoding)."""
+        with self._lock:
+            return StateProfile.merged(self._state_window,
+                                       name="state-window")
 
     # -- self-defence accounting ------------------------------------------
 
@@ -368,6 +426,14 @@ class ProfileService:
                 f"{getattr(self.warehouse, 'scrub_corrupt_total', 0)}",
                 f"osprof_warehouse_scrub_repaired_total "
                 f"{getattr(self.warehouse, 'scrub_repaired_total', 0)}",
+                f"osprof_state_pushes_total {self.state_pushes}",
+                f"osprof_state_errors_total {self.state_errors}",
+                f"osprof_state_window {len(self._state_window)}",
+                f"osprof_samples_total {self.samples_total}",
+                f"osprof_sample_intervals_total "
+                f"{self.sample_intervals_total}",
+                f"osprof_sampler_overhead_ns_total "
+                f"{self.sampler_overhead_ns_total}",
             ]
             per_op: dict = {}
             for alert in self._alerts:
@@ -493,6 +559,25 @@ class _Handler(socketserver.BaseRequestHandler):
             send_frame(self.request, FrameType.TABLE,
                        encode_json(service.sql(str(request.get("sql",
                                                                "")))))
+        elif ftype == FrameType.STATE_PUSH:
+            overhead_ns, profile = decode_state_push(payload)
+
+            def state_work():
+                try:
+                    sprof = service.ingest_state(profile,
+                                                 overhead_ns=overhead_ns)
+                except ValueError as exc:
+                    send_frame(self.request, FrameType.ERROR,
+                               f"bad-payload: {exc}".encode("utf-8"))
+                    return
+                send_frame(self.request, FrameType.OK,
+                           f"sampled {sprof.total_samples()} samples "
+                           f"over {sprof.intervals} interval(s)"
+                           .encode("utf-8"))
+            self._ingest_gated(service, state_work)
+        elif ftype == FrameType.STATE_SNAPSHOT:
+            send_frame(self.request, FrameType.STATE_PROFILE,
+                       service.state_snapshot().to_bytes())
         else:
             send_frame(self.request, FrameType.ERROR,
                        f"unsupported frame type "

@@ -136,7 +136,7 @@ class Process:
                  "sys_time", "user_time", "wait_time", "last_blocked_at",
                  "preempt_pending", "preemptions", "voluntary_switches",
                  "exit_value", "started_at", "finished_at",
-                 "request_context")
+                 "request_context", "wait_site")
 
     def __init__(self, pid: int, name: str, gen: ProcBody):
         self.pid = pid
@@ -162,6 +162,10 @@ class Process:
         #: Innermost pipeline RequestContext frame of the request this
         #: process is currently executing (cross-layer request ids).
         self.request_context: Any = None
+        #: While BLOCKED, the name of what the process is waiting on
+        #: (a Condition name such as ``sem:i_sem:42``, or ``sleep``);
+        #: None whenever the process is not blocked.
+        self.wait_site: Optional[str] = None
 
     @property
     def done(self) -> bool:

@@ -316,12 +316,14 @@ class Kernel:
                 return
             if isinstance(effect, Sleep):
                 proc.preempt_pending = False
+                proc.wait_site = "sleep"
                 self._block(proc)
                 self.engine.schedule(effect.cycles,
                                      lambda p=proc: self._wake(p))
                 return
             if isinstance(effect, WaitCondition):
                 proc.preempt_pending = False
+                proc.wait_site = effect.condition.name or "condition"
                 effect.condition.waiters.append(proc)
                 self._block(proc)
                 return
@@ -367,6 +369,7 @@ class Kernel:
         if proc.state != ProcessState.BLOCKED:
             return
         proc.wait_time += self.engine.now - proc.last_blocked_at
+        proc.wait_site = None
         proc.state = ProcessState.RUNNABLE
         self.run_queue.append(proc)
         self._schedule_dispatch()
@@ -416,6 +419,7 @@ class Kernel:
 
     def _finish(self, proc: Process, value: Any) -> None:
         proc.state = ProcessState.DONE
+        proc.wait_site = None
         proc.exit_value = value
         proc.finished_at = self.engine.now
         self._release_cpu(proc)
@@ -469,6 +473,7 @@ class Kernel:
             except RuntimeError:
                 pass
             proc.state = ProcessState.DONE
+            proc.wait_site = None
 
     def run_until_done(self, procs: Sequence[Process],
                        max_events: int = 50_000_000) -> None:

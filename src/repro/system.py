@@ -39,6 +39,7 @@ from .fs.mkfs import BlockAllocator, TreeBuilder
 from .fs.namei import PathWalker
 from .fs.ntfs import Ntfs
 from .fs.reiserfs import Reiserfs
+from .sampling.sampler import WaitStateSampler
 from .sim.engine import Engine, seconds
 from .sim.interrupts import TimerInterrupt
 from .sim.process import Process
@@ -62,7 +63,8 @@ class System:
                  user_profiler: Profiler, fs_profiler: Profiler,
                  timer: Optional[TimerInterrupt],
                  sampled: Optional[SampledProfiler] = None,
-                 pipeline: Optional[Pipeline] = None):
+                 pipeline: Optional[Pipeline] = None,
+                 state_sampler: Optional[WaitStateSampler] = None):
         self.kernel = kernel
         self.engine = kernel.engine
         self.disk = disk
@@ -77,6 +79,9 @@ class System:
         self.driver_profiler = driver.profiler
         self.timer = timer
         self.sampled = sampled
+        #: Wait-state sampler (armed when built with
+        #: ``state_sample_interval``); None on measurement-only systems.
+        self.state_sampler = state_sampler
         #: The machine-wide probe/event pipeline every instrumented
         #: layer emits through; one request-id space across layers.
         self.pipeline = pipeline if pipeline is not None \
@@ -103,6 +108,7 @@ class System:
               pagecache_pages: int = 65_536,
               with_timer: bool = True,
               sample_interval: Optional[float] = None,
+              state_sample_interval: Optional[float] = None,
               spec: Optional[BucketSpec] = None,
               geometry: Optional[DiskGeometry] = None,
               device: Optional[DeviceModel] = None,
@@ -114,7 +120,11 @@ class System:
         and the FS layer (``off``/``empty``/``tsc_only``/``full``).
         ``sample_interval`` (cycles), when given, additionally attaches
         a :class:`SampledProfiler` at the FS layer for Figure 9-style
-        3-D profiles.  ``device`` mounts a non-default device model
+        3-D profiles.  ``state_sample_interval`` (cycles) arms a
+        :class:`~repro.sampling.WaitStateSampler` that periodically
+        captures every process's (state, layer, op, wait_site) — the
+        sampled view is read back via ``system.state_sampler.profile()``
+        and never perturbs the measured profiles.  ``device`` mounts a non-default device model
         (SSD, RAID-0, throttled...) behind the same driver; ``geometry``
         only reshapes the default spindle and is mutually exclusive
         with it.  Scenario names resolve to devices one level up, in
@@ -180,9 +190,14 @@ class System:
         if with_timer:
             timer = TimerInterrupt(kernel)
             timer.start()
+        state_sampler = None
+        if state_sample_interval is not None:
+            state_sampler = WaitStateSampler(kernel,
+                                             interval=state_sample_interval)
+            state_sampler.start()
         return cls(kernel, disk, driver, inodes, allocator, fs, vfs,
                    syscalls, user_profiler, fs_profiler, timer, sampled,
-                   pipeline=pipeline)
+                   pipeline=pipeline, state_sampler=state_sampler)
 
     # -- file tree helpers ---------------------------------------------------------
 
@@ -221,6 +236,12 @@ class System:
 
     def driver_profiles(self) -> ProfileSet:
         return self.driver_profiler.profile_set()
+
+    def state_profile(self):
+        """The sampled wait-state profile, or None without a sampler."""
+        if self.state_sampler is None:
+            return None
+        return self.state_sampler.profile()
 
     def elapsed_seconds(self) -> float:
         return self.kernel.now / 1.7e9

@@ -47,6 +47,13 @@ class SegmentMeta:
     #: not just against the file's own (possibly co-damaged) trailer.
     #: ``None`` for records committed before this field existed.
     crc: Optional[int] = None
+    #: Payload family: ``"profile"`` (a ProfileSet of latency
+    #: histograms — the original and default) or ``"samples"`` (a
+    #: StateProfile of wait-state sample counts).  Only non-default
+    #: kinds are journaled, so records committed before this field
+    #: existed replay unchanged.  Sample segments stay at tier 0:
+    #: compaction and retention planning select latency segments only.
+    kind: str = "profile"
 
     @property
     def epoch_end(self) -> int:
@@ -72,6 +79,8 @@ class SegmentMeta:
             record["resid"] = {op: list(comps) for op, comps in self.resid}
         if self.crc is not None:
             record["crc"] = self.crc
+        if self.kind != "profile":
+            record["kind"] = self.kind
         return record
 
     @classmethod
@@ -91,7 +100,8 @@ class SegmentMeta:
                            for op, comps
                            in record.get("resid", {}).items())),
                        crc=int(record["crc"]) if "crc" in record
-                       else None)
+                       else None,
+                       kind=str(record.get("kind", "profile")))
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"bad segment record {record!r}: {exc}") \
                 from None
@@ -177,13 +187,17 @@ class WarehouseIndex:
 
     def select(self, source: str, layer: Optional[str] = None,
                op: Optional[str] = None, t0: Optional[int] = None,
-               t1: Optional[int] = None) -> List[SegmentMeta]:
+               t1: Optional[int] = None,
+               kind: Optional[str] = "profile") -> List[SegmentMeta]:
         """Live segments of *source* matching the filters, epoch order.
 
         ``layer``/``op`` consult the postings map, so a query for one
         operation never touches segments that never saw it.  The sort
         key ``(epoch, seg_id)`` is deterministic, which keeps every
-        downstream merge byte-deterministic.
+        downstream merge byte-deterministic.  ``kind`` restricts the
+        payload family — the ``"profile"`` default keeps every latency
+        consumer (queries, compaction, gc planning) blind to sample
+        segments; pass ``"samples"`` for those or ``None`` for all.
         """
         ids = set(self._by_source.get(source, ()))
         if layer is not None or op is not None:
@@ -198,7 +212,8 @@ class WarehouseIndex:
                 matched |= pids
             ids &= matched
         metas = [self._live[i] for i in ids
-                 if self._live[i].overlaps(t0, t1)]
+                 if self._live[i].overlaps(t0, t1)
+                 and (kind is None or self._live[i].kind == kind)]
         return sorted(metas, key=lambda m: (m.epoch, m.seg_id))
 
     def max_epoch(self, source: str) -> Optional[int]:

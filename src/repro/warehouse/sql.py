@@ -14,6 +14,14 @@ columns), with dimensions::
 
     source  layer  op  epoch  epoch_end  tier  [bucket  count]
 
+Referencing any of the ``state`` / ``wait_site`` / ``samples`` columns
+switches the scan to the *sampling* family instead: one row per
+``(state, layer, op, wait_site)`` cell of every stored wait-state
+sample segment (``Warehouse.ingest_state``), and ``count()`` sums the
+``samples`` column.  Latency aggregates are rejected there — sample
+segments carry occupancy counts, not latencies — and the two families
+never mix in one query.
+
 Aggregates: ``count()``, ``total_latency()``, ``mean_latency()``,
 ``min_latency()``, ``max_latency()``, ``pNN()`` (e.g. ``p50()``,
 ``p99()``, ``p99.9()`` — the bucket-midpoint latency where the
@@ -62,6 +70,7 @@ from .columnar import group_histogram
 __all__ = [
     "DIMENSIONS",
     "BUCKET_DIMENSIONS",
+    "SAMPLE_DIMENSIONS",
     "QueryError",
     "QueryResult",
     "SelectStatement",
@@ -75,8 +84,12 @@ DIMENSIONS = ("source", "layer", "op", "epoch", "epoch_end", "tier")
 #: Extra columns available when the query drills into buckets.
 BUCKET_DIMENSIONS = ("bucket", "count")
 
-_STRING_DIMS = frozenset(("source", "layer", "op"))
-_ALL_DIMS = frozenset(DIMENSIONS) | frozenset(BUCKET_DIMENSIONS)
+#: Columns that switch the scan to wait-state sample segments.
+SAMPLE_DIMENSIONS = ("state", "wait_site", "samples")
+
+_STRING_DIMS = frozenset(("source", "layer", "op", "state", "wait_site"))
+_ALL_DIMS = frozenset(DIMENSIONS) | frozenset(BUCKET_DIMENSIONS) \
+    | frozenset(SAMPLE_DIMENSIONS)
 
 #: Zero-argument aggregates (name only); percentile forms are parsed
 #: structurally (``p<NN>`` / ``p<NN>_drift``).
@@ -242,7 +255,7 @@ class _Parser:
         if name not in _ALL_DIMS:
             raise QueryError(
                 f"unknown column {tok[1]!r} (columns: "
-                f"{', '.join(DIMENSIONS + BUCKET_DIMENSIONS)})")
+                f"{', '.join(DIMENSIONS + BUCKET_DIMENSIONS + SAMPLE_DIMENSIONS)})")
         return name
 
     def _select_item(self) -> SelectItem:
@@ -263,7 +276,7 @@ class _Parser:
         if name not in _ALL_DIMS:
             raise QueryError(
                 f"unknown column {tok[1]!r} (columns: "
-                f"{', '.join(DIMENSIONS + BUCKET_DIMENSIONS)}; "
+                f"{', '.join(DIMENSIONS + BUCKET_DIMENSIONS + SAMPLE_DIMENSIONS)}; "
                 f"aggregates are called, e.g. p99())")
         return SelectItem(kind="dim", name=name)
 
@@ -462,8 +475,9 @@ class _GroupState:
         return best
 
 
-def _validate(stmt: SelectStatement) -> Tuple[bool, bool]:
-    """Static checks; returns ``(has_aggregates, bucket_level)``."""
+def _validate(stmt: SelectStatement) -> Tuple[bool, bool, bool]:
+    """Static checks; returns ``(has_aggregates, bucket_level,
+    sample_level)``."""
     has_agg = any(item.kind == "agg" for item in stmt.items)
     order_items = [item for item, _ in stmt.order_by]
     referenced = set(item.name for item in stmt.items if item.kind == "dim")
@@ -472,7 +486,19 @@ def _validate(stmt: SelectStatement) -> Tuple[bool, bool]:
     referenced |= set(stmt.group_by)
     referenced |= _referenced_dims(stmt.where)
     bucket_level = bool(referenced & set(BUCKET_DIMENSIONS))
+    sample_level = bool(referenced & set(SAMPLE_DIMENSIONS))
+    if sample_level and bucket_level:
+        raise QueryError(
+            "bucket/count and state/wait_site/samples columns scan "
+            "different segment families; query them separately")
     agg_items = [i for i in stmt.items + order_items if i.kind == "agg"]
+    if sample_level:
+        for item in agg_items:
+            if item.name != "count":
+                raise QueryError(
+                    f"{item.label} needs latency profiles and is "
+                    f"unavailable over sample columns "
+                    f"(state/wait_site/samples); count() sums samples")
     if stmt.group_by:
         for item in stmt.items:
             if item.kind == "dim" and item.name not in stmt.group_by:
@@ -505,16 +531,34 @@ def _validate(stmt: SelectStatement) -> Tuple[bool, bool]:
             raise QueryError(
                 f"{item.name}() is exact per profile and unavailable in "
                 f"bucket-level queries (drop the bucket/count reference)")
-    return has_agg, bucket_level
+    return has_agg, bucket_level, sample_level
 
 
-def _scan_rows(warehouse, stmt: SelectStatement, bucket_level: bool):
+def _scan_rows(warehouse, stmt: SelectStatement, bucket_level: bool,
+               sample_level: bool = False):
     """Yield ``(row_dict, contribution)`` in deterministic scan order.
 
     *contribution* is ``(cols, i, resid_components)`` for profile-level
-    rows (the exact accumulation inputs) or ``(bucket, count)`` for
-    bucket-level rows.
+    rows (the exact accumulation inputs), ``(bucket, count)`` for
+    bucket-level rows, or the cell's sample count for sample-level
+    rows.
     """
+    if sample_level:
+        for source in warehouse.sources():
+            for meta in warehouse.segments(source, kind="samples"):
+                sprof = warehouse.load_state(meta)
+                base = {"source": meta.source, "epoch": meta.epoch,
+                        "epoch_end": meta.epoch_end, "tier": meta.tier}
+                for (state, layer, op, site), count in sprof:
+                    row = dict(base)
+                    row["layer"] = layer
+                    row["op"] = op
+                    row["state"] = state
+                    row["wait_site"] = site
+                    row["samples"] = count
+                    if stmt.where is None or _eval(stmt.where, row):
+                        yield row, count
+        return
     spec: Optional[BucketSpec] = None
     for source in warehouse.sources():
         for meta in warehouse.segments(source):
@@ -605,7 +649,7 @@ def execute_sql(warehouse, query) -> QueryResult:
     invalid queries and ``WarehouseError`` for a missing baseline.
     """
     stmt = parse_sql(query) if isinstance(query, str) else query
-    has_agg, bucket_level = _validate(stmt)
+    has_agg, bucket_level, sample_level = _validate(stmt)
     labels = [item.label for item in stmt.items]
 
     baselines: Dict[str, Dict] = {}
@@ -615,12 +659,13 @@ def execute_sql(warehouse, query) -> QueryResult:
             pset = warehouse.load_baseline(item.baseline)
             baselines[item.baseline] = {p.operation: p for p in pset}
 
-    spec = _spec_of(warehouse)
+    spec = BucketSpec() if sample_level else _spec_of(warehouse)
     grouped = has_agg or bool(stmt.group_by)
     if not grouped:
         rows = []
         sort_keys = []
-        for row, _ in _scan_rows(warehouse, stmt, bucket_level):
+        for row, _ in _scan_rows(warehouse, stmt, bucket_level,
+                                 sample_level):
             rows.append([row[item.name] for item in stmt.items])
             sort_keys.append([row[item.name]
                               for item, _ in stmt.order_by])
@@ -635,12 +680,16 @@ def execute_sql(warehouse, query) -> QueryResult:
         # One implicit group, present even over an empty scan — so
         # SELECT count() on an empty warehouse answers 0, not nothing.
         groups[()] = _GroupState(())
-    for row, contribution in _scan_rows(warehouse, stmt, bucket_level):
+    for row, contribution in _scan_rows(warehouse, stmt, bucket_level,
+                                        sample_level):
         key = tuple(row[d] for d in stmt.group_by)
         group = groups.get(key)
         if group is None:
             group = groups[key] = _GroupState(key)
-        if bucket_level:
+        if sample_level:
+            # count() over sample rows sums the samples column.
+            group.nops += contribution
+        elif bucket_level:
             bucket, count = contribution
             group.nops += count
             group.counts[bucket] = group.counts.get(bucket, 0) + count

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 from ..core import durable
 from ..core.faults import FaultPlan
 from ..core.profileset import ProfileSet
+from ..sampling.stateprofile import StateProfile
 from .columnar import ColumnarSegment, merged_profile_set
 from .index import SegmentMeta, WarehouseIndex
 from .log import SegmentLog
@@ -275,10 +276,44 @@ class Warehouse:
                 self.index.apply(record)
             return metas
 
+    def ingest_state(self, source: str, sprof: StateProfile,
+                     epoch: Optional[int] = None) -> SegmentMeta:
+        """Persist one wait-state sample segment (kind ``"samples"``).
+
+        Sample segments live beside latency segments under the same
+        source — same directory, same commit discipline, same scrub
+        coverage — but carry :class:`StateProfile` payloads and a
+        ``kind="samples"`` journal mark, so latency queries, compaction
+        and retention never see them.  ``epoch=None`` appends after
+        everything stored for the source (either family).
+        """
+        _check_name("source", source)
+        with self._lock:
+            epoch = self.index.next_epoch(source) if epoch is None \
+                else int(epoch)
+            if epoch < 0:
+                raise WarehouseError(f"negative epoch {epoch}")
+            seg_id = self.index.next_id
+            payload = sprof.to_bytes()
+            ops = sorted({(layer, op)
+                          for (_state, layer, op, _site) in sprof.cells()})
+            meta = SegmentMeta(
+                seg_id=seg_id, source=source, tier=0, epoch=epoch,
+                span=1,
+                file=self._segment_file(source, 0, epoch, seg_id),
+                nbytes=len(payload), ops=tuple(ops),
+                crc=int.from_bytes(payload[-4:], "little"),
+                kind="samples")
+            return self._commit(meta, payload, "warehouse.ingest_state")
+
     # -- reading -------------------------------------------------------------
 
     def load_segment(self, meta: SegmentMeta) -> ProfileSet:
         """Decode one committed segment (CRC enforced by the codec)."""
+        if meta.kind != "profile":
+            raise WarehouseError(
+                f"segment {meta.seg_id} holds {meta.kind!r}, not a "
+                f"latency profile (use load_state)")
         path = self.root / meta.file
         try:
             data = path.read_bytes()
@@ -350,18 +385,43 @@ class Warehouse:
         for meta in metas:
             self._columns.pop(meta.seg_id, None)
 
+    def load_state(self, meta: SegmentMeta) -> StateProfile:
+        """Decode one committed wait-state sample segment."""
+        if meta.kind != "samples":
+            raise WarehouseError(
+                f"segment {meta.seg_id} holds {meta.kind!r}, not "
+                f"wait-state samples (use load_segment)")
+        path = self.root / meta.file
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise WarehouseError(
+                f"committed segment {meta.seg_id} missing on disk: "
+                f"{meta.file}") from None
+        try:
+            return StateProfile.from_bytes(data)
+        except ValueError as exc:
+            raise WarehouseError(
+                f"segment {meta.seg_id} ({meta.file}) damaged: {exc}") \
+                from None
+
     def sources(self) -> List[str]:
         with self._lock:
             return self.index.sources()
 
-    def segments(self, source: Optional[str] = None) -> List[SegmentMeta]:
-        """Live segment metas (all sources, or one), epoch order."""
+    def segments(self, source: Optional[str] = None,
+                 kind: Optional[str] = "profile") -> List[SegmentMeta]:
+        """Live segment metas (all sources, or one), epoch order.
+
+        ``kind`` defaults to latency segments; pass ``"samples"`` for
+        the sampling family or ``None`` for every live segment.
+        """
         with self._lock:
             sources = [source] if source is not None \
                 else self.index.sources()
             out: List[SegmentMeta] = []
             for src in sources:
-                out.extend(self.index.select(src))
+                out.extend(self.index.select(src, kind=kind))
             return out
 
     def query(self, source: str, layer: Optional[str] = None,
@@ -388,6 +448,21 @@ class Warehouse:
         psets = [_filtered(self.load_segment(meta), layer, op)
                  for meta in metas]
         return ProfileSet.merged(psets)
+
+    def query_states(self, source: str, t0: Optional[int] = None,
+                     t1: Optional[int] = None) -> StateProfile:
+        """Merge the wait-state samples stored for *source* in [t0, t1].
+
+        The sampling-family counterpart of :meth:`query`: cell counts
+        add across segments in ``(epoch, seg_id)`` order, so the result
+        is canonical and byte-comparable against
+        :meth:`StateProfile.merged` over the same captures.
+        """
+        with self._lock:
+            metas = self.index.select(source, t0=t0, t1=t1,
+                                      kind="samples")
+        return StateProfile.merged(self.load_state(meta)
+                                   for meta in metas)
 
     def recent_psets(self, source: str, count: int) -> List[ProfileSet]:
         """The last *count* non-empty segments, oldest first.
@@ -527,8 +602,10 @@ class Warehouse:
         if meta.crc is not None and \
                 int.from_bytes(data[-4:], "little") != meta.crc:
             return "CRC trailer differs from the committed record"
+        decode = StateProfile.from_bytes if meta.kind == "samples" \
+            else ProfileSet.from_bytes
         try:
-            ProfileSet.from_bytes(data)
+            decode(data)
         except ValueError as exc:
             return str(exc)
         return None
@@ -570,7 +647,7 @@ class Warehouse:
                     f"tail byte(s) after {report.journal_records} good "
                     f"record(s)")
             metas = [meta for src in self.index.sources()
-                     for meta in self.index.select(src)]
+                     for meta in self.index.select(src, kind=None)]
             for meta in metas:
                 report.scanned += 1
                 reason = self._verify_segment(meta)

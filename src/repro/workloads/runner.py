@@ -9,14 +9,15 @@ bucket-for-bucket.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.profileset import ProfileSet
+from ..sampling.stateprofile import StateProfile
 from ..system import System
 
 __all__ = ["WORKLOAD_NAMES", "PROFILE_LAYERS", "run_named_workload",
            "collect_profiles", "collect_layer_profiles",
-           "iter_segment_profiles"]
+           "collect_sampled_run", "iter_segment_profiles"]
 
 #: Workloads the runner (and therefore ``osprof run``) knows how to drive.
 #: ``randomread-private`` is the random-read loop with one file per
@@ -123,6 +124,39 @@ def collect_layer_profiles(workload: str, *, fs_type: str = "ext2",
     return {"user": system.user_profiles(),
             "fs": system.fs_profiles(),
             "driver": system.driver_profiles()}
+
+
+def collect_sampled_run(workload: str, *,
+                        state_sample_interval: float,
+                        fs_type: str = "ext2", num_cpus: int = 1,
+                        seed: int = 2006, scale: float = 0.02,
+                        processes: int = 2, iterations: int = 1000,
+                        patched_llseek: bool = False,
+                        kernel_preemption: bool = False,
+                        scenario: Optional[str] = None,
+                        ) -> Tuple[Dict[str, ProfileSet], StateProfile,
+                                   Dict[str, int]]:
+    """One run with the wait-state sampler armed alongside measurement.
+
+    Same construction funnel as :func:`collect_layer_profiles` plus a
+    :class:`~repro.sampling.WaitStateSampler` ticking every
+    ``state_sample_interval`` cycles.  Returns the measured per-layer
+    profile sets (byte-identical to an unsampled run under the same
+    seed — the sampler never perturbs the simulation), the accumulated
+    :class:`StateProfile`, and the sampler's health-counter dict.
+    """
+    from ..scenarios import build_system
+    system = build_system(scenario, fs_type=fs_type, num_cpus=num_cpus,
+                          seed=seed, patched_llseek=patched_llseek,
+                          kernel_preemption=kernel_preemption,
+                          with_timer=False,
+                          state_sample_interval=state_sample_interval)
+    run_named_workload(system, workload, seed=seed, scale=scale,
+                       processes=processes, iterations=iterations)
+    layers = {"user": system.user_profiles(),
+              "fs": system.fs_profiles(),
+              "driver": system.driver_profiles()}
+    return layers, system.state_profile(), system.state_sampler.metrics()
 
 
 def iter_segment_profiles(workload: str, *, segments: int = 1,

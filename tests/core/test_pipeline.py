@@ -242,6 +242,62 @@ class TestSamplingSink:
         series = sampled.series()
         assert series[0].total_ops() == 1
 
+    def test_batched_segments_byte_match_direct_recording(self):
+        # Event-order determinism: draining events through the
+        # pipeline's batch buffers must leave every segment
+        # byte-identical to recording the same (start, latency) stream
+        # straight into a SampledProfiler.
+        clock = ManualClock()
+        direct = SampledProfiler(clock=clock, interval=100.0, name="x")
+        batched = SampledProfiler(clock=clock, interval=100.0, name="x")
+        pipeline = Pipeline(batch_size=8)
+        probe = pipeline.probe(Layer.FILESYSTEM, SamplingSink(batched))
+        stream = [(f"op{i % 3}", float((i * 37) % 500), float(i % 90))
+                  for i in range(50)]
+        for op, start, latency in stream:
+            direct.record(op, start, latency)
+            probe.record(op, latency, start=start)
+        clock.now = 500.0
+        pipeline.flush()
+        left, right = direct.series(), batched.series()
+        assert len(left) == len(right)
+        assert [seg.to_bytes() for seg in left.segments] == \
+            [seg.to_bytes() for seg in right.segments]
+        assert left.tail_fraction == right.tail_fraction
+
+    def test_fanout_isolates_a_failing_sampling_sink(self):
+        # Fault injection: a pre-epoch event makes the SamplingSink's
+        # consume() raise.  Under a FanoutSink the failure is counted
+        # and the neighboring profile sink still sees every event.
+        clock = ManualClock(now=1000.0)
+        sampled = SampledProfiler(clock=clock, interval=100.0, name="t")
+        pset = ProfileSet(name="t")
+        fan = FanoutSink([SamplingSink(sampled), ProfileSink(pset)])
+        pipeline = Pipeline()
+        probe = pipeline.probe(Layer.FILESYSTEM, fan)
+        probe.record("read", 10.0, start=500.0)   # pre-epoch: raises
+        probe.record("read", 20.0, start=1500.0)  # fine
+        pipeline.flush()
+        assert pset.total_ops() == 2
+        assert fan.sink_errors == [1, 0]
+        assert isinstance(fan.last_errors[0], ValueError)
+        assert fan.degraded()
+
+    def test_fanout_survives_sampling_neighbor_raising(self):
+        # The converse: the sampler keeps sampling when its neighbor
+        # (a dead stream connection, say) throws on every batch.
+        clock = ManualClock()
+        sampled = SampledProfiler(clock=clock, interval=100.0, name="t")
+        fan = FanoutSink([RaisingSink(), SamplingSink(sampled)])
+        pipeline = Pipeline()
+        probe = pipeline.probe(Layer.FILESYSTEM, fan)
+        for i in range(4):
+            probe.record("read", 5.0, start=float(i * 60))
+        pipeline.flush()
+        assert sampled.series().collapse().total_ops() == 4
+        assert fan.sink_errors[0] > 0
+        assert fan.sink_errors[1] == 0
+
 
 class TestCorrelationSink:
     def _correlator(self):

@@ -104,3 +104,54 @@ CAPTURES: Dict[str, Callable[[], ProfileSet]] = {
 def digest(pset: ProfileSet) -> str:
     """The pinned fingerprint: sha256 of the canonical binary encoding."""
     return hashlib.sha256(pset.to_bytes()).hexdigest()
+
+
+# -- wait-state sample pins ---------------------------------------------------
+#
+# The sampler is deterministic under a fixed seed (sim-clock ticks, no
+# RNG draws, no wall-clock in the profile bytes), so sampled captures
+# pin by digest exactly like measured ones.  ``STATE_SAMPLE_INTERVAL``
+# is in cycles: 0.5 ms of simulated time at the paper's 1.7 GHz.
+
+STATE_SAMPLE_INTERVAL = 0.0005 * 1.7e9
+
+#: The measured-side pin a sampled run must leave untouched: arming the
+#: sampler on the ``randomread-ext2`` capture must reproduce this
+#: exact measured digest (checked by ``test_state_pins.py``).
+SAMPLED_MEASURED_PIN = "randomread-ext2-fs"
+
+
+def _capture_sampled(workload: str, processes: int, iterations: int,
+                     scenario=None):
+    from repro.workloads.runner import collect_sampled_run
+    _layers, sprof, _metrics = collect_sampled_run(
+        workload, state_sample_interval=STATE_SAMPLE_INTERVAL,
+        seed=2006, processes=processes, iterations=iterations,
+        scenario=scenario)
+    return sprof
+
+
+def _capture_sampled_layers(workload: str, layer: str, processes: int,
+                            iterations: int):
+    from repro.workloads.runner import collect_sampled_run
+    layers, _sprof, _metrics = collect_sampled_run(
+        workload, state_sample_interval=STATE_SAMPLE_INTERVAL,
+        seed=2006, processes=processes, iterations=iterations)
+    return layers[layer]
+
+
+#: Pin name -> zero-argument callable returning a StateProfile.
+STATE_CAPTURES = {
+    "randomread-ext2-sampled":
+        lambda: _capture_sampled("randomread", 2, 300),
+    "randomread-single-sampled":
+        lambda: _capture_sampled("randomread", 1, 300),
+    "scenario-throttled-iops-sampled":
+        lambda: _capture_sampled("randomread", 6, 400,
+                                 scenario="throttled-iops"),
+}
+
+
+def state_digest(sprof) -> str:
+    """sha256 of the canonical StateProfile encoding."""
+    return hashlib.sha256(sprof.to_bytes()).hexdigest()

@@ -1,0 +1,50 @@
+"""Digest pins for the sampled system view.
+
+Two invariants, both byte-level:
+
+* sampled captures are deterministic — a fixed (seed, interval) run
+  reproduces the pinned StateProfile sha256 exactly, so CI can treat
+  the sampled view like any other pinned artifact;
+* sampling is free of observer effects — arming the sampler must
+  reproduce the *measured* pin from ``profile_pins.json`` untouched.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from .pinning import (SAMPLED_MEASURED_PIN, STATE_CAPTURES,
+                      _capture_sampled_layers, state_digest)
+
+STATE_PINS = json.loads(
+    (Path(__file__).parent / "state_pins.json").read_text())
+MEASURED_PINS = json.loads(
+    (Path(__file__).parent / "profile_pins.json").read_text())
+
+
+def test_every_state_capture_is_pinned():
+    assert sorted(STATE_PINS) == sorted(STATE_CAPTURES)
+
+
+@pytest.mark.parametrize("name", sorted(STATE_CAPTURES))
+def test_state_profile_bytes_match_pin(name):
+    sprof = STATE_CAPTURES[name]()
+    assert state_digest(sprof) == STATE_PINS[name], (
+        f"sampled capture {name!r} no longer byte-identical to its pin "
+        f"— the sampler's view of the simulation changed")
+
+
+def test_measured_pin_survives_sampler_armed():
+    """The zero-observer-effect criterion, against the committed pin.
+
+    The fs-layer digest of the randomread capture was pinned with no
+    sampler in the build; re-capturing it with the sampler ticking
+    every half millisecond must reproduce the identical sha256.
+    """
+    from .pinning import digest
+    pset = _capture_sampled_layers("randomread", "fs", processes=2,
+                                   iterations=300)
+    assert digest(pset) == MEASURED_PINS[SAMPLED_MEASURED_PIN], (
+        "arming the wait-state sampler changed the measured profile "
+        "bytes — the sampler is supposed to be a pure observer")

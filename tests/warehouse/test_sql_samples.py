@@ -1,0 +1,110 @@
+"""Tests for the SQL sample relation (``state``/``wait_site``/``samples``).
+
+Referencing any sample dimension switches the scan from latency
+segments to the warehouse's ``samples`` segments: one row per
+StateProfile cell, with ``count()`` summing sample counts.  Latency
+aggregates are meaningless there and must be rejected, as must queries
+mixing the two segment families.
+"""
+
+import pytest
+
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+from repro.sampling import StateProfile
+from repro.warehouse import QueryError, Warehouse, execute_sql
+
+
+def pset(samples):
+    out = ProfileSet()
+    for op, latencies in samples.items():
+        prof = Profile(op, layer=Layer.FILESYSTEM)
+        for latency in latencies:
+            prof.add(latency)
+        out.insert(prof)
+    return out
+
+
+@pytest.fixture
+def wh(tmp_path):
+    """Latency and state segments side by side, two sources."""
+    wh = Warehouse(tmp_path)
+    wh.ingest("web-1", pset({"read": [100.0] * 6}), epoch=0)
+
+    first = StateProfile(name="s", interval=1000.0)
+    first.intervals = 2
+    first.add("blocked", "filesystem", "llseek", "sem:i_sem:3", 40)
+    first.add("blocked", "filesystem", "read", "io:read", 10)
+    first.add("running", "user", "-", "-", 6)
+    wh.ingest_state("web-1", first, epoch=1)
+
+    second = StateProfile(name="s", interval=1000.0)
+    second.intervals = 1
+    second.add("blocked", "filesystem", "llseek", "sem:i_sem:3", 2)
+    second.add("runnable", "filesystem", "read", "-", 5)
+    wh.ingest_state("db-1", second, epoch=0)
+    return wh
+
+
+class TestSampleScans:
+    def test_group_by_state_sums_samples(self, wh):
+        result = execute_sql(
+            wh, "SELECT state, count() GROUP BY state ORDER BY state")
+        assert result.columns == ["state", "count()"]
+        assert result.rows == [["blocked", 52], ["runnable", 5],
+                               ["running", 6]]
+
+    def test_wait_site_ranking(self, wh):
+        result = execute_sql(
+            wh, "SELECT state, wait_site, count() "
+                "GROUP BY state, wait_site ORDER BY count() DESC LIMIT 2")
+        assert result.rows[0] == ["blocked", "sem:i_sem:3", 42]
+        assert result.rows[1] == ["blocked", "io:read", 10]
+
+    def test_where_filters_source_and_epoch(self, wh):
+        result = execute_sql(
+            wh, "SELECT wait_site, count() WHERE source = 'web-1' "
+                "AND state = 'blocked' GROUP BY wait_site "
+                "ORDER BY wait_site")
+        assert result.rows == [["io:read", 10], ["sem:i_sem:3", 40]]
+
+    def test_layer_and_op_dimensions_come_from_cells(self, wh):
+        result = execute_sql(
+            wh, "SELECT layer, op, count() WHERE state = 'blocked' "
+                "GROUP BY layer, op ORDER BY op")
+        assert result.rows == [["filesystem", "llseek", 42],
+                               ["filesystem", "read", 10]]
+
+    def test_samples_column_projects_raw_counts(self, wh):
+        result = execute_sql(
+            wh, "SELECT samples, count() WHERE wait_site = 'sem:i_sem:3' "
+                "GROUP BY samples ORDER BY samples")
+        assert result.rows == [[2, 2], [40, 40]]
+
+    def test_empty_sample_scan_counts_zero(self, wh):
+        result = execute_sql(
+            wh, "SELECT state, count() WHERE source = 'nope' "
+                "GROUP BY state")
+        assert result.rows == []
+
+    def test_latency_scan_unaffected_by_state_segments(self, wh):
+        result = execute_sql(
+            wh, "SELECT source, count() GROUP BY source ORDER BY source")
+        # Only the latency segment's 6 ops — never sample counts.
+        assert result.rows == [["web-1", 6]]
+
+
+class TestSampleValidation:
+    def test_latency_aggregate_over_samples_rejected(self, wh):
+        with pytest.raises(QueryError, match="count\\(\\) sums samples"):
+            execute_sql(wh, "SELECT state, p99() GROUP BY state")
+
+    def test_mixing_bucket_and_sample_dimensions_rejected(self, wh):
+        with pytest.raises(QueryError, match="separately"):
+            execute_sql(
+                wh, "SELECT bucket, state, count() GROUP BY bucket, state")
+
+    def test_total_latency_over_samples_rejected(self, wh):
+        with pytest.raises(QueryError):
+            execute_sql(
+                wh, "SELECT wait_site, total_latency() GROUP BY wait_site")

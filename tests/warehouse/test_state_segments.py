@@ -1,0 +1,151 @@
+"""Tests for wait-state sample segments in the warehouse.
+
+State profiles live beside latency profiles under a distinct segment
+``kind``: they round-trip byte-identically, replay from the journal,
+scrub like any other committed byte — and stay invisible to every
+latency-only surface (query, compaction, gc, recent sets).
+"""
+
+import pytest
+
+from repro.core.profile import Layer, Profile
+from repro.core.profileset import ProfileSet
+from repro.sampling import StateProfile
+from repro.warehouse import CompactionPolicy, Warehouse, WarehouseError
+
+SMALL = CompactionPolicy(fanout=2, keep=(2, 2, 2))
+
+
+def pset(samples):
+    out = ProfileSet()
+    for op, latencies in samples.items():
+        prof = Profile(op, layer=Layer.FILESYSTEM)
+        for latency in latencies:
+            prof.add(latency)
+        out.insert(prof)
+    return out
+
+
+def sprof(seed=0, intervals=4):
+    out = StateProfile(name="state-samples", interval=1000.0)
+    out.intervals = intervals
+    out.add("blocked", "filesystem", "llseek", "sem:i_sem:3", 10 + seed)
+    out.add("blocked", "filesystem", "read", "io:read", 5 + seed)
+    out.add("running", "user", "-", "-", 2)
+    return out
+
+
+class TestIngestState:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        original = sprof()
+        meta = wh.ingest_state("web", original)
+        assert meta.kind == "samples"
+        assert meta.tier == 0
+        back = wh.load_state(meta)
+        assert back.to_bytes() == original.to_bytes()
+
+    def test_ops_index_covers_sampled_layers_and_ops(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest_state("web", sprof())
+        assert ("filesystem", "llseek") in meta.ops
+        assert ("user", "-") in meta.ops
+
+    def test_epochs_interleave_with_latency_segments(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        first = wh.ingest("web", pset({"read": [100.0]}))
+        second = wh.ingest_state("web", sprof())
+        third = wh.ingest("web", pset({"read": [200.0]}))
+        assert (first.epoch, second.epoch, third.epoch) == (0, 1, 2)
+
+    def test_query_states_merges_history(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_state("web", sprof(0))
+        wh.ingest_state("web", sprof(1))
+        merged = wh.query_states("web")
+        assert merged.count("blocked", "filesystem", "llseek",
+                            "sem:i_sem:3") == 21
+        assert merged.intervals == 8
+
+    def test_query_states_epoch_range(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for epoch in range(4):
+            wh.ingest_state("web", sprof(epoch), epoch=epoch)
+        window = wh.query_states("web", t0=1, t1=2)
+        assert window.count("blocked", "filesystem", "read",
+                            "io:read") == 5 + 1 + 5 + 2
+
+
+class TestKindDiscipline:
+    def test_segments_default_lists_only_latency_profiles(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest("web", pset({"read": [100.0]}))
+        wh.ingest_state("web", sprof())
+        assert len(wh.segments("web")) == 1
+        assert len(wh.segments("web", kind="samples")) == 1
+        assert len(wh.segments("web", kind=None)) == 2
+
+    def test_latency_query_blind_to_state_segments(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_state("web", sprof())
+        assert len(wh.query("web")) == 0
+
+    def test_load_segment_refuses_state_kind(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest_state("web", sprof())
+        with pytest.raises(WarehouseError, match="load_state"):
+            wh.load_segment(meta)
+
+    def test_load_state_refuses_latency_kind(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        meta = wh.ingest("web", pset({"read": [100.0]}))
+        with pytest.raises(WarehouseError):
+            wh.load_state(meta)
+
+    def test_compaction_and_gc_never_touch_state_segments(self, tmp_path):
+        wh = Warehouse(tmp_path, policy=SMALL)
+        for epoch in range(8):
+            wh.ingest("web", pset({"read": [100.0 * (epoch + 1)]}))
+            wh.ingest_state("web", sprof(epoch))
+        before = [meta.file for meta in wh.segments("web", kind="samples")]
+        wh.compact("web")
+        wh.gc("web")
+        after = wh.segments("web", kind="samples")
+        assert [meta.file for meta in after] == before
+        assert all(meta.tier == 0 for meta in after)
+        # And the latency side actually compacted around them.
+        assert wh.compactions_total > 0
+
+
+class TestDurability:
+    def test_state_segments_replay_from_journal(self, tmp_path):
+        original = sprof()
+        wh = Warehouse(tmp_path / "wh")
+        wh.ingest("web", pset({"read": [100.0]}))
+        wh.ingest_state("web", original)
+        reopened = Warehouse(tmp_path / "wh")
+        metas = reopened.segments("web", kind="samples")
+        assert len(metas) == 1
+        assert metas[0].kind == "samples"
+        assert reopened.load_state(metas[0]).to_bytes() == \
+            original.to_bytes()
+        assert len(reopened.segments("web")) == 1
+
+    def test_scrub_verifies_state_segments(self, tmp_path):
+        wh = Warehouse(tmp_path / "wh")
+        wh.ingest("web", pset({"read": [100.0]}))
+        wh.ingest_state("web", sprof())
+        report = wh.scrub()
+        assert report.clean
+        assert report.scanned == 2
+
+    def test_scrub_detects_state_segment_corruption(self, tmp_path):
+        wh = Warehouse(tmp_path / "wh")
+        meta = wh.ingest_state("web", sprof())
+        path = wh.root / meta.file
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0xFF
+        path.write_bytes(bytes(data))
+        report = wh.scrub()
+        assert not report.clean
+        assert report.corrupt == 1

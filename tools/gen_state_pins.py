@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the wait-state sample digest pins.
+
+Runs every sampled capture in ``tests/integration/pinning.py`` and
+writes the sha256 of each resulting StateProfile's canonical encoding
+to ``tests/integration/state_pins.json``.  Only rerun this when a
+change *intends* to alter the sampled view (a new wait site, a
+canonicalization change, new capture parameters); refactors of the
+sampling plumbing must leave every digest untouched.
+
+    PYTHONPATH=src python tools/gen_state_pins.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tests" / "integration"))
+
+from pinning import STATE_CAPTURES, state_digest  # noqa: E402
+
+OUT = ROOT / "tests" / "integration" / "state_pins.json"
+
+
+def main() -> int:
+    pins = {}
+    for name in sorted(STATE_CAPTURES):
+        pins[name] = state_digest(STATE_CAPTURES[name]())
+        print(f"{name}: {pins[name]}")
+    OUT.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
